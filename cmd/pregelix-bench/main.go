@@ -1,0 +1,84 @@
+// Command pregelix-bench regenerates the paper's tables and figures on
+// the simulated cluster. Each experiment prints rows shaped like the
+// corresponding artifact in the paper's Section 7.
+//
+// Usage:
+//
+//	pregelix-bench -list
+//	pregelix-bench -experiment fig10a [-nodes 8] [-ram 1048576]
+//	pregelix-bench -experiment all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pregelix/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids")
+		nodes      = flag.Int("nodes", 8, "simulated cluster size")
+		ram        = flag.Int64("ram", 1<<20, "per-machine RAM budget in bytes")
+		ratios     = flag.String("ratios", "", "comma-separated dataset/RAM ratios (default per-experiment)")
+		iterations = flag.Int("pr-iterations", 5, "PageRank iterations")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "pregelix-bench: -experiment or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Nodes:              *nodes,
+		RAMPerNode:         *ram,
+		PageRankIterations: *iterations,
+		Out:                os.Stdout,
+	}
+	if *ratios != "" {
+		for _, part := range strings.Split(*ratios, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pregelix-bench: bad ratio %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.Ratios = append(opts.Ratios, r)
+		}
+	}
+
+	ctx := context.Background()
+	run := func(e bench.Experiment) {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		if err := e.Run(ctx, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pregelix-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *experiment == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Find(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pregelix-bench: unknown experiment %q (try -list)\n", *experiment)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,38 @@
+// Package pregelix is a Go reproduction of "Pregelix: Big(ger) Graph
+// Analytics on a Dataflow Engine" (Bu, Borkar, Jia, Carey, Condie;
+// VLDB 2014).
+//
+// Pregelix implements the Pregel vertex-centric programming model as an
+// iterative dataflow of relational operators: message passing is a join
+// between the Msg and Vertex relations, message combination is a
+// group-by, and global state maintenance is a two-stage aggregation.
+// Because every operator and access method is out-of-core capable, the
+// same plans run in-memory and disk-based workloads transparently.
+//
+// Layout:
+//
+//   - pregel            — the user-facing Pregel API (Program, Combiner,
+//     Aggregator, Resolver, Job with plan hints)
+//   - pregel/algorithms — the built-in algorithm library (PageRank,
+//     SSSP, CC, reachability, BFS tree, triangles, cliques, sampling,
+//     path merging)
+//   - internal/hyracks  — the shared-nothing dataflow engine substrate
+//   - internal/storage  — B-tree, LSM B-tree, buffer cache, run files
+//   - internal/operators— external sort, three group-bys, index joins
+//   - internal/core     — the Pregelix runtime (plan generator,
+//     superstep loop, checkpoint/recovery, job pipelining)
+//   - internal/dfs      — a small replicated distributed file system
+//   - internal/baselines— simulations of Giraph/Hama/GraphLab/GraphX
+//   - internal/bench    — the Section 7 experiment harness
+//
+// Quickstart: see examples/quickstart, or run
+//
+//	go run ./cmd/pregelix -algorithm pagerank -input graph.txt
+//
+// Every table and figure of the paper's evaluation is regenerable via
+//
+//	go run ./cmd/pregelix-bench -experiment all
+//
+// or via the benchmarks in bench_test.go; see DESIGN.md and
+// EXPERIMENTS.md.
+package pregelix

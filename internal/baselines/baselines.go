@@ -1,0 +1,655 @@
+// Package baselines implements simulations of the process-centric graph
+// processing systems the paper compares against (Section 7): Apache
+// Giraph (in-memory and out-of-core modes), Apache Hama, distributed
+// GraphLab (PowerGraph), and GraphX on Spark.
+//
+// Each engine executes real vertex programs over real data structures,
+// so measured times are genuine; what is *modeled* is each system's
+// memory discipline, which is what produces the paper's failure
+// boundaries:
+//
+//   - Giraph-mem: vertices and all in-flight messages heap-resident
+//     with JVM-like bloat; hard OOM past the worker budget.
+//   - Giraph-ooc: spills vertex partitions to disk (real serialize +
+//     file I/O per superstep) but keeps messages resident — mirroring
+//     the "preliminary out-of-core support [that] does not yet work as
+//     expected", so it fails at nearly the same boundary.
+//   - Hama: vertices on immutable sorted files (rewritten each
+//     superstep, double-buffered), messages strictly memory-resident;
+//     fails earlier than Giraph.
+//   - GraphLab: GAS engine, no message serialization (fast constants)
+//     but vertex replication across partitions; fails earliest of the
+//     Pregel-likes.
+//   - GraphX: immutable collections re-materialized per superstep and a
+//     loading path that needs ~3x the dataset in memory; cannot load
+//     datasets the others can.
+//
+// See DESIGN.md for the substitution rationale.
+package baselines
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"pregelix/internal/graphgen"
+	"pregelix/internal/memory"
+	"pregelix/pregel"
+)
+
+// Kind selects a baseline system.
+type Kind int
+
+// The simulated systems.
+const (
+	GiraphMem Kind = iota
+	GiraphOOC
+	Hama
+	GraphLab
+	GraphX
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GiraphMem:
+		return "giraph-mem"
+	case GiraphOOC:
+		return "giraph-ooc"
+	case Hama:
+		return "hama"
+	case GraphLab:
+		return "graphlab"
+	case GraphX:
+		return "graphx"
+	default:
+		return fmt.Sprintf("baseline(%d)", int(k))
+	}
+}
+
+// Config describes the simulated cluster for a baseline run.
+type Config struct {
+	// Workers is the number of worker processes (one per machine).
+	Workers int
+	// RAMPerWorker is each worker's memory budget in bytes (0 =
+	// unlimited).
+	RAMPerWorker int64
+	// TempDir hosts spill files for the out-of-core engines.
+	TempDir string
+	// MaxSupersteps caps execution (0 = job's own cap or unlimited).
+	MaxSupersteps int
+}
+
+// Result reports a baseline run.
+type Result struct {
+	System       string
+	Supersteps   int64
+	LoadTime     time.Duration
+	RunTime      time.Duration
+	AvgIteration time.Duration
+	// Err is non-nil when the system failed (typically
+	// memory.ErrOutOfMemory), matching the paper's "fails to run" data
+	// points.
+	Err error
+}
+
+// Failed reports whether the run hit the system's limits.
+func (r *Result) Failed() bool { return r.Err != nil }
+
+// Memory model constants. Process-centric JVM systems carry object
+// bloat (the paper cites a bloat-aware design [14] as the fix Hyracks
+// applies; Giraph/Hama do not apply it).
+const (
+	jvmBloatFactor     = 1.6
+	vertexOverhead     = 48
+	edgeOverhead       = 12
+	messageOverhead    = 40
+	graphxLoadFactor   = 3.0 // immutable RDD lineage during load
+	graphlabMirrorCost = 0.3 // mirror share of a full vertex replica
+)
+
+type message struct {
+	dest    uint64
+	payload []byte
+}
+
+// engine is the shared process-centric BSP substrate.
+type engine struct {
+	kind    Kind
+	job     *pregel.Job
+	cfg     Config
+	workers []*worker
+	nv, ne  int64
+	agg     []byte
+	step    int64
+}
+
+type worker struct {
+	id       int
+	budget   *memory.Budget
+	vertices map[uint64]*pregel.Vertex
+	vbytes   map[uint64]int64 // charged bytes per vertex
+	inbox    map[uint64][]message
+	inBytes  int64
+	spillDir string
+	spilled  bool
+}
+
+// Run executes the job on the baseline engine over the given graph.
+func Run(ctx context.Context, kind Kind, job *pregel.Job, g *graphgen.Graph, cfg Config) *Result {
+	res, _ := RunAndCollect(ctx, kind, job, g, cfg)
+	return res
+}
+
+func (e *engine) bloat() float64 {
+	switch e.kind {
+	case GiraphMem, GiraphOOC, Hama:
+		return jvmBloatFactor
+	case GraphX:
+		return jvmBloatFactor // Spark is JVM too
+	default:
+		return 1.0
+	}
+}
+
+func (e *engine) vertexBytes(v *pregel.Vertex) int64 {
+	evBytes := 0
+	for _, edge := range v.Edges {
+		if edge.Value != nil {
+			evBytes += len(pregel.MarshalValue(edge.Value))
+		}
+	}
+	b := int64(vertexOverhead + edgeOverhead*len(v.Edges) + evBytes + len(pregel.MarshalValue(v.Value)))
+	scaled := float64(b) * e.bloat()
+	if e.kind == GraphLab {
+		// PowerGraph stores edges with gather accumulators on both
+		// endpoints and mirrors the vertex (with its edge slice) on
+		// every partition its neighborhood touches, so its memory grows
+		// with the replication factor — the reason it fails on smaller
+		// inputs than Giraph despite lacking JVM bloat (Figure 10).
+		base := float64(vertexOverhead) +
+			1.3*float64(edgeOverhead*len(v.Edges)+evBytes) +
+			float64(len(pregel.MarshalValue(v.Value)))
+		reps := e.replicas(v)
+		scaled = base * (1 + graphlabMirrorCost*float64(reps))
+	}
+	return int64(scaled)
+}
+
+func (e *engine) replicas(v *pregel.Vertex) int {
+	if len(e.workers) <= 1 {
+		return 0
+	}
+	seen := map[int]bool{}
+	home := e.partitionOf(uint64(v.ID))
+	for _, edge := range v.Edges {
+		p := e.partitionOf(uint64(edge.Dest))
+		if p != home {
+			seen[p] = true
+		}
+	}
+	return len(seen)
+}
+
+func (e *engine) messageBytes(payload []byte) int64 {
+	return int64(float64(messageOverhead+len(payload)) * e.bloat())
+}
+
+func (e *engine) partitionOf(vid uint64) int {
+	h := vid * 0x9E3779B97F4A7C15
+	return int(h>>33) % len(e.workers)
+}
+
+func (e *engine) load(g *graphgen.Graph) error {
+	e.workers = make([]*worker, e.cfg.Workers)
+	for i := range e.workers {
+		e.workers[i] = &worker{
+			id:       i,
+			budget:   memory.NewBudget(fmt.Sprintf("%s-w%d", e.kind, i), e.cfg.RAMPerWorker),
+			vertices: make(map[uint64]*pregel.Vertex),
+			vbytes:   make(map[uint64]int64),
+			inbox:    make(map[uint64][]message),
+			spillDir: filepath.Join(e.cfg.TempDir, fmt.Sprintf("%s-w%d", e.kind, i)),
+		}
+	}
+	loadFactor := 1.0
+	if e.kind == GraphX {
+		loadFactor = graphxLoadFactor
+	}
+	lineage := make([]int64, len(e.workers))
+	for id, edges := range g.Adj {
+		v := &pregel.Vertex{ID: pregel.VertexID(id), Value: e.job.Codec.NewVertexValue()}
+		for i, d := range edges {
+			var ev pregel.Value
+			if g.Weights != nil && e.job.Codec.NewEdgeValue != nil {
+				w := pregel.Float(g.Weights[id][i])
+				ev = &w
+			}
+			v.Edges = append(v.Edges, pregel.Edge{Dest: pregel.VertexID(d), Value: ev})
+		}
+		w := e.workers[e.partitionOf(id)]
+		b := int64(float64(e.vertexBytes(v)) * loadFactor)
+		if err := w.budget.Allocate(b); err != nil {
+			return err
+		}
+		if e.kind == GraphX {
+			// Lineage is droppable after load; track the excess.
+			lineage[w.id] += b - e.vertexBytes(v)
+		}
+		w.vertices[id] = v
+		w.vbytes[id] = e.vertexBytes(v)
+		e.nv++
+		e.ne += int64(len(edges))
+	}
+	for i, w := range e.workers {
+		w.budget.Release(lineage[i])
+	}
+	return nil
+}
+
+func (e *engine) run(ctx context.Context) (int64, error) {
+	maxSS := e.cfg.MaxSupersteps
+	if maxSS == 0 {
+		maxSS = e.job.MaxSupersteps
+	}
+	for {
+		e.step++
+		if maxSS > 0 && e.step > int64(maxSS) {
+			e.step--
+			return e.step, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return e.step, err
+		}
+		halt, msgs, err := e.superstep(ctx)
+		if err != nil {
+			return e.step, err
+		}
+		if halt && msgs == 0 {
+			return e.step, nil
+		}
+	}
+}
+
+// workerResult carries one worker's superstep output.
+type workerResult struct {
+	outbox  map[int][]message
+	halt    bool
+	agg     pregel.Value
+	adds    []*pregel.Vertex
+	removes []pregel.VertexID
+	err     error
+}
+
+// superstep runs all workers in parallel, then exchanges messages.
+func (e *engine) superstep(ctx context.Context) (bool, int64, error) {
+	results := make([]workerResult, len(e.workers))
+	var wg sync.WaitGroup
+	for wi, w := range e.workers {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[wi] = e.runWorker(ctx, w)
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return false, 0, r.err
+		}
+	}
+
+	// Apply mutations (deletions before insertions).
+	resolver := e.job.ResolverOrDefault()
+	mutated := map[uint64]*struct {
+		adds    []*pregel.Vertex
+		removed bool
+	}{}
+	for _, r := range results {
+		for _, id := range r.removes {
+			m := mutated[uint64(id)]
+			if m == nil {
+				m = &struct {
+					adds    []*pregel.Vertex
+					removed bool
+				}{}
+				mutated[uint64(id)] = m
+			}
+			m.removed = true
+		}
+		for _, v := range r.adds {
+			m := mutated[uint64(v.ID)]
+			if m == nil {
+				m = &struct {
+					adds    []*pregel.Vertex
+					removed bool
+				}{}
+				mutated[uint64(v.ID)] = m
+			}
+			m.adds = append(m.adds, v)
+		}
+	}
+	for id, m := range mutated {
+		w := e.workers[e.partitionOf(id)]
+		existing := w.vertices[id]
+		final := resolver.Resolve(pregel.VertexID(id), existing, m.adds, m.removed)
+		switch {
+		case final == nil && existing != nil:
+			w.budget.Release(w.vbytes[id])
+			delete(w.vertices, id)
+			delete(w.vbytes, id)
+			e.nv--
+			e.ne -= int64(len(existing.Edges))
+		case final != nil:
+			nb := e.vertexBytes(final)
+			if existing != nil {
+				w.budget.Release(w.vbytes[id])
+				e.ne += int64(len(final.Edges) - len(existing.Edges))
+			} else {
+				e.nv++
+				e.ne += int64(len(final.Edges))
+			}
+			if err := w.budget.Allocate(nb); err != nil {
+				return false, 0, err
+			}
+			w.vertices[id] = final
+			w.vbytes[id] = nb
+		}
+	}
+
+	// Deliver messages, charging receiver memory (all in-flight
+	// messages are resident in every baseline, including Giraph-ooc and
+	// Hama — the crux of their failure modes). With a combiner, the
+	// receiver folds arrivals per destination as Giraph does.
+	haltAll := true
+	var total int64
+	var aggVal pregel.Value
+	for _, r := range results {
+		haltAll = haltAll && r.halt
+		if r.agg != nil {
+			if aggVal == nil {
+				aggVal = r.agg
+			} else {
+				aggVal = e.job.Aggregator.Merge(aggVal, r.agg)
+			}
+		}
+		for dest, ms := range r.outbox {
+			w := e.workers[dest]
+			for _, m := range ms {
+				mb := e.messageBytes(m.payload)
+				if err := w.budget.Allocate(mb); err != nil {
+					return false, 0, err
+				}
+				w.inBytes += mb
+				if _, ok := w.vertices[m.dest]; !ok {
+					v := &pregel.Vertex{ID: pregel.VertexID(m.dest), Value: e.job.Codec.NewVertexValue()}
+					nb := e.vertexBytes(v)
+					if err := w.budget.Allocate(nb); err != nil {
+						return false, 0, err
+					}
+					w.vertices[m.dest] = v
+					w.vbytes[m.dest] = nb
+					e.nv++
+				}
+				if e.job.Combiner != nil {
+					if prev, ok := w.inbox[m.dest]; ok && len(prev) == 1 {
+						folded, err := e.foldMessage(prev[0], m)
+						if err != nil {
+							return false, 0, err
+						}
+						// The folded message replaces both inputs.
+						w.budget.Release(mb)
+						w.inBytes -= mb
+						w.inbox[m.dest] = []message{folded}
+						total++
+						continue
+					}
+				}
+				w.inbox[m.dest] = append(w.inbox[m.dest], m)
+				total++
+			}
+		}
+	}
+	e.agg = nil
+	if aggVal != nil {
+		e.agg = pregel.MarshalValue(aggVal)
+	}
+	return haltAll, total, nil
+
+}
+
+func (e *engine) runWorker(ctx context.Context, w *worker) (res workerResult) {
+	res.outbox = map[int][]message{}
+	res.halt = true
+
+	// Out-of-core engines cycle vertex partitions through disk with
+	// real serialization cost each superstep.
+	if e.kind == GiraphOOC || e.kind == Hama {
+		if err := w.cycleThroughDisk(e); err != nil {
+			res.err = err
+			return res
+		}
+	}
+
+	bctx := &baseCtx{e: e, res: &res, w: w}
+	ids := make([]uint64, 0, len(w.vertices))
+	for id := range w.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
+		}
+		v := w.vertices[id]
+		raw, hasMsg := w.inbox[id]
+		if v.Halted && !hasMsg && e.step > 1 {
+			continue
+		}
+		if hasMsg || e.step == 1 {
+			v.Halted = false
+		}
+		var msgs []pregel.Value
+		for _, m := range raw {
+			mv := e.job.Codec.NewMessage()
+			if err := mv.Unmarshal(m.payload); err != nil {
+				res.err = err
+				return res
+			}
+			msgs = append(msgs, mv)
+		}
+		before := bctx.sent
+		bctx.vertex = v
+		if err := e.job.Program.Compute(bctx, v, msgs); err != nil {
+			res.err = err
+			return res
+		}
+		if bctx.err != nil {
+			res.err = bctx.err
+			return res
+		}
+		// Re-charge the (possibly grown) vertex.
+		nb := e.vertexBytes(v)
+		if nb != w.vbytes[id] {
+			w.budget.Release(w.vbytes[id])
+			if err := w.budget.Allocate(nb); err != nil {
+				res.err = err
+				return res
+			}
+			w.vbytes[id] = nb
+		}
+		if !(v.Halted && bctx.sent == before) {
+			res.halt = false
+		}
+	}
+	res.agg = bctx.agg
+	res.adds = bctx.adds
+	res.removes = bctx.removes
+
+	// Release consumed inbox memory.
+	w.budget.Release(w.inBytes)
+	w.inBytes = 0
+	w.inbox = make(map[uint64][]message)
+	return res
+}
+
+// cycleThroughDisk serializes the worker's vertex partition to a spill
+// file and reads it back, modelling Giraph-ooc's partition eviction and
+// Hama's immutable sorted file rewrite. Hama pays a double-buffered
+// rewrite (old + new file resident transiently).
+func (w *worker) cycleThroughDisk(e *engine) error {
+	if err := os.MkdirAll(w.spillDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(w.spillDir, fmt.Sprintf("part-ss%d", e.step))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, v := range w.vertices {
+		rec := e.job.Codec.EncodeVertex(v)
+		buf = append(buf[:0], rec...)
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if e.kind == Hama {
+		// Immutable file rewrite: transiently hold both generations.
+		var transient int64
+		for _, b := range w.vbytes {
+			transient += b / 2
+		}
+		if err := w.budget.Allocate(transient); err != nil {
+			os.Remove(path)
+			return err
+		}
+		w.budget.Release(transient)
+	}
+	// Read back (the partition is "loaded" for computation).
+	if _, err := os.ReadFile(path); err != nil {
+		return err
+	}
+	w.spilled = true
+	return os.Remove(path)
+}
+
+// baseCtx implements pregel.Context for baseline workers.
+type baseCtx struct {
+	e       *engine
+	w       *worker
+	res     *workerResult
+	vertex  *pregel.Vertex
+	agg     pregel.Value
+	adds    []*pregel.Vertex
+	removes []pregel.VertexID
+	sent    int
+	err     error
+}
+
+func (c *baseCtx) Superstep() int64   { return c.e.step }
+func (c *baseCtx) NumVertices() int64 { return c.e.nv }
+func (c *baseCtx) NumEdges() int64    { return c.e.ne }
+
+func (c *baseCtx) GlobalAggregate() pregel.Value {
+	if c.e.agg == nil || c.e.job.Aggregator == nil {
+		return nil
+	}
+	v := c.e.job.Aggregator.Zero()
+	if err := v.Unmarshal(c.e.agg); err != nil {
+		c.err = err
+		return nil
+	}
+	return v
+}
+
+func (c *baseCtx) Config(key string) string { return c.e.job.Config[key] }
+
+func (c *baseCtx) SendMessage(to pregel.VertexID, m pregel.Value) {
+	// GraphLab's GAS engine gathers in place without materializing
+	// message objects; others serialize (genuine cost difference).
+	payload := pregel.MarshalValue(m)
+	dest := c.e.partitionOf(uint64(to))
+	c.res.outbox[dest] = append(c.res.outbox[dest], message{dest: uint64(to), payload: payload})
+	c.sent++
+}
+
+func (c *baseCtx) Aggregate(v pregel.Value) {
+	if c.e.job.Aggregator == nil {
+		c.err = errors.New("baselines: Aggregate without Aggregator")
+		return
+	}
+	if c.agg == nil {
+		c.agg = c.e.job.Aggregator.Merge(c.e.job.Aggregator.Zero(), v)
+		return
+	}
+	c.agg = c.e.job.Aggregator.Merge(c.agg, v)
+}
+
+func (c *baseCtx) AddVertex(v *pregel.Vertex) { c.adds = append(c.adds, v) }
+
+func (c *baseCtx) RemoveVertex(id pregel.VertexID) { c.removes = append(c.removes, id) }
+
+// Vertices exposes final vertex state for result validation in tests.
+func (e *engine) Vertices() map[uint64]*pregel.Vertex {
+	out := map[uint64]*pregel.Vertex{}
+	for _, w := range e.workers {
+		for id, v := range w.vertices {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// RunAndCollect runs the baseline and also returns the final vertex
+// values (for semantic validation in tests).
+func RunAndCollect(ctx context.Context, kind Kind, job *pregel.Job, g *graphgen.Graph, cfg Config) (*Result, map[uint64]*pregel.Vertex) {
+	res := &Result{System: kind.String()}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	e := &engine{kind: kind, job: job, cfg: cfg}
+	loadStart := time.Now()
+	if err := e.load(g); err != nil {
+		res.Err = fmt.Errorf("%s: load: %w", kind, err)
+		return res, nil
+	}
+	res.LoadTime = time.Since(loadStart)
+	runStart := time.Now()
+	steps, err := e.run(ctx)
+	res.RunTime = time.Since(runStart)
+	res.Supersteps = steps
+	if steps > 0 {
+		res.AvgIteration = res.RunTime / time.Duration(steps)
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", kind, err)
+		return res, nil
+	}
+	return res, e.Vertices()
+}
+
+// foldMessage combines two serialized messages for one destination.
+func (e *engine) foldMessage(a, b message) (message, error) {
+	av := e.job.Codec.NewMessage()
+	if err := av.Unmarshal(a.payload); err != nil {
+		return message{}, err
+	}
+	bv := e.job.Codec.NewMessage()
+	if err := bv.Unmarshal(b.payload); err != nil {
+		return message{}, err
+	}
+	return message{dest: a.dest, payload: pregel.MarshalValue(e.job.Combiner.Combine(av, bv))}, nil
+}

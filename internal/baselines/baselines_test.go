@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/internal/memory"
+	"pregelix/internal/reference"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+func allKinds() []Kind { return []Kind{GiraphMem, GiraphOOC, Hama, GraphLab, GraphX} }
+
+// TestBaselinesMatchReference: every baseline engine must compute the
+// same results as the oracle when given enough memory.
+func TestBaselinesMatchReference(t *testing.T) {
+	g := graphgen.BTC(120, 4, 5)
+	job := algorithms.NewConnectedComponentsJob("cc", "", "")
+	eng := reference.NewFromGraph(job, g)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Vertices()
+
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, got := RunAndCollect(context.Background(), kind, job, g, Config{
+				Workers: 3, TempDir: t.TempDir(),
+			})
+			if res.Failed() {
+				t.Fatalf("unexpected failure: %v", res.Err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d vertices, want %d", len(got), len(want))
+			}
+			for id, wv := range want {
+				gv := got[id]
+				if gv == nil || pregel.ValueString(gv.Value) != pregel.ValueString(wv.Value) {
+					t.Fatalf("vertex %d: got %v want %v", id, gv, wv)
+				}
+			}
+		})
+	}
+}
+
+// TestBaselineFailureOrdering reproduces the ordering of failure
+// boundaries in Figure 10: GraphX/GraphLab/Hama fail on smaller inputs
+// than Giraph, while Pregelix (not tested here) survives all of them.
+func TestBaselineFailureOrdering(t *testing.T) {
+	g := graphgen.Webmap(3000, 8, 9)
+	job := algorithms.NewPageRankJob("pr", "", "", 3)
+
+	// Find the approximate smallest per-worker RAM each system needs.
+	needs := map[Kind]int64{}
+	for _, kind := range allKinds() {
+		lo, hi := int64(16<<10), int64(64<<20)
+		for hi-lo > 32<<10 {
+			mid := (lo + hi) / 2
+			res := Run(context.Background(), kind, job, g, Config{
+				Workers: 4, RAMPerWorker: mid, TempDir: t.TempDir(),
+			})
+			if res.Failed() {
+				if !errors.Is(res.Err, memory.ErrOutOfMemory) {
+					t.Fatalf("%v: unexpected error %v", kind, res.Err)
+				}
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		needs[kind] = hi
+	}
+	t.Logf("RAM needs: %v", needs)
+
+	if needs[GraphX] <= needs[GiraphMem] {
+		t.Errorf("GraphX should need more RAM than Giraph: %d vs %d", needs[GraphX], needs[GiraphMem])
+	}
+	if needs[GraphLab] <= needs[GiraphMem] {
+		t.Errorf("GraphLab (replication) should need more RAM than Giraph: %d vs %d",
+			needs[GraphLab], needs[GiraphMem])
+	}
+	if needs[Hama] <= needs[GiraphMem] {
+		t.Errorf("Hama should need more RAM than Giraph-mem: %d vs %d", needs[Hama], needs[GiraphMem])
+	}
+}
+
+// TestGiraphOOCStillFailsOnMessages: the preliminary out-of-core mode
+// spills vertices but still dies when in-flight messages exceed memory,
+// as the paper observed.
+func TestGiraphOOCStillFailsOnMessages(t *testing.T) {
+	g := graphgen.Webmap(2000, 10, 3)
+	job := algorithms.NewPageRankJob("pr", "", "", 3)
+	job.Combiner = nil // maximize in-flight message volume
+
+	res := Run(context.Background(), GiraphOOC, job, g, Config{
+		Workers: 2, RAMPerWorker: 192 << 10, TempDir: t.TempDir(),
+	})
+	if !res.Failed() || !errors.Is(res.Err, memory.ErrOutOfMemory) {
+		t.Fatalf("expected message OOM, got %v", res.Err)
+	}
+}
+
+func TestGiraphMemOOMBoundary(t *testing.T) {
+	g := graphgen.Webmap(1000, 6, 1)
+	job := algorithms.NewPageRankJob("pr", "", "", 3)
+
+	big := Run(context.Background(), GiraphMem, job, g, Config{Workers: 2, RAMPerWorker: 64 << 20, TempDir: t.TempDir()})
+	if big.Failed() {
+		t.Fatalf("should succeed with ample RAM: %v", big.Err)
+	}
+	small := Run(context.Background(), GiraphMem, job, g, Config{Workers: 2, RAMPerWorker: 32 << 10, TempDir: t.TempDir()})
+	if !small.Failed() {
+		t.Fatal("should OOM with tiny RAM")
+	}
+}
+
+func TestBaselineMutations(t *testing.T) {
+	g := graphgen.Chain(16, 0, 1)
+	job := algorithms.NewPathMergeJob("pm", "", "", 8)
+	for _, kind := range []Kind{GiraphMem, GraphLab} {
+		res, got := RunAndCollect(context.Background(), kind, job, g, Config{
+			Workers: 2, TempDir: t.TempDir(),
+		})
+		if res.Failed() {
+			t.Fatalf("%v: %v", kind, res.Err)
+		}
+		if len(got) >= 16 {
+			t.Fatalf("%v: path merge did not shrink chain: %d vertices", kind, len(got))
+		}
+	}
+}
+
+func TestBaselineAggregator(t *testing.T) {
+	g := &graphgen.Graph{Adj: map[uint64][]uint64{
+		1: {2, 3, 4}, 2: {1, 3, 4}, 3: {1, 2, 4}, 4: {1, 2, 3},
+	}}
+	job := algorithms.NewTriangleCountJob("tri", "", "")
+	res, _ := RunAndCollect(context.Background(), GiraphMem, job, g, Config{Workers: 2, TempDir: t.TempDir()})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	// 4-clique: 4 triangles; engine aggregate checked via reference.
+	eng := reference.NewFromGraph(job, g)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var want pregel.Int64
+	if err := want.Unmarshal(eng.Aggregate()); err != nil {
+		t.Fatal(err)
+	}
+	if want != 4 {
+		t.Fatalf("reference triangles = %d, want 4", want)
+	}
+}

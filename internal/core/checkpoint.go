@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
+	"pregelix/pregel"
+)
+
+// Checkpointing (Section 5.5): at user-selected superstep boundaries the
+// runtime snapshots Vertex and Msg (per partition) to the DFS.
+// Checkpointing Msg ensures user programs need not be aware of failures.
+// GS need not be checkpointed — its primary copy is already in the DFS.
+// The Vid index is not checkpointed either: it is derivable from the
+// halt flags in the Vertex snapshot and is rebuilt during recovery.
+
+type checkpointManifest struct {
+	Superstep  int64 `json:"superstep"`
+	Partitions int   `json:"partitions"`
+	GS         globalState
+	PartStats  []partStat `json:"partStats"`
+}
+
+type partStat struct {
+	NumVertices  int64 `json:"numVertices"`
+	NumEdges     int64 `json:"numEdges"`
+	LiveVertices int64 `json:"liveVertices"`
+	Msgs         int64 `json:"msgs"`
+}
+
+func (rs *runState) ckptDir(ss int64) string {
+	return fmt.Sprintf("/pregelix/%s/ckpt/ss%d", rs.job.Name, ss)
+}
+
+// checkpoint writes the superstep's Vertex and Msg state to the DFS.
+func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
+	dir := rs.ckptDir(ss)
+	for _, ps := range rs.parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Vertex partition: scan the index in key order.
+		w, err := rs.rt.DFS.Create(fmt.Sprintf("%s/vertex-p%d", dir, ps.idx))
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(w, 1<<16)
+		cur, err := ps.vertexIdx.ScanFrom(nil)
+		if err != nil {
+			return err
+		}
+		for {
+			k, v, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if err := tuple.WriteTuple(bw, tuple.Tuple{k, v}); err != nil {
+				cur.Close()
+				return err
+			}
+		}
+		err = cur.Err()
+		cur.Close()
+		if err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+
+		// Msg partition: copy the run file bytes.
+		mw, err := rs.rt.DFS.Create(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
+		if err != nil {
+			return err
+		}
+		if ps.msgPath != "" {
+			rr, err := storage.OpenRunReader(ps.msgPath)
+			if err != nil {
+				return err
+			}
+			mbw := bufio.NewWriterSize(mw, 1<<16)
+			for {
+				t, err := rr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					rr.Close()
+					return err
+				}
+				if err := tuple.WriteTuple(mbw, t); err != nil {
+					rr.Close()
+					return err
+				}
+			}
+			rr.Close()
+			if err := mbw.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := mw.Close(); err != nil {
+			return err
+		}
+	}
+
+	m := checkpointManifest{Superstep: ss, Partitions: len(rs.parts), GS: rs.gs}
+	for _, ps := range rs.parts {
+		m.PartStats = append(m.PartStats, partStat{
+			NumVertices:  ps.numVertices,
+			NumEdges:     ps.numEdges,
+			LiveVertices: ps.liveVertices,
+			Msgs:         ps.msgs,
+		})
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	return rs.rt.DFS.WriteFile(dir+"/manifest.json", data)
+}
+
+// latestCheckpoint finds the most recent manifest in the DFS.
+func (rs *runState) latestCheckpoint() (*checkpointManifest, error) {
+	prefix := fmt.Sprintf("/pregelix/%s/ckpt/", rs.job.Name)
+	var best *checkpointManifest
+	for _, path := range rs.rt.DFS.List(prefix) {
+		if filepath.Base(path) != "manifest.json" {
+			continue
+		}
+		data, err := rs.rt.DFS.ReadFile(path)
+		if err != nil {
+			continue // replicas may be gone; skip unreadable checkpoints
+		}
+		var m checkpointManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue
+		}
+		if best == nil || m.Superstep > best.Superstep {
+			best = &m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no usable checkpoint for job %s", rs.job.Name)
+	}
+	return best, nil
+}
+
+// recover handles a node failure (Section 5.5): blacklist the machine,
+// select a failure-free placement for its partitions, and reload Vertex,
+// Msg, and (when needed) Vid from the latest checkpoint.
+func (rs *runState) recover(ctx context.Context, nf *hyracks.NodeFailure) error {
+	rs.rt.Cluster.Blacklist(nf.Node)
+	rs.rt.DFS.SetNodeDown(string(nf.Node), true)
+	live := rs.rt.Cluster.LiveNodes()
+	if len(live) == 0 {
+		return fmt.Errorf("core: no live nodes remain")
+	}
+	m, err := rs.latestCheckpoint()
+	if err != nil {
+		return err
+	}
+
+	// Drop current partition state (files on the failed machine are
+	// unreachable; files on live machines are stale).
+	for _, ps := range rs.parts {
+		if ps.node.Failed() || rs.isBlacklisted(ps.node.ID) {
+			// Unreachable; just forget the handles.
+			ps.vertexIdx, ps.vid, ps.nextVid = nil, nil, nil
+			ps.msgPath, ps.nextMsgPath = "", ""
+			continue
+		}
+		if ps.vertexIdx != nil {
+			ps.vertexIdx.Drop()
+		}
+		if ps.vid != nil {
+			ps.vid.Drop()
+		}
+		if ps.nextVid != nil {
+			ps.nextVid.Drop()
+		}
+	}
+
+	// Reassign all partitions over the surviving machines and reload.
+	nodes := rs.assignPartitions(len(rs.parts))
+	for i, ps := range rs.parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ps.node = nodes[i]
+		st := m.PartStats[i]
+		ps.numVertices, ps.numEdges, ps.liveVertices = st.NumVertices, st.NumEdges, st.LiveVertices
+		ps.nextMsgPath, ps.nextMsgs, ps.nextVid = "", 0, nil
+		if err := rs.reloadPartition(ps, m.Superstep); err != nil {
+			return err
+		}
+		ps.msgs = st.Msgs
+	}
+	rs.gs = m.GS
+	rs.gs.Halt = false
+	// Discard any partial global-state contributions from the failed
+	// attempt; the retried superstep recomputes them.
+	rs.pendingGS.haltAll = false
+	rs.pendingGS.aggregate = nil
+	rs.pendingGS.hasAgg = false
+	return rs.writeGS()
+}
+
+func (rs *runState) isBlacklisted(id hyracks.NodeID) bool {
+	for _, n := range rs.rt.Cluster.LiveNodes() {
+		if n.ID == id {
+			return false
+		}
+	}
+	return true
+}
+
+// reloadPartition rebuilds one partition's Vertex index, Msg file and
+// Vid index on its (possibly new) node from checkpoint data.
+func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
+	dir := rs.ckptDir(ss)
+	node := ps.node
+
+	// Vertex index: checkpoint tuples are already vid-sorted.
+	vr, err := rs.rt.DFS.Open(fmt.Sprintf("%s/vertex-p%d", dir, ps.idx))
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(vr, 1<<16)
+
+	var vidLoader *storage.BulkLoader
+	var vidTree *storage.BTree
+	if rs.needVid() {
+		vidTree, err = storage.CreateBTree(node.BufferCache,
+			node.TempPath(fmt.Sprintf("vid-rec-p%d", ps.idx)))
+		if err != nil {
+			return err
+		}
+		if vidLoader, err = vidTree.NewBulkLoader(1.0); err != nil {
+			return err
+		}
+	}
+
+	if rs.job.Storage == pregel.LSMStorage {
+		lsmDir := filepath.Join(node.Dir, fmt.Sprintf("vertex-lsm-rec-p%d-%d", ps.idx, rs.nextSeq()))
+		if err := mkdir(lsmDir); err != nil {
+			return err
+		}
+		lsm, err := storage.CreateLSMBTree(node.BufferCache, lsmDir, storage.LSMOptions{MemLimit: node.OperatorMem})
+		if err != nil {
+			return err
+		}
+		ps.vertexIdx = storage.AsLSMIndex(lsm)
+	} else {
+		bt, err := storage.CreateBTree(node.BufferCache,
+			node.TempPath(fmt.Sprintf("vertex-rec-p%d", ps.idx)))
+		if err != nil {
+			return err
+		}
+		loader, err := bt.NewBulkLoader(0.9)
+		if err != nil {
+			return err
+		}
+		for {
+			t, err := tuple.ReadTuple(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := loader.Add(t[0], t[1]); err != nil {
+				return err
+			}
+			if vidLoader != nil && isLiveVertexRecord(t[1]) {
+				if err := vidLoader.Add(t[0], nil); err != nil {
+					return err
+				}
+			}
+		}
+		if err := loader.Finish(); err != nil {
+			return err
+		}
+		ps.vertexIdx = storage.AsIndex(bt)
+	}
+	if rs.job.Storage == pregel.LSMStorage {
+		// LSM path: insert records (bulk path above only covers B-tree).
+		for {
+			t, err := tuple.ReadTuple(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := ps.vertexIdx.Insert(t[0], t[1]); err != nil {
+				return err
+			}
+			if vidLoader != nil && isLiveVertexRecord(t[1]) {
+				if err := vidLoader.Add(t[0], nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if vidLoader != nil {
+		if err := vidLoader.Finish(); err != nil {
+			return err
+		}
+		ps.vid = vidTree
+	}
+
+	// Msg run file.
+	mr, err := rs.rt.DFS.Open(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
+	if err != nil {
+		return err
+	}
+	mbr := bufio.NewReaderSize(mr, 1<<16)
+	rf, err := storage.CreateRunFile(node.TempPath("msg-rec-p" + strconv.Itoa(ps.idx)))
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := tuple.ReadTuple(mbr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := rf.Append(t); err != nil {
+			return err
+		}
+	}
+	if err := rf.CloseWrite(); err != nil {
+		return err
+	}
+	if rf.Count() > 0 {
+		ps.msgPath = rf.Path()
+	} else {
+		ps.msgPath = ""
+		rf.Delete()
+	}
+	return nil
+}
+
+// isLiveVertexRecord reads the halt flag from an encoded vertex record.
+func isLiveVertexRecord(rec []byte) bool {
+	return len(rec) > 0 && rec[0] == 0
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/pregel/algorithms"
+)
+
+// TestConcurrentJobsShareCluster: multiple jobs submitted to one runtime
+// concurrently (the Figure 13 throughput scenario) must all complete
+// correctly while contending for the same node budgets.
+func TestConcurrentJobsShareCluster(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	defer rt.Close()
+	g := graphgen.Webmap(400, 5, 17)
+	putGraph(t, rt, "/in/shared", g)
+	want := referenceValues(t, algorithms.NewPageRankJob("pr", "", "", 3), g)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for j := 0; j < 3; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job := algorithms.NewPageRankJob(
+				"pr-conc-"+string(rune('a'+j)), "/in/shared", "/out/conc-"+string(rune('a'+j)), 3)
+			_, errs[j] = rt.Run(context.Background(), job)
+		}()
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		got := readOutputValues(t, rt, "/out/conc-"+string(rune('a'+j)))
+		compareValues(t, got, want, "concurrent-pagerank")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/internal/reference"
+	"pregelix/pregel"
+)
+
+func newTestRuntime(t *testing.T, nodes int) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(Options{
+		BaseDir:           t.TempDir(),
+		Nodes:             nodes,
+		PartitionsPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// putGraph writes a generated graph into the runtime's DFS.
+func putGraph(t *testing.T, rt *Runtime, path string, g *graphgen.Graph) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := graphgen.WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DFS.WriteFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readOutputValues parses the dumped output into vid -> value-string.
+func readOutputValues(t *testing.T, rt *Runtime, path string) map[uint64]string {
+	t.Helper()
+	data, err := rt.DFS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[uint64]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		fields := strings.SplitN(sc.Text(), "\t", 3)
+		if len(fields) < 2 {
+			t.Fatalf("bad output line %q", sc.Text())
+		}
+		var vid uint64
+		fmt.Sscanf(fields[0], "%d", &vid)
+		out[vid] = fields[1]
+	}
+	return out
+}
+
+// referenceValues runs the oracle interpreter and renders its values.
+func referenceValues(t *testing.T, job *pregel.Job, g *graphgen.Graph) map[uint64]string {
+	t.Helper()
+	eng := reference.NewFromGraph(job, g)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out := map[uint64]string{}
+	for id, v := range eng.Vertices() {
+		out[id] = pregel.ValueString(v.Value)
+	}
+	return out
+}
+
+func compareValues(t *testing.T, got, want map[uint64]string, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vertices, want %d", label, len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: vertex %d missing", label, id)
+		}
+		if g == w {
+			continue
+		}
+		// Message combination order differs between the dataflow and the
+		// oracle, so float values may differ in the last ulps.
+		gf, err1 := strconv.ParseFloat(g, 64)
+		wf, err2 := strconv.ParseFloat(w, 64)
+		if err1 == nil && err2 == nil {
+			diff := math.Abs(gf - wf)
+			tol := 1e-6 * math.Max(math.Abs(gf), math.Abs(wf))
+			if diff <= tol || diff < 1e-300 {
+				continue
+			}
+		}
+		t.Fatalf("%s: vertex %d: got %q want %q", label, id, g, w)
+	}
+}
+
+// refEngine runs the oracle and returns its final aggregate bytes.
+func refEngine(t *testing.T, job *pregel.Job, g *graphgen.Graph) []byte {
+	t.Helper()
+	eng := reference.NewFromGraph(job, g)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Aggregate()
+}
+
+// refVertexCount runs the oracle and returns its final vertex count.
+func refVertexCount(t *testing.T, job *pregel.Job, g *graphgen.Graph) int64 {
+	t.Helper()
+	eng := reference.NewFromGraph(job, g)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(eng.Vertices()))
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pregelix/internal/hyracks"
+)
+
+// NodeStats is the statistics collector's per-machine snapshot
+// (Section 5.7): memory consumption, buffer cache behaviour, temp-file
+// I/O, and liveness.
+type NodeStats struct {
+	Node        hyracks.NodeID
+	Live        bool
+	RAMUsed     int64
+	RAMPeak     int64
+	RAMCapacity int64
+	CacheHits   int64
+	CacheMisses int64
+	Evictions   int64
+	Writebacks  int64
+	IOBytes     int64
+}
+
+// ClusterStats aggregates the collector's system-wide view.
+type ClusterStats struct {
+	Nodes        []NodeStats
+	LiveMachines int
+}
+
+// CollectStats snapshots the cluster's system-wide counters. The paper's
+// statistics collector polls these periodically; here any caller (the
+// scheduler, tests, the CLI) can sample on demand.
+func (r *Runtime) CollectStats() ClusterStats {
+	live := map[hyracks.NodeID]bool{}
+	for _, n := range r.Cluster.LiveNodes() {
+		live[n.ID] = true
+	}
+	var out ClusterStats
+	for _, n := range r.Cluster.Nodes() {
+		bc := n.BufferCache
+		out.Nodes = append(out.Nodes, NodeStats{
+			Node:        n.ID,
+			Live:        live[n.ID],
+			RAMUsed:     n.RAM.Used(),
+			RAMPeak:     n.RAM.Peak(),
+			RAMCapacity: n.RAM.Capacity(),
+			CacheHits:   bc.Hits,
+			CacheMisses: bc.Misses,
+			Evictions:   bc.Evictions,
+			Writebacks:  bc.Writebacks,
+			IOBytes:     n.IOBytes(),
+		})
+		if live[n.ID] {
+			out.LiveMachines++
+		}
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
+	return out
+}
+
+// String renders the snapshot as a small table.
+func (cs ClusterStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-5s %12s %12s %10s %10s %10s %12s\n",
+		"node", "live", "ram-used", "ram-peak", "hits", "misses", "evict", "io-bytes")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(&b, "%-6s %-5v %12d %12d %10d %10d %10d %12d\n",
+			n.Node, n.Live, n.RAMUsed, n.RAMPeak, n.CacheHits, n.CacheMisses, n.Evictions, n.IOBytes)
+	}
+	fmt.Fprintf(&b, "live machines: %d/%d\n", cs.LiveMachines, len(cs.Nodes))
+	return b.String()
+}
+
+// scanLocation picks the node holding the most blocks of the input file,
+// exploiting DFS data locality for the loading scan (the scheduler
+// behaviour of Section 5.7). It returns "" when locality is unknown.
+func (rs *runState) scanLocation() hyracks.NodeID {
+	locs, err := rs.rt.DFS.BlockLocations(rs.job.InputPath)
+	if err != nil {
+		return ""
+	}
+	counts := map[string]int{}
+	for _, replicas := range locs {
+		for _, name := range replicas {
+			counts[name]++
+		}
+	}
+	best, bestN := "", -1
+	for name, n := range counts {
+		if n > bestN {
+			best, bestN = name, n
+		}
+	}
+	// The chosen node must be live.
+	for _, n := range rs.rt.Cluster.LiveNodes() {
+		if string(n.ID) == best {
+			return n.ID
+		}
+	}
+	return ""
+}

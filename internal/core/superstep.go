@@ -1,0 +1,799 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/operators"
+	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
+	"pregelix/pregel"
+)
+
+// Output ports of the compute operator; the filter, compute UDF call,
+// Vertex update, and field extraction are fused into the join operator
+// as "mini-operators" (Section 5.3.2), so the join/compute task feeds
+// all downstream flows of Figures 3-5 directly.
+const (
+	portMsgs      = 0 // D3: outgoing messages
+	portMutations = 1 // D6: vertex additions/removals
+	portGS        = 2 // D4+D5: pre-aggregated global state contribution
+)
+
+// asErr wraps errors.As for the failure manager.
+func asErr(err error, target any) bool { return errors.As(err, target) }
+
+// needVid reports whether the Vid live-vertex index must be maintained:
+// always for the left-outer-join plan, and under AutoPlan so the advisor
+// can switch to it at any superstep boundary.
+func (rs *runState) needVid() bool {
+	return rs.job.Join == pregel.LeftOuterJoin || rs.job.AutoPlan
+}
+
+// lojSelectivityThreshold is the fraction of the vertex relation below
+// which the advisor prefers probing over scanning: index point lookups
+// cost several page accesses each, so the probe side must be a small
+// minority of the relation to beat one sequential pass (the trade-off
+// Figure 14 measures).
+const lojSelectivityThreshold = 0.25
+
+// chooseJoin is the cost-based plan advisor: it estimates next
+// superstep's compute input cardinality (distinct message receivers plus
+// live vertices, both known exactly from the previous superstep) and
+// picks the cheaper join plan.
+func (rs *runState) chooseJoin(ss int64) pregel.JoinKind {
+	if !rs.job.AutoPlan {
+		return rs.job.Join
+	}
+	if ss == 1 {
+		// Every vertex is live in superstep 1: scan wins.
+		return pregel.FullOuterJoin
+	}
+	touched := rs.gs.Messages + rs.gs.LiveVertices // upper bound on probes
+	if rs.gs.NumVertices > 0 &&
+		float64(touched) < lojSelectivityThreshold*float64(rs.gs.NumVertices) {
+		return pregel.LeftOuterJoin
+	}
+	return pregel.FullOuterJoin
+}
+
+// buildSuperstepJob compiles the physical plan for superstep ss from the
+// job's plan hints: join strategy (Figure 8), group-by strategy
+// (Figure 7), connector policy, and vertex storage.
+func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
+	p := len(rs.parts)
+	locs := rs.locations()
+	spec := &hyracks.JobSpec{Name: fmt.Sprintf("%s-ss%d", rs.job.Name, ss)}
+
+	// Join + compute source, pinned to the vertex partitions. The join
+	// strategy comes from the job hint, or from the cost-based advisor
+	// when AutoPlan is set.
+	join := rs.chooseJoin(ss)
+	rs.stats.recordPlan(ss, join)
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "compute",
+		Partitions: p,
+		Locations:  locs,
+		NewSource: func(tc *hyracks.TaskContext) (hyracks.SourceRuntime, error) {
+			return &computeSource{rs: rs, ss: ss, tc: tc, join: join}, nil
+		},
+	})
+
+	// Message combination: sender-side group-by fused with compute,
+	// then redistribution, then receiver-side group-by fused into the
+	// per-partition Msg file writer.
+	gbKind := operators.SortGroupBy
+	if rs.job.GroupBy == pregel.HashSortGroupBy {
+		gbKind = operators.HashSortGroupBy
+	}
+	comb := &msgCombiner{job: rs.job}
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "gb-local",
+		Partitions: p,
+		Locations:  locs,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return operators.NewGroupByRuntime(tc, gbKind, comb), nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{From: "compute", FromPort: portMsgs, To: "gb-local", Type: hyracks.OneToOne})
+
+	recvKind := gbKind
+	connType := hyracks.MToNPartitioning
+	var cmp tuple.Comparator
+	if rs.job.Connector == pregel.MergeConnector {
+		connType = hyracks.MToNPartitioningMerging
+		cmp = tuple.Field0Compare
+		recvKind = operators.PreclusteredGroupBy
+	}
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "gb-final",
+		Partitions: p,
+		Locations:  locs,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return operators.NewGroupByRuntime(tc, recvKind, comb), nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{
+		From: "gb-local", To: "gb-final",
+		Type:        connType,
+		Partitioner: hyracks.HashPartitioner(0),
+		Comparator:  cmp,
+	})
+
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "msg-sink",
+		Partitions: p,
+		Locations:  locs,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return newMsgSink(rs, tc)
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{From: "gb-final", To: "msg-sink", Type: hyracks.OneToOne})
+
+	// Graph mutations: redistribute by vid, group + resolve + apply
+	// (Figure 5). The group-by is receiver-side only because resolve is
+	// not guaranteed to be distributive (Section 5.3.3).
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "resolve",
+		Partitions: p,
+		Locations:  locs,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return newResolveSink(rs, tc), nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{
+		From: "compute", FromPort: portMutations, To: "resolve",
+		Type:        hyracks.MToNPartitioning,
+		Partitioner: hyracks.HashPartitioner(0),
+	})
+
+	// Global state: two-stage aggregation; stage one (per-partition
+	// pre-aggregation) is fused inside the compute task, stage two is
+	// the single global aggregator below (Section 5.3.3).
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "gs",
+		Partitions: 1,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return newGSSink(rs), nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{From: "compute", FromPort: portGS, To: "gs", Type: hyracks.ReduceToOne})
+
+	return spec, nil
+}
+
+// msgCombiner adapts the job's message combiner to the tuple level.
+// Message payloads are encoded lists; without a user combiner, lists for
+// the same destination are concatenated (the default "gather into a
+// list" combine of the paper's footnote 4).
+type msgCombiner struct {
+	job *pregel.Job
+}
+
+func (c *msgCombiner) First(t tuple.Tuple) tuple.Tuple {
+	return tuple.Tuple{t[0], t[1]}
+}
+
+func (c *msgCombiner) Add(acc, t tuple.Tuple) tuple.Tuple {
+	if c.job.Combiner == nil {
+		acc[1] = pregel.AppendMsgLists(acc[1], t[1])
+		return acc
+	}
+	av, err := c.job.Codec.DecodeMsgList(acc[1])
+	if err != nil {
+		panic(fmt.Sprintf("pregelix: corrupt message list: %v", err))
+	}
+	bv, err := c.job.Codec.DecodeMsgList(t[1])
+	if err != nil {
+		panic(fmt.Sprintf("pregelix: corrupt message list: %v", err))
+	}
+	all := append(av, bv...)
+	m := all[0]
+	for _, x := range all[1:] {
+		m = c.job.Combiner.Combine(m, x)
+	}
+	acc[1] = pregel.EncodeMsgList(m)
+	return acc
+}
+
+// newMsgSink writes the combined, vid-sorted message stream to the
+// partition's Msg run file for the next superstep (Section 5.2).
+func newMsgSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+	ps := rs.parts[tc.Partition]
+	var rf *storage.RunFile
+	return &hyracks.FuncRuntime{
+		OnOpen: func(_ *hyracks.BaseRuntime) error {
+			path := tc.TempPath(fmt.Sprintf("msg-v%d", rs.nextSeq()))
+			var err error
+			rf, err = storage.CreateRunFile(path)
+			return err
+		},
+		OnTuple: func(_ *hyracks.BaseRuntime, t tuple.Tuple) error {
+			return rf.Append(t)
+		},
+		OnClose: func(_ *hyracks.BaseRuntime) error {
+			if err := rf.CloseWrite(); err != nil {
+				return err
+			}
+			tc.Node.AddIOBytes(rf.PayloadBytes())
+			ps.nextMsgPath = rf.Path()
+			ps.nextMsgs = rf.Count()
+			return nil
+		},
+	}, nil
+}
+
+// Mutation op codes for the mutation flow tuples (vid, op, vertexBytes).
+const (
+	mutAdd    = 1
+	mutRemove = 2
+)
+
+// resolveSink buffers the partition's mutation tuples, then groups them
+// by vid and applies the resolve UDF to the Vertex relation via the
+// index insert/delete operator. It applies at Close, which the dataflow
+// guarantees happens only after every compute task has finished its
+// scan, so index mutation never races a scan.
+type resolveSink struct {
+	hyracks.BaseRuntime
+	rs     *runState
+	ps     *partitionState
+	muts   map[uint64]*mutationSet
+	order  []uint64
+	failed bool
+}
+
+type mutationSet struct {
+	additions []*pregel.Vertex
+	removed   bool
+}
+
+func newResolveSink(rs *runState, tc *hyracks.TaskContext) *resolveSink {
+	return &resolveSink{rs: rs, ps: rs.parts[tc.Partition], muts: make(map[uint64]*mutationSet)}
+}
+
+func (r *resolveSink) Open() error { return nil }
+
+func (r *resolveSink) NextFrame(f *tuple.Frame) error {
+	for _, t := range f.Tuples {
+		vid := tuple.DecodeUint64(t[0])
+		ms := r.muts[vid]
+		if ms == nil {
+			ms = &mutationSet{}
+			r.muts[vid] = ms
+			r.order = append(r.order, vid)
+		}
+		switch t[1][0] {
+		case mutAdd:
+			v, err := r.rs.codec.DecodeVertex(pregel.VertexID(vid), t[2])
+			if err != nil {
+				return fmt.Errorf("pregelix: corrupt mutation vertex: %w", err)
+			}
+			ms.additions = append(ms.additions, v)
+		case mutRemove:
+			ms.removed = true
+		default:
+			return fmt.Errorf("pregelix: unknown mutation op %d", t[1][0])
+		}
+	}
+	return nil
+}
+
+func (r *resolveSink) Fail(err error) { r.failed = true }
+
+func (r *resolveSink) Close() error {
+	if r.failed {
+		return nil
+	}
+	resolver := r.rs.job.ResolverOrDefault()
+	for _, vid := range r.order {
+		ms := r.muts[vid]
+		key := tuple.EncodeUint64(vid)
+		var existing *pregel.Vertex
+		if raw, err := r.ps.vertexIdx.Search(key); err == nil {
+			v, derr := r.rs.codec.DecodeVertex(pregel.VertexID(vid), raw)
+			if derr != nil {
+				return derr
+			}
+			existing = v
+		} else if err != storage.ErrNotFound {
+			return err
+		}
+		had := existing != nil
+		final := resolver.Resolve(pregel.VertexID(vid), existing, ms.additions, ms.removed)
+		switch {
+		case final == nil && had:
+			if err := r.ps.vertexIdx.Delete(key); err != nil {
+				return err
+			}
+			r.ps.numVertices--
+			r.ps.numEdges -= int64(len(existing.Edges))
+			if r.ps.nextVid != nil {
+				if _, err := r.ps.nextVid.Delete(key); err != nil {
+					return err
+				}
+			}
+		case final != nil:
+			if err := r.ps.vertexIdx.Insert(key, r.rs.codec.EncodeVertex(final)); err != nil {
+				return err
+			}
+			if had {
+				r.ps.numEdges += int64(len(final.Edges) - len(existing.Edges))
+			} else {
+				r.ps.numVertices++
+				r.ps.numEdges += int64(len(final.Edges))
+			}
+			// Newly materialized vertices are live next superstep.
+			if r.ps.nextVid != nil && !final.Halted {
+				if err := r.ps.nextVid.Insert(key, nil); err != nil {
+					return err
+				}
+			}
+			if !final.Halted && !had {
+				r.ps.liveVertices++
+			}
+		}
+	}
+	return nil
+}
+
+// gsSink is stage two of the global aggregation: it folds the
+// per-partition contribution tuples into the pending global state.
+// Contribution tuple layout: (haltAll u8, hasAgg u8, aggBytes).
+type gsSink struct {
+	hyracks.BaseRuntime
+	rs      *runState
+	haltAll bool
+	agg     pregel.Value
+	failed  bool
+}
+
+func newGSSink(rs *runState) *gsSink {
+	return &gsSink{rs: rs, haltAll: true}
+}
+
+func (g *gsSink) Open() error { return nil }
+
+func (g *gsSink) NextFrame(f *tuple.Frame) error {
+	for _, t := range f.Tuples {
+		g.haltAll = g.haltAll && tuple.DecodeBool(t[0])
+		if tuple.DecodeBool(t[1]) {
+			if g.rs.job.Aggregator == nil {
+				return fmt.Errorf("pregelix: aggregate contribution without Aggregator")
+			}
+			contrib, err := decodeAggValue(g.rs.job, t[2])
+			if err != nil {
+				return err
+			}
+			if g.agg == nil {
+				g.agg = contrib
+			} else {
+				g.agg = g.rs.job.Aggregator.Merge(g.agg, contrib)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gsSink) Fail(err error) { g.failed = true }
+
+func (g *gsSink) Close() error {
+	if g.failed {
+		return nil
+	}
+	g.rs.pendingGS.haltAll = g.haltAll
+	if g.agg != nil {
+		g.rs.pendingGS.aggregate = pregel.MarshalValue(g.agg)
+		g.rs.pendingGS.hasAgg = true
+	}
+	return nil
+}
+
+// decodeAggValue decodes a global-aggregate value with the aggregator's
+// zero as the type witness.
+func decodeAggValue(job *pregel.Job, data []byte) (pregel.Value, error) {
+	v := job.Aggregator.Zero()
+	if err := v.Unmarshal(data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// computeSource is the fused join + compute task for one partition: the
+// left side of Figure 8 (index full outer join) or the right side
+// (NullMsg/Vid merge + index left outer join), with the compute UDF,
+// vertex update, and projection mini-operators inlined.
+type computeSource struct {
+	hyracks.BaseSource
+	rs   *runState
+	ss   int64
+	tc   *hyracks.TaskContext
+	join pregel.JoinKind
+}
+
+// Run executes the partition's share of the superstep.
+func (c *computeSource) Run(ctx context.Context) error {
+	if err := c.OpenOutputs(); err != nil {
+		c.FailOutputs(err)
+		return err
+	}
+	if err := c.run(ctx); err != nil {
+		c.FailOutputs(err)
+		return err
+	}
+	return c.CloseOutputs()
+}
+
+func (c *computeSource) run(ctx context.Context) error {
+	rs, ps := c.rs, c.rs.parts[c.tc.Partition]
+
+	// Open the combined-message stream of the previous superstep.
+	var msgs operators.TupleSource = emptySource{}
+	if ps.msgPath != "" {
+		rr, err := storage.OpenRunReader(ps.msgPath)
+		if err != nil {
+			return err
+		}
+		defer rr.Close()
+		msgs = rr
+	}
+
+	// Vertex updates (flow D2) are spooled and applied after the scan:
+	// the same-task deferral keeps the update mini-operator from
+	// mutating pages the scan cursor has pinned.
+	updates, err := storage.CreateRunFile(c.tc.TempPath("updates"))
+	if err != nil {
+		return err
+	}
+	defer updates.Delete()
+
+	// The left-outer-join plan rebuilds the Vid live-vertex index for
+	// the next superstep via a bulk load fed in vid order (Figure 8's
+	// D11/D12 flows). AutoPlan maintains it under both plans so the
+	// advisor may switch at any boundary.
+	var vidLoader *storage.BulkLoader
+	if rs.needVid() {
+		vt, err := storage.CreateBTree(ps.node.BufferCache,
+			ps.node.TempPath(fmt.Sprintf("vid-v%d", rs.nextSeq())))
+		if err != nil {
+			return err
+		}
+		ps.nextVid = vt
+		if vidLoader, err = vt.NewBulkLoader(1.0); err != nil {
+			return err
+		}
+	}
+
+	cc := &computeCtx{rs: rs, src: c, ss: c.ss}
+	ps.liveVertices = 0
+	cc.haltAll = true
+
+	emit := func(vid, msgPayload, vertexBytes []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return c.processVertex(cc, ps, updates, vidLoader, vid, msgPayload, vertexBytes)
+	}
+
+	if c.join == pregel.LeftOuterJoin {
+		vidScan, err := newVidSource(ps)
+		if err != nil {
+			return err
+		}
+		defer vidScan.close()
+		merged := newChooseMergeSource(msgs, vidScan)
+		if err := operators.ProbeJoinLeftOuter(merged, ps.vertexIdx, emit); err != nil {
+			return err
+		}
+	} else {
+		if err := operators.FullOuterIndexJoin(msgs, ps.vertexIdx, emit); err != nil {
+			return err
+		}
+	}
+
+	// Apply the deferred vertex updates (flow D2).
+	if err := updates.CloseWrite(); err != nil {
+		return err
+	}
+	c.tc.Node.AddIOBytes(updates.PayloadBytes() * 2)
+	ur, err := storage.OpenRunReader(updates.Path())
+	if err != nil {
+		return err
+	}
+	defer ur.Close()
+	for {
+		t, err := ur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := ps.vertexIdx.Insert(t[0], t[1]); err != nil {
+			return err
+		}
+	}
+	if vidLoader != nil {
+		if err := vidLoader.Finish(); err != nil {
+			return err
+		}
+	}
+
+	// Emit the pre-aggregated global-state contribution (stage one of
+	// the two-stage aggregation).
+	gsTuple := tuple.Tuple{
+		tuple.EncodeBool(cc.haltAll),
+		tuple.EncodeBool(cc.agg != nil),
+		pregel.MarshalValue(cc.agg),
+	}
+	return c.Emit(portGS, gsTuple)
+}
+
+// processVertex applies the σ(halt=false || msg!=NULL) filter and the
+// compute UDF to one joined row.
+func (c *computeSource) processVertex(cc *computeCtx, ps *partitionState,
+	updates *storage.RunFile, vidLoader *storage.BulkLoader,
+	vid, msgPayload, vertexBytes []byte) error {
+
+	rs := c.rs
+	firstOfJob := c.ss == 1
+	// σ(halt=false || msg!=NULL) fast path: a halted vertex with no
+	// incoming message is scanned (the FOJ pays that I/O) but never
+	// decoded or computed — the filter mini-operator of Section 5.3.2.
+	if vertexBytes != nil && msgPayload == nil && !firstOfJob && vertexBytes[0] != 0 {
+		return nil
+	}
+	var v *pregel.Vertex
+	created := false
+	if vertexBytes == nil {
+		// Left-outer case of Figure 2: a message addressed to a vertex
+		// that does not exist materializes it with NULL-ish fields.
+		v = &pregel.Vertex{
+			ID:    pregel.VertexID(tuple.DecodeUint64(vid)),
+			Value: rs.codec.NewVertexValue(),
+		}
+		created = true
+	} else {
+		var err error
+		v, err = rs.codec.DecodeVertex(pregel.VertexID(tuple.DecodeUint64(vid)), vertexBytes)
+		if err != nil {
+			return err
+		}
+	}
+
+	hasMsg := msgPayload != nil
+	firstStep := c.ss == 1 && rs.gs.Superstep == 0
+	active := !v.Halted || hasMsg || firstStep
+	if !active {
+		// Keep a halted, messageless vertex as-is; it contributes
+		// halt=true implicitly (no change to cc.haltAll).
+		return nil
+	}
+	if hasMsg {
+		v.Halted = false // message receipt reactivates the vertex
+	}
+	if firstStep {
+		v.Halted = false
+	}
+
+	var msgVals []pregel.Value
+	if hasMsg {
+		var err error
+		msgVals, err = rs.codec.DecodeMsgList(msgPayload)
+		if err != nil {
+			return err
+		}
+	}
+
+	cc.vertexSent = 0
+	if err := rs.job.Program.Compute(cc, v, msgVals); err != nil {
+		return err
+	}
+	if cc.err != nil {
+		return cc.err
+	}
+
+	// Persist the (possibly updated) vertex: D2.
+	if err := updates.Append(tuple.Tuple{vid, rs.codec.EncodeVertex(v)}); err != nil {
+		return err
+	}
+	if created {
+		ps.numVertices++
+		ps.numEdges += int64(len(v.Edges))
+	}
+
+	// Global halt contribution: false unless the vertex halted with no
+	// outbound messages.
+	vertexHalts := v.Halted && cc.vertexSent == 0
+	cc.haltAll = cc.haltAll && vertexHalts
+	if !v.Halted {
+		ps.liveVertices++
+		if vidLoader != nil {
+			if err := vidLoader.Add(vid, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// computeCtx implements pregel.Context for one partition task.
+type computeCtx struct {
+	rs  *runState
+	src *computeSource
+	ss  int64
+
+	haltAll    bool
+	agg        pregel.Value
+	vertexSent int
+	err        error
+}
+
+func (c *computeCtx) Superstep() int64   { return c.ss }
+func (c *computeCtx) NumVertices() int64 { return c.rs.gs.NumVertices }
+func (c *computeCtx) NumEdges() int64    { return c.rs.gs.NumEdges }
+
+func (c *computeCtx) GlobalAggregate() pregel.Value {
+	if c.rs.gs.Aggregate == nil || c.rs.job.Aggregator == nil {
+		return nil
+	}
+	v, err := decodeAggValue(c.rs.job, c.rs.gs.Aggregate)
+	if err != nil {
+		c.err = err
+		return nil
+	}
+	return v
+}
+
+func (c *computeCtx) Config(key string) string { return c.rs.job.Config[key] }
+
+func (c *computeCtx) SendMessage(to pregel.VertexID, m pregel.Value) {
+	t := tuple.Tuple{tuple.EncodeUint64(uint64(to)), pregel.EncodeMsgList(m)}
+	if err := c.src.Emit(portMsgs, t); err != nil && c.err == nil {
+		c.err = err
+	}
+	c.vertexSent++
+}
+
+func (c *computeCtx) Aggregate(v pregel.Value) {
+	if c.rs.job.Aggregator == nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("pregelix: Aggregate called without Job.Aggregator")
+		}
+		return
+	}
+	if c.agg == nil {
+		c.agg = c.rs.job.Aggregator.Merge(c.rs.job.Aggregator.Zero(), v)
+		return
+	}
+	c.agg = c.rs.job.Aggregator.Merge(c.agg, v)
+}
+
+func (c *computeCtx) AddVertex(v *pregel.Vertex) {
+	t := tuple.Tuple{
+		tuple.EncodeUint64(uint64(v.ID)),
+		{mutAdd},
+		c.rs.codec.EncodeVertex(v),
+	}
+	if err := c.src.Emit(portMutations, t); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *computeCtx) RemoveVertex(id pregel.VertexID) {
+	t := tuple.Tuple{tuple.EncodeUint64(uint64(id)), {mutRemove}, nil}
+	if err := c.src.Emit(portMutations, t); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// emptySource is a TupleSource with no tuples (superstep 1's empty Msg).
+type emptySource struct{}
+
+func (emptySource) Next() (tuple.Tuple, error) { return nil, io.EOF }
+
+// vidSource scans the Vid index as (vid, NULL) tuples — the NullMsg
+// function of Figure 8.
+type vidSource struct {
+	cur storage.IndexCursor
+}
+
+func newVidSource(ps *partitionState) (*vidSource, error) {
+	if ps.vid == nil {
+		return &vidSource{}, nil
+	}
+	cur, err := storage.AsIndex(ps.vid).ScanFrom(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &vidSource{cur: cur}, nil
+}
+
+func (s *vidSource) Next() (tuple.Tuple, error) {
+	if s.cur == nil {
+		return nil, io.EOF
+	}
+	k, _, ok := s.cur.Next()
+	if !ok {
+		if err := s.cur.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return tuple.Tuple{k, nil}, nil
+}
+
+func (s *vidSource) close() {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+}
+
+// chooseMergeSource merges the Msg stream with the Vid stream by vid,
+// preferring the Msg tuple on ties — the Merge(choose()) operator of the
+// left-outer-join plan.
+type chooseMergeSource struct {
+	a, b     operators.TupleSource
+	at, bt   tuple.Tuple
+	ae, be   error
+	prefetch bool
+}
+
+func newChooseMergeSource(a, b operators.TupleSource) *chooseMergeSource {
+	return &chooseMergeSource{a: a, b: b}
+}
+
+func (m *chooseMergeSource) Next() (tuple.Tuple, error) {
+	if !m.prefetch {
+		m.at, m.ae = m.a.Next()
+		m.bt, m.be = m.b.Next()
+		m.prefetch = true
+	}
+	for {
+		switch {
+		case m.ae == nil && m.be == nil:
+			cmp := bytes.Compare(m.at[0], m.bt[0])
+			switch {
+			case cmp == 0:
+				t := m.at
+				m.at, m.ae = m.a.Next()
+				m.bt, m.be = m.b.Next()
+				return t, nil
+			case cmp < 0:
+				t := m.at
+				m.at, m.ae = m.a.Next()
+				return t, nil
+			default:
+				t := m.bt
+				m.bt, m.be = m.b.Next()
+				return t, nil
+			}
+		case m.ae == nil:
+			if m.be != io.EOF {
+				return nil, m.be
+			}
+			t := m.at
+			m.at, m.ae = m.a.Next()
+			return t, nil
+		case m.be == nil:
+			if m.ae != io.EOF {
+				return nil, m.ae
+			}
+			t := m.bt
+			m.bt, m.be = m.b.Next()
+			return t, nil
+		default:
+			if m.ae != io.EOF {
+				return nil, m.ae
+			}
+			if m.be != io.EOF {
+				return nil, m.be
+			}
+			return nil, io.EOF
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersWriters exercises the namespace under parallel
+// access (the checkpoint path writes per-partition files concurrently
+// with GS reads).
+func TestConcurrentReadersWriters(t *testing.T) {
+	fs := newFS(t, 3, Options{BlockSize: 512, Replication: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(w)}, 3000)
+			path := fmt.Sprintf("/ckpt/part-%d", w)
+			for i := 0; i < 10; i++ {
+				if err := fs.WriteFile(path, data); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := fs.ReadFile(path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, data) {
+					t.Errorf("worker %d: corrupted read", w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fs.List("/ckpt/"); len(got) != 8 {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestWriterRespectsRemovalMidWrite(t *testing.T) {
+	fs := newFS(t, 1, Options{BlockSize: 64})
+	w, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Completing the write must fail rather than resurrect the file.
+	if _, err := w.Write(bytes.Repeat([]byte{1}, 100)); err == nil {
+		if err := w.Close(); err == nil {
+			t.Fatal("write to removed file succeeded")
+		}
+	}
+}

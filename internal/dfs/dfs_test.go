@@ -1,0 +1,158 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newFS(t *testing.T, nodes int, opts Options) *FileSystem {
+	t.Helper()
+	base := t.TempDir()
+	var dns []*Datanode
+	for i := 0; i < nodes; i++ {
+		dns = append(dns, &Datanode{
+			Name: fmt.Sprintf("dn%d", i+1),
+			Dir:  filepath.Join(base, fmt.Sprintf("dn%d", i+1)),
+		})
+	}
+	fs, err := New(dns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 3, Options{BlockSize: 1024, Replication: 2})
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.WriteFile("/graphs/webmap", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/graphs/webmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	sz, err := fs.Size("/graphs/webmap")
+	if err != nil || sz != int64(len(data)) {
+		t.Fatalf("size %d err %v", sz, err)
+	}
+}
+
+func TestSmallAndEmptyFiles(t *testing.T) {
+	fs := newFS(t, 2, Options{BlockSize: 1 << 20})
+	if err := fs.WriteFile("/a", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a")
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("%q %v", got, err)
+	}
+	got, err = fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestOverwriteReplacesContent(t *testing.T) {
+	fs := newFS(t, 2, Options{BlockSize: 64})
+	if err := fs.WriteFile("/f", bytes.Repeat([]byte("a"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil || string(got) != "short" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	fs := newFS(t, 3, Options{BlockSize: 512, Replication: 2})
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := fs.WriteFile("/ckpt/vertex", data); err != nil {
+		t.Fatal(err)
+	}
+	// Take down one node; every block still has a live replica.
+	fs.SetNodeDown("dn2", true)
+	got, err := fs.ReadFile("/ckpt/vertex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read mismatch")
+	}
+}
+
+func TestReadFailsWhenAllReplicasDown(t *testing.T) {
+	fs := newFS(t, 2, Options{BlockSize: 512, Replication: 1})
+	if err := fs.WriteFile("/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetNodeDown("dn1", true)
+	fs.SetNodeDown("dn2", true)
+	if _, err := fs.ReadFile("/f"); err == nil {
+		t.Fatal("expected read failure with all replicas down")
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	fs := newFS(t, 1, Options{})
+	for _, p := range []string{"/jobs/1/out", "/jobs/2/out", "/other"} {
+		if err := fs.WriteFile(p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("/jobs/")
+	if len(got) != 2 || got[0] != "/jobs/1/out" || got[1] != "/jobs/2/out" {
+		t.Fatalf("list: %v", got)
+	}
+	if err := fs.Remove("/jobs/1/out"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/jobs/1/out") {
+		t.Fatal("file still exists after remove")
+	}
+	if _, err := fs.Open("/jobs/1/out"); err == nil {
+		t.Fatal("open of removed file must fail")
+	}
+}
+
+func TestBlockLocationsReportLiveness(t *testing.T) {
+	fs := newFS(t, 3, Options{BlockSize: 100, Replication: 2})
+	if err := fs.WriteFile("/f", make([]byte, 450)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 5 {
+		t.Fatalf("expected 5 blocks, got %d", len(locs))
+	}
+	for i, l := range locs {
+		if len(l) != 2 {
+			t.Fatalf("block %d: %d replicas", i, len(l))
+		}
+	}
+	fs.SetNodeDown("dn1", true)
+	locs, _ = fs.BlockLocations("/f")
+	for _, l := range locs {
+		for _, n := range l {
+			if n == "dn1" {
+				t.Fatal("down node listed as location")
+			}
+		}
+	}
+}

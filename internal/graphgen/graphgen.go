@@ -1,0 +1,339 @@
+// Package graphgen generates the synthetic stand-ins for the paper's
+// evaluation datasets (Section 7.1): Webmap-like directed power-law
+// graphs (Table 3) and BTC-like near-uniform-degree undirected graphs
+// (Table 4), plus the random-walk down-sampling and deep-copy scale-up
+// the paper used to produce the size ladder. Generation is fully
+// deterministic given a seed.
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// Graph is an in-memory adjacency representation used by the generators
+// and the baseline engines' loaders.
+type Graph struct {
+	// Adj maps vertex id to its (sorted) out-neighbor list.
+	Adj map[uint64][]uint64
+	// Weights, when non-nil, parallels Adj with edge weights.
+	Weights map[uint64][]float32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Adj) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, e := range g.Adj {
+		n += len(e)
+	}
+	return n
+}
+
+// AvgDegree returns edges per vertex.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumVertices())
+}
+
+// VertexIDs returns all ids in ascending order.
+func (g *Graph) VertexIDs() []uint64 {
+	ids := make([]uint64, 0, len(g.Adj))
+	for id := range g.Adj {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Webmap generates a directed graph with a Zipf-like out-degree
+// distribution and preferential attachment of destinations, echoing a
+// web crawl's structure: a few huge hubs, many low-degree pages.
+func Webmap(n int, avgDegree float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Adj: make(map[uint64][]uint64, n)}
+	if n == 0 {
+		return g
+	}
+	// Zipf out-degrees scaled to hit the requested average.
+	zipf := rand.NewZipf(rng, 1.3, 2.0, uint64(maxInt(4*int(avgDegree), 16)))
+	degrees := make([]int, n)
+	total := 0
+	for i := range degrees {
+		degrees[i] = int(zipf.Uint64())
+		total += degrees[i]
+	}
+	want := int(avgDegree * float64(n))
+	if total > 0 && want > 0 {
+		scale := float64(want) / float64(total)
+		total = 0
+		for i := range degrees {
+			degrees[i] = int(math.Round(float64(degrees[i]) * scale))
+			total += degrees[i]
+		}
+	}
+	// Preferential attachment for destinations: sample skewed toward
+	// low ids (established pages).
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		seen := map[uint64]bool{}
+		var edges []uint64
+		for d := 0; d < degrees[i]; d++ {
+			// Square a uniform sample to skew toward low ids.
+			u := rng.Float64()
+			dest := uint64(u*u*float64(n)) + 1
+			if dest == id || seen[dest] || dest > uint64(n) {
+				continue
+			}
+			seen[dest] = true
+			edges = append(edges, dest)
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+		g.Adj[id] = edges
+	}
+	return g
+}
+
+// BTC generates an undirected graph (both edge directions present) with
+// near-uniform degree and unit-ish weights, echoing the Billion Triple
+// Challenge semantic graph's flat degree profile (avg degree 8.94 at
+// every sample size in Table 4).
+func BTC(n int, avgDegree float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{
+		Adj:     make(map[uint64][]uint64, n),
+		Weights: make(map[uint64][]float32, n),
+	}
+	if n == 0 {
+		return g
+	}
+	adj := make(map[uint64]map[uint64]bool, n)
+	for i := 1; i <= n; i++ {
+		adj[uint64(i)] = map[uint64]bool{}
+	}
+	// A Hamiltonian-ish chain guarantees few large components, then
+	// random edges to reach the target degree.
+	for i := 1; i < n; i++ {
+		adj[uint64(i)][uint64(i+1)] = true
+		adj[uint64(i+1)][uint64(i)] = true
+	}
+	undirected := int(avgDegree*float64(n)/2) - (n - 1)
+	for e := 0; e < undirected; e++ {
+		a := uint64(rng.Intn(n) + 1)
+		b := uint64(rng.Intn(n) + 1)
+		if a == b {
+			continue
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for id, set := range adj {
+		edges := make([]uint64, 0, len(set))
+		for d := range set {
+			edges = append(edges, d)
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+		ws := make([]float32, len(edges))
+		for i := range ws {
+			ws[i] = 1.0 + float32(mixU64(uint64(seed), id^edges[i])%100)/100.0
+		}
+		g.Adj[id] = edges
+		g.Weights[id] = ws
+	}
+	return g
+}
+
+// Chain generates a directed path graph 1→2→…→n plus `branches` extra
+// chains hanging off random vertices — the De Bruijn-like single-path
+// topology the path-merging algorithm collapses.
+func Chain(n int, branches int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Adj: make(map[uint64][]uint64, n)}
+	for i := 1; i <= n; i++ {
+		if i < n {
+			g.Adj[uint64(i)] = []uint64{uint64(i + 1)}
+		} else {
+			g.Adj[uint64(i)] = nil
+		}
+	}
+	next := uint64(n + 1)
+	for b := 0; b < branches; b++ {
+		attach := uint64(rng.Intn(n) + 1)
+		length := 2 + rng.Intn(4)
+		g.Adj[attach] = append(g.Adj[attach], next)
+		sort.Slice(g.Adj[attach], func(i, j int) bool { return g.Adj[attach][i] < g.Adj[attach][j] })
+		for i := 0; i < length; i++ {
+			if i == length-1 {
+				g.Adj[next] = nil
+			} else {
+				g.Adj[next] = []uint64{next + 1}
+			}
+			next++
+		}
+	}
+	return g
+}
+
+// RandomWalkSample down-samples g to roughly targetVertices via random
+// walks with restart (the paper's sampling method for Table 3), keeping
+// induced edges.
+func RandomWalkSample(g *Graph, targetVertices int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	ids := g.VertexIDs()
+	if len(ids) == 0 || targetVertices <= 0 {
+		return &Graph{Adj: map[uint64][]uint64{}}
+	}
+	keep := map[uint64]bool{}
+	cur := ids[rng.Intn(len(ids))]
+	for len(keep) < targetVertices && len(keep) < len(ids) {
+		keep[cur] = true
+		nbrs := g.Adj[cur]
+		if len(nbrs) == 0 || rng.Float64() < 0.15 {
+			cur = ids[rng.Intn(len(ids))]
+			continue
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+	}
+	out := &Graph{Adj: make(map[uint64][]uint64, len(keep))}
+	if g.Weights != nil {
+		out.Weights = make(map[uint64][]float32, len(keep))
+	}
+	for id := range keep {
+		var edges []uint64
+		var ws []float32
+		for i, d := range g.Adj[id] {
+			if keep[d] {
+				edges = append(edges, d)
+				if g.Weights != nil {
+					ws = append(ws, g.Weights[id][i])
+				}
+			}
+		}
+		out.Adj[id] = edges
+		if g.Weights != nil {
+			out.Weights[id] = ws
+		}
+	}
+	return out
+}
+
+// ScaleUp deep-copies g `factor` times, renumbering each copy's vertices
+// with a fresh id range — exactly how the paper scaled up the BTC data.
+func ScaleUp(g *Graph, factor int) *Graph {
+	ids := g.VertexIDs()
+	var maxID uint64
+	if len(ids) > 0 {
+		maxID = ids[len(ids)-1]
+	}
+	out := &Graph{Adj: make(map[uint64][]uint64, len(ids)*factor)}
+	if g.Weights != nil {
+		out.Weights = make(map[uint64][]float32)
+	}
+	for c := 0; c < factor; c++ {
+		off := uint64(c) * (maxID + 1)
+		for id, edges := range g.Adj {
+			ne := make([]uint64, len(edges))
+			for i, d := range edges {
+				ne[i] = d + off
+			}
+			out.Adj[id+off] = ne
+			if g.Weights != nil {
+				out.Weights[id+off] = append([]float32(nil), g.Weights[id]...)
+			}
+		}
+	}
+	return out
+}
+
+// WriteText writes g in the engine's adjacency text format
+// ("vid<TAB>dest[:w] ...") and returns the byte count.
+func WriteText(w io.Writer, g *Graph) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	for _, id := range g.VertexIDs() {
+		line := FormatVertex(g, id)
+		n, err := bw.WriteString(line + "\n")
+		if err != nil {
+			return written, err
+		}
+		written += int64(n)
+	}
+	return written, bw.Flush()
+}
+
+// FormatVertex renders one adjacency line.
+func FormatVertex(g *Graph, id uint64) string {
+	buf := make([]byte, 0, 64)
+	buf = strconv.AppendUint(buf, id, 10)
+	buf = append(buf, '\t')
+	for i, d := range g.Adj[id] {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = strconv.AppendUint(buf, d, 10)
+		if g.Weights != nil {
+			buf = append(buf, ':')
+			buf = strconv.AppendFloat(buf, float64(g.Weights[id][i]), 'g', 4, 32)
+		}
+	}
+	return string(buf)
+}
+
+// Stats summarizes a generated dataset for the Table 3/4 rows.
+type Stats struct {
+	Name      string
+	Bytes     int64
+	Vertices  int
+	Edges     int
+	AvgDegree float64
+}
+
+// StatsOf computes the dataset statistics row.
+func StatsOf(name string, g *Graph) Stats {
+	var counter countWriter
+	_, _ = WriteText(&counter, g)
+	return Stats{
+		Name:      name,
+		Bytes:     counter.n,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		AvgDegree: g.AvgDegree(),
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func mixU64(a, b uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x ^ x>>31
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders a stats row like the paper's dataset tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s %10d bytes %12d vertices %14d edges  avg degree %.2f",
+		s.Name, s.Bytes, s.Vertices, s.Edges, s.AvgDegree)
+}

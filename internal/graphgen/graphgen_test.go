@@ -1,0 +1,216 @@
+package graphgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pregelix/pregel"
+)
+
+func TestWebmapDeterministic(t *testing.T) {
+	a := Webmap(500, 6, 42)
+	b := Webmap(500, 6, 42)
+	var ba, bb bytes.Buffer
+	WriteText(&ba, a)
+	WriteText(&bb, b)
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("webmap generation is not deterministic")
+	}
+	c := Webmap(500, 6, 43)
+	var bc bytes.Buffer
+	WriteText(&bc, c)
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWebmapShape(t *testing.T) {
+	g := Webmap(5000, 8, 1)
+	if g.NumVertices() != 5000 {
+		t.Fatalf("vertices: %d", g.NumVertices())
+	}
+	if d := g.AvgDegree(); d < 5 || d > 11 {
+		t.Fatalf("avg degree %f far from target 8", d)
+	}
+	// Power-law-ish: the max out-degree should greatly exceed the mean.
+	maxDeg := 0
+	for _, e := range g.Adj {
+		if len(e) > maxDeg {
+			maxDeg = len(e)
+		}
+	}
+	if maxDeg < int(3*g.AvgDegree()) {
+		t.Fatalf("max degree %d too uniform for a power-law graph", maxDeg)
+	}
+	// Edges must stay in range and be sorted without self-loops.
+	for id, edges := range g.Adj {
+		for i, d := range edges {
+			if d == id || d == 0 || d > 5000 {
+				t.Fatalf("bad edge %d->%d", id, d)
+			}
+			if i > 0 && edges[i-1] >= d {
+				t.Fatalf("edges of %d not sorted/deduped", id)
+			}
+		}
+	}
+}
+
+func TestBTCUndirectedAndWeighted(t *testing.T) {
+	g := BTC(800, 8.94, 2)
+	if g.NumVertices() != 800 {
+		t.Fatalf("vertices: %d", g.NumVertices())
+	}
+	if d := g.AvgDegree(); d < 7 || d < 0 || d > 11 {
+		t.Fatalf("avg degree %f far from 8.94", d)
+	}
+	// Undirected: every edge must exist in both directions with weights.
+	for id, edges := range g.Adj {
+		if len(g.Weights[id]) != len(edges) {
+			t.Fatalf("weights length mismatch at %d", id)
+		}
+		for _, d := range edges {
+			found := false
+			for _, back := range g.Adj[d] {
+				if back == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d has no reverse", id, d)
+			}
+		}
+	}
+}
+
+func TestBTCConnectedBackbone(t *testing.T) {
+	// The chain construction guarantees one big component.
+	g := BTC(300, 4, 9)
+	seen := map[uint64]bool{}
+	stack := []uint64{1}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		stack = append(stack, g.Adj[v]...)
+	}
+	if len(seen) != 300 {
+		t.Fatalf("BTC backbone disconnected: reached %d of 300", len(seen))
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	g := Chain(50, 5, 7)
+	if g.NumVertices() < 55 {
+		t.Fatalf("vertices: %d", g.NumVertices())
+	}
+	// The backbone is 1->2->...->50.
+	for i := uint64(1); i < 50; i++ {
+		found := false
+		for _, d := range g.Adj[i] {
+			if d == i+1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backbone edge %d->%d missing", i, i+1)
+		}
+	}
+}
+
+func TestRandomWalkSampleInduced(t *testing.T) {
+	g := Webmap(2000, 8, 5)
+	s := RandomWalkSample(g, 400, 6)
+	if s.NumVertices() < 350 || s.NumVertices() > 450 {
+		t.Fatalf("sample size %d", s.NumVertices())
+	}
+	// Induced-subgraph property: every sampled edge's endpoints exist in
+	// the sample and in the original graph.
+	for id, edges := range s.Adj {
+		if _, ok := g.Adj[id]; !ok {
+			t.Fatalf("sampled vertex %d not in original", id)
+		}
+		for _, d := range edges {
+			if _, ok := s.Adj[d]; !ok {
+				t.Fatalf("sampled edge %d->%d leaves the sample", id, d)
+			}
+		}
+	}
+}
+
+func TestScaleUpDisjointCopies(t *testing.T) {
+	g := BTC(100, 4, 3)
+	s := ScaleUp(g, 3)
+	if s.NumVertices() != 300 || s.NumEdges() != 3*g.NumEdges() {
+		t.Fatalf("scaleup: %d vertices %d edges", s.NumVertices(), s.NumEdges())
+	}
+	// Copies must not reference each other: edges stay within id ranges.
+	ids := g.VertexIDs()
+	maxID := ids[len(ids)-1]
+	for id, edges := range s.Adj {
+		copyIdx := id / (maxID + 1)
+		for _, d := range edges {
+			if d/(maxID+1) != copyIdx {
+				t.Fatalf("cross-copy edge %d->%d", id, d)
+			}
+		}
+	}
+	// Weights preserved.
+	if s.Weights == nil {
+		t.Fatal("weights dropped by scale-up")
+	}
+}
+
+func TestWriteTextParseRoundTrip(t *testing.T) {
+	g := BTC(60, 4, 8)
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 60 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, line := range lines {
+		v, err := pregel.ParseVertexLine(line, true)
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if len(v.Edges) != len(g.Adj[uint64(v.ID)]) {
+			t.Fatalf("vertex %d: edge count mismatch", v.ID)
+		}
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	g := Webmap(200, 5, 2)
+	st := StatsOf("test", g)
+	if st.Vertices != 200 || st.Edges != g.NumEdges() || st.Bytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "test") {
+		t.Fatalf("string: %q", st.String())
+	}
+}
+
+func TestGeneratorsQuickNeverPanic(t *testing.T) {
+	f := func(n uint16, seed int64) bool {
+		size := int(n % 300)
+		Webmap(size, 4, seed)
+		BTC(size, 4, seed)
+		Chain(size, int(n%10), seed)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+package hyracks
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"pregelix/internal/tuple"
+)
+
+// packet is the unit moved across a simulated network channel.
+type packet struct {
+	frame *tuple.Frame
+	eos   bool
+	err   error
+}
+
+func sendPacket(ctx context.Context, ch chan packet, p packet) error {
+	select {
+	case ch <- p:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// partitionSender is the sender endpoint of a partitioning connector: it
+// routes each tuple to the channel of its consumer partition, batching
+// into frames.
+type partitionSender struct {
+	ctx   context.Context
+	chans []chan packet
+	part  Partitioner
+	bufs  []*tuple.Frame
+
+	// Stats shared across all sender endpoints of the connector.
+	stats *ConnStats
+}
+
+// ConnStats aggregates traffic over one connector.
+type ConnStats struct {
+	mu     sync.Mutex
+	Tuples int64
+	Bytes  int64
+	Frames int64
+}
+
+func (s *ConnStats) add(tuples int, bytes int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Tuples += int64(tuples)
+	s.Bytes += int64(bytes)
+	s.Frames++
+	s.mu.Unlock()
+}
+
+func (s *partitionSender) Open() error {
+	s.bufs = make([]*tuple.Frame, len(s.chans))
+	for i := range s.bufs {
+		s.bufs[i] = tuple.NewFrame()
+	}
+	return nil
+}
+
+func (s *partitionSender) NextFrame(f *tuple.Frame) error {
+	n := len(s.chans)
+	for _, t := range f.Tuples {
+		p := 0
+		if s.part != nil {
+			p = s.part(t, n)
+		}
+		if p < 0 || p >= n {
+			return fmt.Errorf("connector: partitioner returned %d of %d", p, n)
+		}
+		if s.bufs[p].Append(t) {
+			if err := s.flush(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *partitionSender) flush(p int) error {
+	f := s.bufs[p]
+	if f.Len() == 0 {
+		return nil
+	}
+	s.stats.add(f.Len(), f.Bytes())
+	if err := sendPacket(s.ctx, s.chans[p], packet{frame: f}); err != nil {
+		return err
+	}
+	s.bufs[p] = tuple.NewFrame()
+	return nil
+}
+
+func (s *partitionSender) Close() error {
+	for p := range s.chans {
+		if err := s.flush(p); err != nil {
+			return err
+		}
+		if err := sendPacket(s.ctx, s.chans[p], packet{eos: true}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *partitionSender) Fail(err error) {
+	for p := range s.chans {
+		// Best effort: the job context is being cancelled anyway.
+		select {
+		case s.chans[p] <- packet{err: err}:
+		case <-s.ctx.Done():
+		default:
+		}
+	}
+}
+
+// materializingWriter implements the sender-side materializing pipelined
+// policy: frames are spooled to a node-local temp file while a pump
+// goroutine forwards them to the wrapped writer.
+type materializingWriter struct {
+	ctx   context.Context
+	node  *NodeController
+	path  string
+	inner FrameWriter
+
+	sp      *spool
+	done    chan struct{}
+	pumpErr error
+}
+
+func newMaterializingWriter(ctx context.Context, node *NodeController, path string, inner FrameWriter) *materializingWriter {
+	return &materializingWriter{ctx: ctx, node: node, path: path, inner: inner}
+}
+
+func (m *materializingWriter) Open() error {
+	sp, err := newSpool(m.path)
+	if err != nil {
+		return err
+	}
+	m.sp = sp
+	m.done = make(chan struct{})
+	go m.pump()
+	return nil
+}
+
+func (m *materializingWriter) pump() {
+	defer close(m.done)
+	if err := m.inner.Open(); err != nil {
+		m.pumpErr = err
+		return
+	}
+	r, err := m.sp.newReader()
+	if err != nil {
+		m.pumpErr = err
+		m.inner.Fail(err)
+		return
+	}
+	defer r.close()
+	for {
+		select {
+		case <-m.ctx.Done():
+			m.pumpErr = m.ctx.Err()
+			m.inner.Fail(m.pumpErr)
+			return
+		default:
+		}
+		f, err := r.next()
+		if err == io.EOF {
+			m.pumpErr = m.inner.Close()
+			return
+		}
+		if err != nil {
+			m.pumpErr = err
+			m.inner.Fail(err)
+			return
+		}
+		m.node.AddIOBytes(int64(f.Bytes()))
+		if err := m.inner.NextFrame(f); err != nil {
+			m.pumpErr = err
+			m.inner.Fail(err)
+			return
+		}
+	}
+}
+
+func (m *materializingWriter) NextFrame(f *tuple.Frame) error {
+	m.node.AddIOBytes(int64(f.Bytes()))
+	return m.sp.writeFrame(f)
+}
+
+func (m *materializingWriter) Close() error {
+	m.sp.closeWrite(nil)
+	<-m.done
+	m.sp.remove()
+	return m.pumpErr
+}
+
+func (m *materializingWriter) Fail(err error) {
+	m.sp.closeWrite(err)
+	<-m.done
+	m.sp.remove()
+}
+
+// runPlainReceiver drains a shared channel into the consumer runtime,
+// waiting for one EOS per sender.
+func runPlainReceiver(ctx context.Context, rt PushRuntime, ch chan packet, senders int) error {
+	if err := rt.Open(); err != nil {
+		rt.Fail(err)
+		return err
+	}
+	remaining := senders
+	for remaining > 0 {
+		select {
+		case <-ctx.Done():
+			rt.Fail(ctx.Err())
+			return ctx.Err()
+		case pkt := <-ch:
+			switch {
+			case pkt.err != nil:
+				rt.Fail(pkt.err)
+				return pkt.err
+			case pkt.eos:
+				remaining--
+			default:
+				if err := rt.NextFrame(pkt.frame); err != nil {
+					rt.Fail(err)
+					return err
+				}
+			}
+		}
+	}
+	return rt.Close()
+}
+
+// senderStream adapts one sender's channel into a pull iterator for the
+// merging receiver.
+type senderStream struct {
+	ch  chan packet
+	cur *tuple.Frame
+	idx int
+	eos bool
+}
+
+// advance positions the stream at its next tuple; ok=false at EOS.
+func (s *senderStream) advance(ctx context.Context) (tuple.Tuple, bool, error) {
+	for {
+		if s.eos {
+			return nil, false, nil
+		}
+		if s.cur != nil && s.idx < s.cur.Len() {
+			t := s.cur.Tuples[s.idx]
+			s.idx++
+			return t, true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case pkt := <-s.ch:
+			if pkt.err != nil {
+				return nil, false, pkt.err
+			}
+			if pkt.eos {
+				s.eos = true
+				return nil, false, nil
+			}
+			s.cur, s.idx = pkt.frame, 0
+		}
+	}
+}
+
+type mergeItem struct {
+	t      tuple.Tuple
+	stream *senderStream
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	cmp   tuple.Comparator
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.items[i].t, h.items[j].t) < 0 }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)         { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// runMergingReceiver merges the sorted per-sender streams by cmp and
+// feeds the consumer runtime a globally sorted stream. This is the
+// receiver side of the m-to-n partitioning merging connector: it waits
+// selectively on specific senders as dictated by the priority queue,
+// which is why the sender side must materialize (Section 5.3.1).
+func runMergingReceiver(ctx context.Context, rt PushRuntime, chans []chan packet, cmp tuple.Comparator) error {
+	if err := rt.Open(); err != nil {
+		rt.Fail(err)
+		return err
+	}
+	h := &mergeHeap{cmp: cmp}
+	for _, ch := range chans {
+		s := &senderStream{ch: ch}
+		t, ok, err := s.advance(ctx)
+		if err != nil {
+			rt.Fail(err)
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem{t, s})
+		}
+	}
+	heap.Init(h)
+	out := tuple.NewFrame()
+	for h.Len() > 0 {
+		item := h.items[0]
+		if out.Append(item.t) {
+			if err := rt.NextFrame(out); err != nil {
+				rt.Fail(err)
+				return err
+			}
+			out = tuple.NewFrame()
+		}
+		t, ok, err := item.stream.advance(ctx)
+		if err != nil {
+			rt.Fail(err)
+			return err
+		}
+		if ok {
+			h.items[0] = mergeItem{t, item.stream}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if out.Len() > 0 {
+		if err := rt.NextFrame(out); err != nil {
+			rt.Fail(err)
+			return err
+		}
+	}
+	return rt.Close()
+}

@@ -1,0 +1,296 @@
+package hyracks
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pregelix/internal/tuple"
+)
+
+// JobResult carries post-run information for the statistics collector.
+type JobResult struct {
+	// ConnStats maps "from->to" connector labels to traffic statistics.
+	ConnStats map[string]*ConnStats
+}
+
+// RunJob executes the job DAG on the cluster and blocks until completion.
+// The first task error cancels the whole job and is returned.
+func RunJob(ctx context.Context, cluster *Cluster, spec *JobSpec) (*JobResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	assign, err := Schedule(cluster, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ex := &executor{
+		spec:    spec,
+		assign:  assign,
+		ctx:     jctx,
+		cancel:  cancel,
+		result:  &JobResult{ConnStats: make(map[string]*ConnStats)},
+		inbound: make(map[string]*connState),
+	}
+
+	// Index connectors.
+	outbound := make(map[string]map[int]*connState) // opID -> port -> conn
+	fused := make(map[string]bool)
+	for _, cd := range spec.Conns {
+		cs := &connState{desc: cd, stats: &ConnStats{}}
+		ex.result.ConnStats[cd.From+"->"+cd.To] = cs.stats
+		if outbound[cd.From] == nil {
+			outbound[cd.From] = make(map[int]*connState)
+		}
+		if _, dup := outbound[cd.From][cd.FromPort]; dup {
+			return nil, fmt.Errorf("job %s: operator %s port %d has two connectors", spec.Name, cd.From, cd.FromPort)
+		}
+		outbound[cd.From][cd.FromPort] = cs
+		if cd.Type != OneToOne {
+			if _, dup := ex.inbound[cd.To]; dup {
+				return nil, fmt.Errorf("job %s: operator %s has two non-fused inbound connectors", spec.Name, cd.To)
+			}
+			ex.inbound[cd.To] = cs
+		} else {
+			if fused[cd.To] {
+				return nil, fmt.Errorf("job %s: operator %s fused twice", spec.Name, cd.To)
+			}
+			fused[cd.To] = true
+		}
+	}
+	ex.outbound = outbound
+
+	// Allocate channels for non-fused connectors.
+	for _, cs := range ex.inbound {
+		cs.allocate(spec)
+	}
+
+	// Launch receiver tasks, then source tasks.
+	for _, op := range spec.Ops {
+		if cs, ok := ex.inbound[op.ID]; ok {
+			ex.launchReceivers(op, cs)
+		}
+	}
+	for _, op := range spec.Ops {
+		if op.NewSource != nil {
+			ex.launchSources(op)
+		}
+	}
+
+	ex.wg.Wait()
+	if ex.err != nil {
+		return ex.result, ex.err
+	}
+	return ex.result, nil
+}
+
+type connState struct {
+	desc  *ConnectorDesc
+	stats *ConnStats
+	// plain: one channel per consumer partition.
+	plain []chan packet
+	// merge: [sender][consumer] channels.
+	merge   [][]chan packet
+	senders int
+}
+
+func (cs *connState) allocate(spec *JobSpec) {
+	from := spec.op(cs.desc.From)
+	to := spec.op(cs.desc.To)
+	buf := cs.desc.BufferFrames
+	if buf <= 0 {
+		buf = 8
+	}
+	cs.senders = from.Partitions
+	switch cs.desc.Type {
+	case MToNPartitioningMerging:
+		cs.merge = make([][]chan packet, from.Partitions)
+		for s := range cs.merge {
+			cs.merge[s] = make([]chan packet, to.Partitions)
+			for r := range cs.merge[s] {
+				cs.merge[s][r] = make(chan packet, buf)
+			}
+		}
+	default:
+		cs.plain = make([]chan packet, to.Partitions)
+		for r := range cs.plain {
+			cs.plain[r] = make(chan packet, buf)
+		}
+	}
+}
+
+type executor struct {
+	spec     *JobSpec
+	assign   map[string][]*NodeController
+	ctx      context.Context
+	cancel   context.CancelFunc
+	result   *JobResult
+	inbound  map[string]*connState
+	outbound map[string]map[int]*connState
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+}
+
+func (ex *executor) fail(err error) {
+	ex.errOnce.Do(func() {
+		ex.err = err
+		ex.cancel()
+	})
+}
+
+func (ex *executor) taskContext(op *OperatorDesc, partition int, node *NodeController) *TaskContext {
+	return &TaskContext{
+		Ctx:           ex.ctx,
+		Node:          node,
+		JobName:       ex.spec.Name,
+		OperatorID:    op.ID,
+		Partition:     partition,
+		NumPartitions: op.Partitions,
+	}
+}
+
+// buildOutputs constructs the output writer for every port of op's task.
+func (ex *executor) buildOutputs(op *OperatorDesc, partition int, node *NodeController) ([]FrameWriter, error) {
+	ports := ex.outbound[op.ID]
+	if len(ports) == 0 {
+		return nil, nil
+	}
+	maxPort := 0
+	for p := range ports {
+		if p > maxPort {
+			maxPort = p
+		}
+	}
+	outs := make([]FrameWriter, maxPort+1)
+	for i := range outs {
+		cs, ok := ports[i]
+		if !ok {
+			outs[i] = discardWriter{}
+			continue
+		}
+		w, err := ex.buildWriter(cs, op, partition, node)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = w
+	}
+	return outs, nil
+}
+
+// buildWriter creates the sender endpoint of a connector for one producer
+// task, fusing OneToOne consumers in-process.
+func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition int, node *NodeController) (FrameWriter, error) {
+	cd := cs.desc
+	toOp := ex.spec.op(cd.To)
+	switch cd.Type {
+	case OneToOne:
+		// Fuse: instantiate the consumer runtime in this task.
+		return ex.buildRuntime(toOp, partition, node)
+	case MToNPartitioning:
+		var w FrameWriter = &partitionSender{ctx: ex.ctx, chans: cs.plain, part: cd.Partitioner, stats: cs.stats}
+		if cd.Materialized {
+			w = newMaterializingWriter(ex.ctx, node,
+				node.TempPath(fmt.Sprintf("%s-%s-p%d-mat", ex.spec.Name, cd.From, partition)), w)
+		}
+		return w, nil
+	case MToNPartitioningMerging:
+		inner := &partitionSender{ctx: ex.ctx, chans: cs.merge[partition], part: cd.Partitioner, stats: cs.stats}
+		// Merging connectors always use the sender-side materializing
+		// pipelined policy to avoid deadlock (Section 5.3.1).
+		return newMaterializingWriter(ex.ctx, node,
+			node.TempPath(fmt.Sprintf("%s-%s-p%d-merge", ex.spec.Name, cd.From, partition)), inner), nil
+	case ReduceToOne:
+		toZero := func(_ tuple.Tuple, _ int) int { return 0 }
+		return &partitionSender{ctx: ex.ctx, chans: cs.plain, part: toZero, stats: cs.stats}, nil
+	default:
+		return nil, fmt.Errorf("job %s: unknown connector type %v", ex.spec.Name, cd.Type)
+	}
+}
+
+// buildRuntime instantiates op's PushRuntime for one partition with its
+// outputs wired (recursively fusing OneToOne chains).
+func (ex *executor) buildRuntime(op *OperatorDesc, partition int, node *NodeController) (PushRuntime, error) {
+	if op.NewRuntime == nil {
+		return nil, fmt.Errorf("job %s: operator %s used as consumer but has no NewRuntime", ex.spec.Name, op.ID)
+	}
+	tc := ex.taskContext(op, partition, node)
+	rt, err := op.NewRuntime(tc)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := ex.buildOutputs(op, partition, node)
+	if err != nil {
+		return nil, err
+	}
+	rt.SetOutputs(outs)
+	return rt, nil
+}
+
+func (ex *executor) launchReceivers(op *OperatorDesc, cs *connState) {
+	nodes := ex.assign[op.ID]
+	for p := 0; p < op.Partitions; p++ {
+		p, node := p, nodes[p]
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			if node.Failed() {
+				ex.fail(&NodeFailure{node.ID})
+				return
+			}
+			rt, err := ex.buildRuntime(op, p, node)
+			if err != nil {
+				ex.fail(err)
+				return
+			}
+			switch cs.desc.Type {
+			case MToNPartitioningMerging:
+				chans := make([]chan packet, cs.senders)
+				for s := 0; s < cs.senders; s++ {
+					chans[s] = cs.merge[s][p]
+				}
+				if err := runMergingReceiver(ex.ctx, rt, chans, cs.desc.Comparator); err != nil {
+					ex.fail(err)
+				}
+			default:
+				if err := runPlainReceiver(ex.ctx, rt, cs.plain[p], cs.senders); err != nil {
+					ex.fail(err)
+				}
+			}
+		}()
+	}
+}
+
+func (ex *executor) launchSources(op *OperatorDesc) {
+	nodes := ex.assign[op.ID]
+	for p := 0; p < op.Partitions; p++ {
+		p, node := p, nodes[p]
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			if node.Failed() {
+				ex.fail(&NodeFailure{node.ID})
+				return
+			}
+			tc := ex.taskContext(op, p, node)
+			src, err := op.NewSource(tc)
+			if err != nil {
+				ex.fail(err)
+				return
+			}
+			outs, err := ex.buildOutputs(op, p, node)
+			if err != nil {
+				ex.fail(err)
+				return
+			}
+			src.SetOutputs(outs)
+			if err := src.Run(ex.ctx); err != nil {
+				ex.fail(err)
+			}
+		}()
+	}
+}

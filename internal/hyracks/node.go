@@ -1,0 +1,190 @@
+// Package hyracks implements a shared-nothing, partitioned-parallel
+// dataflow engine modeled on Hyracks (Borkar et al., ICDE 2011), the
+// runtime platform Pregelix targets.
+//
+// Jobs are DAGs of operators and connectors. Operators consume input
+// partitions and produce output partitions via a push-based protocol
+// (Open/NextFrame/Fail/Close); connectors redistribute data between
+// operator partitions. A constraint-based scheduler assigns operator
+// partitions to node controllers, supporting the absolute location
+// constraints Pregelix uses for sticky iterative dataflows (vertex
+// partitions never move between supersteps).
+//
+// The "cluster" is simulated: each node controller is backed by its own
+// storage directory and metered memory budget, and connectors move frames
+// over Go channels standing in for the network. Every behaviour the paper
+// relies on — out-of-core operators, connector materialization policies,
+// sticky scheduling, node blacklisting — is real; only the wire protocol
+// is elided.
+package hyracks
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"pregelix/internal/memory"
+	"pregelix/internal/storage"
+)
+
+// NodeID names a simulated machine.
+type NodeID string
+
+// NodeController is one simulated worker machine: private disk directory,
+// metered RAM, and a buffer cache for its share of the Vertex relation.
+type NodeController struct {
+	ID  NodeID
+	Dir string
+
+	// RAM is the machine's physical memory budget. Subsystem budgets
+	// (buffer cache, operator buffers) are carved from it.
+	RAM *memory.Budget
+	// BufferCache serves index pages for this node's partitions; its
+	// budget defaults to 1/4 of RAM as in the paper's default setting.
+	BufferCache *storage.BufferCache
+	// OperatorMem is the per-operator-instance buffer budget (64 MB
+	// default in the paper; scaled down in simulation).
+	OperatorMem int64
+
+	failed  atomic.Bool
+	tmpSeq  atomic.Int64
+	ioBytes atomic.Int64
+}
+
+// NodeConfig configures a simulated machine.
+type NodeConfig struct {
+	// RAMBytes is the simulated physical memory (0 = unlimited).
+	RAMBytes int64
+	// BufferCacheBytes for access methods; defaults to RAMBytes/4.
+	BufferCacheBytes int64
+	// OperatorMemBytes per group-by/sort operator instance; defaults to
+	// RAMBytes/16 (or 64 MiB when RAM is unlimited).
+	OperatorMemBytes int64
+	// PageSize for the node's buffer cache.
+	PageSize int
+}
+
+// NewNodeController creates a node rooted at dir.
+func NewNodeController(id NodeID, dir string, cfg NodeConfig) (*NodeController, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	ram := memory.NewBudget(fmt.Sprintf("node-%s-ram", id), cfg.RAMBytes)
+	bcBytes := cfg.BufferCacheBytes
+	if bcBytes == 0 && cfg.RAMBytes > 0 {
+		bcBytes = cfg.RAMBytes / 4
+	}
+	opMem := cfg.OperatorMemBytes
+	if opMem == 0 {
+		if cfg.RAMBytes > 0 {
+			opMem = cfg.RAMBytes / 16
+		} else {
+			opMem = 64 << 20
+		}
+	}
+	bcBudget := ram.Child(fmt.Sprintf("node-%s-bufcache", id), bcBytes)
+	return &NodeController{
+		ID:          id,
+		Dir:         dir,
+		RAM:         ram,
+		BufferCache: storage.NewBufferCache(cfg.PageSize, bcBudget),
+		OperatorMem: opMem,
+	}, nil
+}
+
+// Fail marks the node as failed; tasks scheduled on it abort with a
+// *NodeFailure error at open time (failure injection for recovery tests).
+func (n *NodeController) Fail() { n.failed.Store(true) }
+
+// Heal clears the failure flag.
+func (n *NodeController) Heal() { n.failed.Store(false) }
+
+// Failed reports whether the node is down.
+func (n *NodeController) Failed() bool { return n.failed.Load() }
+
+// TempPath returns a fresh temporary file path on this node's disk.
+func (n *NodeController) TempPath(prefix string) string {
+	return filepath.Join(n.Dir, fmt.Sprintf("%s-%d.tmp", prefix, n.tmpSeq.Add(1)))
+}
+
+// AddIOBytes records bytes of temp-file I/O for statistics.
+func (n *NodeController) AddIOBytes(b int64) { n.ioBytes.Add(b) }
+
+// IOBytes returns accumulated temp-file I/O.
+func (n *NodeController) IOBytes() int64 { return n.ioBytes.Load() }
+
+// NodeFailure is returned by tasks on failed machines; the Pregelix
+// failure manager recognizes it as recoverable (unlike application
+// errors, which are forwarded to the user).
+type NodeFailure struct {
+	Node NodeID
+}
+
+func (e *NodeFailure) Error() string {
+	return fmt.Sprintf("hyracks: node %s failed", e.Node)
+}
+
+// Cluster is a set of node controllers plus the master's blacklist.
+type Cluster struct {
+	mu        sync.Mutex
+	nodes     []*NodeController
+	blacklist map[NodeID]bool
+}
+
+// NewCluster creates n nodes under baseDir, named nc1..ncN.
+func NewCluster(baseDir string, n int, cfg NodeConfig) (*Cluster, error) {
+	c := &Cluster{blacklist: make(map[NodeID]bool)}
+	for i := 0; i < n; i++ {
+		id := NodeID(fmt.Sprintf("nc%d", i+1))
+		nc, err := NewNodeController(id, filepath.Join(baseDir, string(id)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nc)
+	}
+	return c, nil
+}
+
+// Nodes returns all node controllers (including blacklisted ones).
+func (c *Cluster) Nodes() []*NodeController { return c.nodes }
+
+// Node returns the controller with the given id, or nil.
+func (c *Cluster) Node(id NodeID) *NodeController {
+	for _, n := range c.nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Blacklist marks a node as unusable for future scheduling.
+func (c *Cluster) Blacklist(id NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blacklist[id] = true
+}
+
+// LiveNodes returns nodes that are neither blacklisted nor failed.
+func (c *Cluster) LiveNodes() []*NodeController {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []*NodeController
+	for _, n := range c.nodes {
+		if !c.blacklist[n.ID] && !n.Failed() {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// AggregatedRAM returns the sum of all live nodes' RAM capacities.
+func (c *Cluster) AggregatedRAM() int64 {
+	var total int64
+	for _, n := range c.LiveNodes() {
+		total += n.RAM.Capacity()
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+package hyracks
+
+import (
+	"context"
+
+	"pregelix/internal/tuple"
+)
+
+// BaseRuntime provides output bookkeeping for PushRuntime implementations:
+// embed it and use Out/Emit/OpenOutputs/CloseOutputs/FailOutputs.
+type BaseRuntime struct {
+	Outs []FrameWriter
+	bufs []*tuple.Frame
+}
+
+// SetOutputs records the output writers (one per port).
+func (b *BaseRuntime) SetOutputs(outs []FrameWriter) {
+	b.Outs = outs
+	b.bufs = make([]*tuple.Frame, len(outs))
+	for i := range b.bufs {
+		b.bufs[i] = tuple.NewFrame()
+	}
+}
+
+// OpenOutputs opens every downstream writer.
+func (b *BaseRuntime) OpenOutputs() error {
+	for _, o := range b.Outs {
+		if err := o.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit buffers a tuple on an output port, flushing full frames.
+func (b *BaseRuntime) Emit(port int, t tuple.Tuple) error {
+	if port >= len(b.Outs) {
+		return nil // unconnected port: discard
+	}
+	if b.bufs[port].Append(t) {
+		return b.FlushPort(port)
+	}
+	return nil
+}
+
+// FlushPort pushes the buffered frame of one port downstream.
+func (b *BaseRuntime) FlushPort(port int) error {
+	f := b.bufs[port]
+	if f.Len() == 0 {
+		return nil
+	}
+	if err := b.Outs[port].NextFrame(f); err != nil {
+		return err
+	}
+	b.bufs[port] = tuple.NewFrame()
+	return nil
+}
+
+// CloseOutputs flushes remaining buffers and closes every writer.
+func (b *BaseRuntime) CloseOutputs() error {
+	var firstErr error
+	for i := range b.Outs {
+		if err := b.FlushPort(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, o := range b.Outs {
+		if err := o.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FailOutputs propagates failure downstream.
+func (b *BaseRuntime) FailOutputs(err error) {
+	for _, o := range b.Outs {
+		o.Fail(err)
+	}
+}
+
+// BaseSource provides the same helpers for SourceRuntime implementations.
+type BaseSource struct{ BaseRuntime }
+
+// discardWriter swallows frames written to unconnected ports.
+type discardWriter struct{}
+
+func (discardWriter) Open() error                    { return nil }
+func (discardWriter) NextFrame(f *tuple.Frame) error { return nil }
+func (discardWriter) Fail(err error)                 {}
+func (discardWriter) Close() error                   { return nil }
+
+// FuncSource adapts a function to a SourceRuntime; used by scans and
+// loaders. The function receives the output writers already opened.
+type FuncSource struct {
+	BaseSource
+	F func(ctx context.Context, b *BaseSource) error
+}
+
+// Run opens outputs, invokes F, then closes or fails outputs.
+func (s *FuncSource) Run(ctx context.Context) error {
+	if err := s.OpenOutputs(); err != nil {
+		s.FailOutputs(err)
+		return err
+	}
+	if err := s.F(ctx, &s.BaseSource); err != nil {
+		s.FailOutputs(err)
+		return err
+	}
+	return s.CloseOutputs()
+}
+
+// FuncRuntime adapts callbacks to a PushRuntime; used by simple
+// per-tuple transforms and sinks.
+type FuncRuntime struct {
+	BaseRuntime
+	OnOpen  func(b *BaseRuntime) error
+	OnTuple func(b *BaseRuntime, t tuple.Tuple) error
+	OnClose func(b *BaseRuntime) error
+	failed  bool
+}
+
+// Open opens downstream and invokes OnOpen.
+func (r *FuncRuntime) Open() error {
+	if err := r.OpenOutputs(); err != nil {
+		return err
+	}
+	if r.OnOpen != nil {
+		return r.OnOpen(&r.BaseRuntime)
+	}
+	return nil
+}
+
+// NextFrame applies OnTuple to each tuple.
+func (r *FuncRuntime) NextFrame(f *tuple.Frame) error {
+	if r.OnTuple == nil {
+		return nil
+	}
+	for _, t := range f.Tuples {
+		if err := r.OnTuple(&r.BaseRuntime, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fail propagates failure downstream.
+func (r *FuncRuntime) Fail(err error) {
+	r.failed = true
+	r.FailOutputs(err)
+}
+
+// Close finalizes via OnClose and closes downstream.
+func (r *FuncRuntime) Close() error {
+	if r.failed {
+		return nil
+	}
+	if r.OnClose != nil {
+		if err := r.OnClose(&r.BaseRuntime); err != nil {
+			r.FailOutputs(err)
+			return err
+		}
+	}
+	return r.CloseOutputs()
+}

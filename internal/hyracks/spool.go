@@ -1,0 +1,188 @@
+package hyracks
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pregelix/internal/tuple"
+)
+
+// spool implements the sender-side materializing pipelined policy
+// (Section 4 "Materialization policies"): the producing task appends
+// frames to a local temporary file while a pump goroutine concurrently
+// reads written data and forwards it to the network. Because the producer
+// never blocks on a receiver, merging receivers that consume their inputs
+// selectively cannot deadlock the job (Section 5.3.1).
+//
+// File format: a sequence of entries, each `u32 payloadLen` followed by
+// payloadLen bytes holding serialized tuples. `written` only advances at
+// entry boundaries, so the reader never observes a torn entry.
+type spool struct {
+	path string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	written int64
+	closed  bool
+	err     error
+
+	w  *os.File
+	bw *bufio.Writer
+	n  int64 // bytes buffered+written by writer
+}
+
+func newSpool(path string) (*spool, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spool: create %s: %w", path, err)
+	}
+	s := &spool{path: path, w: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// writeFrame appends one frame as a spool entry and publishes it.
+func (s *spool) writeFrame(f *tuple.Frame) error {
+	// Serialize payload first to learn its length.
+	var payload []byte
+	{
+		var buf writerBuf
+		for _, t := range f.Tuples {
+			if err := tuple.WriteTuple(&buf, t); err != nil {
+				return err
+			}
+		}
+		payload = buf.b
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := s.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(payload); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	s.n += int64(4 + len(payload))
+	s.mu.Lock()
+	s.written = s.n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+// closeWrite marks the stream complete (or failed when err != nil).
+func (s *spool) closeWrite(err error) {
+	if s.bw != nil {
+		s.bw.Flush()
+	}
+	if s.w != nil {
+		s.w.Close()
+		s.w = nil
+	}
+	s.mu.Lock()
+	s.closed = true
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// waitFor blocks until at least `upto` bytes are durable, the writer has
+// closed, or the stream failed. It returns the currently durable size.
+func (s *spool) waitFor(upto int64) (int64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.written < upto && !s.closed && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.written, s.closed, s.err
+}
+
+func (s *spool) remove() { os.Remove(s.path) }
+
+// spoolReader streams frames back out of a spool concurrently with the
+// writer.
+type spoolReader struct {
+	s        *spool
+	f        *os.File
+	consumed int64
+}
+
+func (s *spool) newReader() (*spoolReader, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("spool: open reader %s: %w", s.path, err)
+	}
+	return &spoolReader{s: s, f: f}, nil
+}
+
+// next returns the next frame, or (nil, io.EOF) after the writer closes
+// and all entries are drained.
+func (r *spoolReader) next() (*tuple.Frame, error) {
+	written, closed, err := r.s.waitFor(r.consumed + 4)
+	if err != nil {
+		return nil, err
+	}
+	if written < r.consumed+4 {
+		if closed {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("spool: short wait")
+	}
+	var hdr [4]byte
+	if _, err := r.f.ReadAt(hdr[:], r.consumed); err != nil {
+		return nil, err
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if _, _, err := r.s.waitFor(r.consumed + 4 + plen); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, plen)
+	if _, err := r.f.ReadAt(payload, r.consumed+4); err != nil {
+		return nil, err
+	}
+	r.consumed += 4 + plen
+	fr := tuple.NewFrame()
+	br := byteReader{b: payload}
+	for br.off < len(br.b) {
+		t, err := tuple.ReadTuple(&br)
+		if err != nil {
+			return nil, fmt.Errorf("spool: corrupt entry: %w", err)
+		}
+		fr.Append(t)
+	}
+	return fr, nil
+}
+
+func (r *spoolReader) close() { r.f.Close() }
+
+// writerBuf is a minimal growable io.Writer.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// byteReader is a minimal io.Reader over a slice.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,118 @@
+package hyracks
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pregelix/internal/tuple"
+)
+
+func TestSpoolConcurrentWriteRead(t *testing.T) {
+	sp, err := newSpool(filepath.Join(t.TempDir(), "s.spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			f := tuple.NewFrame()
+			f.Append(tuple.Tuple{tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("payload-%d", i))})
+			if err := sp.writeFrame(f); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		sp.closeWrite(nil)
+	}()
+
+	r, err := sp.newReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	for i := 0; i < frames; i++ {
+		f, err := r.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Len() != 1 || tuple.DecodeUint64(f.Tuples[0][0]) != uint64(i) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+	if _, err := r.next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	wg.Wait()
+	sp.remove()
+}
+
+func TestSpoolWriterErrorPropagates(t *testing.T) {
+	sp, err := newSpool(filepath.Join(t.TempDir(), "s.spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sp.newReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	boom := fmt.Errorf("producer died")
+	go sp.closeWrite(boom)
+	if _, err := r.next(); err == nil || err == io.EOF {
+		t.Fatalf("want producer error, got %v", err)
+	}
+}
+
+func TestSpoolEmptyStream(t *testing.T) {
+	sp, err := newSpool(filepath.Join(t.TempDir(), "s.spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.closeWrite(nil)
+	r, err := sp.newReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if _, err := r.next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSpoolMultiTupleFrames(t *testing.T) {
+	sp, err := newSpool(filepath.Join(t.TempDir(), "s.spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tuple.NewFrame()
+	for i := 0; i < 50; i++ {
+		f.Append(tuple.Tuple{tuple.EncodeUint64(uint64(i)), nil, []byte{byte(i)}})
+	}
+	if err := sp.writeFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	sp.closeWrite(nil)
+	r, err := sp.newReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	got, err := r.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("frame has %d tuples", got.Len())
+	}
+	for i, tp := range got.Tuples {
+		if tuple.DecodeUint64(tp[0]) != uint64(i) || len(tp) != 3 || tp[2][0] != byte(i) {
+			t.Fatalf("tuple %d corrupted: %v", i, tp)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package operators provides the data-parallel relational operators
+// Pregelix composes into physical plans: an external sort, the three
+// group-by implementations of Section 4 (sort-based, HashSort, and
+// preclustered), index-based outer joins, and helpers for two-stage
+// global aggregation.
+//
+// All operators are out-of-core capable: they meter their buffers against
+// the task's operator-memory budget and spill sorted runs to node-local
+// temporary files when it is exhausted, then merge the runs on close.
+package operators
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/memory"
+	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
+)
+
+// Combiner folds tuples that share a group key (field 0) into one
+// accumulated tuple. Implementations must be insensitive to input order
+// within a group (the paper's combine UDF contract).
+type Combiner interface {
+	// First starts an accumulator from the first tuple of a group. The
+	// returned tuple may alias t.
+	First(t tuple.Tuple) tuple.Tuple
+	// Add folds t into acc, returning the new accumulator.
+	Add(acc, t tuple.Tuple) tuple.Tuple
+}
+
+// GroupByKind selects a group-by implementation.
+type GroupByKind int
+
+const (
+	// SortGroupBy pushes aggregation into both the in-memory sort phase
+	// and the run-merge phase of an external sort.
+	SortGroupBy GroupByKind = iota
+	// HashSortGroupBy aggregates eagerly in a hash table, sorting only
+	// on spill/emit; it wins when the number of distinct keys is small.
+	HashSortGroupBy
+	// PreclusteredGroupBy assumes input already clustered by key and
+	// aggregates in a single streaming pass with O(1) state.
+	PreclusteredGroupBy
+)
+
+func (k GroupByKind) String() string {
+	switch k {
+	case SortGroupBy:
+		return "sort"
+	case HashSortGroupBy:
+		return "hashsort"
+	case PreclusteredGroupBy:
+		return "preclustered"
+	default:
+		return fmt.Sprintf("groupby(%d)", int(k))
+	}
+}
+
+// NewGroupByRuntime builds a group-by PushRuntime of the given kind.
+// combiner may be nil, in which case the operator degenerates to an
+// external sort (SortGroupBy/HashSortGroupBy) or a no-op pass-through
+// (PreclusteredGroupBy). Output is emitted on port 0 in ascending key
+// order for the sorting kinds, and in input order for preclustered.
+func NewGroupByRuntime(tc *hyracks.TaskContext, kind GroupByKind, combiner Combiner) hyracks.PushRuntime {
+	switch kind {
+	case PreclusteredGroupBy:
+		return &preclusteredGroupBy{combiner: combiner}
+	case HashSortGroupBy:
+		return &spillingGroupBy{tc: tc, combiner: combiner, hash: true}
+	default:
+		return &spillingGroupBy{tc: tc, combiner: combiner}
+	}
+}
+
+// NewExternalSortRuntime builds an external sort on field 0.
+func NewExternalSortRuntime(tc *hyracks.TaskContext) hyracks.PushRuntime {
+	return &spillingGroupBy{tc: tc}
+}
+
+// preclusteredGroupBy streams clustered input, folding adjacent tuples
+// with equal keys.
+type preclusteredGroupBy struct {
+	hyracks.BaseRuntime
+	combiner Combiner
+	acc      tuple.Tuple
+	failed   bool
+}
+
+func (g *preclusteredGroupBy) Open() error { return g.OpenOutputs() }
+
+func (g *preclusteredGroupBy) NextFrame(f *tuple.Frame) error {
+	for _, t := range f.Tuples {
+		if g.combiner == nil {
+			if err := g.Emit(0, t); err != nil {
+				return err
+			}
+			continue
+		}
+		if g.acc == nil {
+			g.acc = g.combiner.First(t)
+			continue
+		}
+		if bytes.Equal(g.acc[0], t[0]) {
+			g.acc = g.combiner.Add(g.acc, t)
+			continue
+		}
+		if err := g.Emit(0, g.acc); err != nil {
+			return err
+		}
+		g.acc = g.combiner.First(t)
+	}
+	return nil
+}
+
+func (g *preclusteredGroupBy) Fail(err error) {
+	g.failed = true
+	g.FailOutputs(err)
+}
+
+func (g *preclusteredGroupBy) Close() error {
+	if g.failed {
+		return nil
+	}
+	if g.acc != nil {
+		if err := g.Emit(0, g.acc); err != nil {
+			g.FailOutputs(err)
+			return err
+		}
+		g.acc = nil
+	}
+	return g.CloseOutputs()
+}
+
+// spillingGroupBy implements both the sort-based and HashSort group-bys
+// (and, with a nil combiner, a plain external sort). It accumulates
+// input against the task's operator-memory budget, spilling sorted
+// (combined) runs to disk, and merges runs with final combining on close.
+type spillingGroupBy struct {
+	hyracks.BaseRuntime
+	tc       *hyracks.TaskContext
+	combiner Combiner
+	hash     bool
+
+	budget *memory.Budget
+	// Sort-mode buffer.
+	buf []tuple.Tuple
+	// Hash-mode table: key -> accumulator.
+	table map[string]tuple.Tuple
+
+	runs   []*storage.RunFile
+	failed bool
+}
+
+func (g *spillingGroupBy) Open() error {
+	cap := g.tc.Node.OperatorMem
+	g.budget = g.tc.Node.RAM.Child(
+		fmt.Sprintf("groupby-%s-p%d", g.tc.OperatorID, g.tc.Partition), cap)
+	if g.hash && g.combiner != nil {
+		g.table = make(map[string]tuple.Tuple)
+	}
+	return g.OpenOutputs()
+}
+
+func (g *spillingGroupBy) NextFrame(f *tuple.Frame) error {
+	for _, t := range f.Tuples {
+		if err := g.add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *spillingGroupBy) add(t tuple.Tuple) error {
+	sz := int64(t.Size() + 48) // payload + per-tuple bookkeeping estimate
+	if !g.budget.TryAllocate(sz) {
+		if err := g.spill(); err != nil {
+			return err
+		}
+		if !g.budget.TryAllocate(sz) {
+			// A single tuple larger than the whole budget: admit it
+			// unmetered; it will be spilled on the next add.
+			sz = 0
+		}
+	}
+	if g.table != nil {
+		k := string(t[0])
+		if acc, ok := g.table[k]; ok {
+			old := int64(acc.Size())
+			acc = g.combiner.Add(acc, t)
+			g.table[k] = acc
+			// Adjust for accumulator growth, best effort.
+			delta := int64(acc.Size()) - old - int64(t.Size())
+			if delta > 0 {
+				g.budget.TryAllocate(delta)
+			}
+			g.budget.Release(sz)
+			return nil
+		}
+		g.table[k] = g.combiner.First(t)
+		return nil
+	}
+	g.buf = append(g.buf, t)
+	return nil
+}
+
+// sortedContents drains in-memory state into a sorted, combined slice.
+func (g *spillingGroupBy) sortedContents() []tuple.Tuple {
+	var ts []tuple.Tuple
+	if g.table != nil {
+		ts = make([]tuple.Tuple, 0, len(g.table))
+		for _, acc := range g.table {
+			ts = append(ts, acc)
+		}
+		g.table = make(map[string]tuple.Tuple)
+		sort.Slice(ts, func(i, j int) bool { return bytes.Compare(ts[i][0], ts[j][0]) < 0 })
+		return ts
+	}
+	ts = g.buf
+	g.buf = nil
+	sort.SliceStable(ts, func(i, j int) bool { return bytes.Compare(ts[i][0], ts[j][0]) < 0 })
+	if g.combiner == nil {
+		return ts
+	}
+	// Fold adjacent duplicates.
+	out := ts[:0]
+	for _, t := range ts {
+		if len(out) > 0 && bytes.Equal(out[len(out)-1][0], t[0]) {
+			out[len(out)-1] = g.combiner.Add(out[len(out)-1], t)
+			continue
+		}
+		out = append(out, g.combiner.First(t))
+	}
+	return out
+}
+
+func (g *spillingGroupBy) spill() error {
+	ts := g.sortedContents()
+	if len(ts) == 0 {
+		return nil
+	}
+	rf, err := storage.CreateRunFile(g.tc.TempPath(fmt.Sprintf("run%d", len(g.runs))))
+	if err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if err := rf.Append(t); err != nil {
+			return err
+		}
+	}
+	if err := rf.CloseWrite(); err != nil {
+		return err
+	}
+	g.tc.Node.AddIOBytes(rf.PayloadBytes())
+	g.runs = append(g.runs, rf)
+	g.budget.Release(g.budget.Used())
+	return nil
+}
+
+func (g *spillingGroupBy) Fail(err error) {
+	g.failed = true
+	g.cleanup()
+	g.FailOutputs(err)
+}
+
+func (g *spillingGroupBy) cleanup() {
+	for _, r := range g.runs {
+		r.Delete()
+	}
+	g.runs = nil
+	if g.budget != nil {
+		g.budget.Release(g.budget.Used())
+	}
+}
+
+func (g *spillingGroupBy) Close() error {
+	if g.failed {
+		return nil
+	}
+	err := g.finish()
+	g.cleanup()
+	if err != nil {
+		g.FailOutputs(err)
+		return err
+	}
+	return g.CloseOutputs()
+}
+
+func (g *spillingGroupBy) finish() error {
+	mem := g.sortedContents()
+	if len(g.runs) == 0 {
+		for _, t := range mem {
+			if err := g.Emit(0, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Merge spilled runs plus the in-memory remainder.
+	srcs := make([]TupleSource, 0, len(g.runs)+1)
+	for _, r := range g.runs {
+		rr, err := storage.OpenRunReader(r.Path())
+		if err != nil {
+			return err
+		}
+		defer rr.Close()
+		srcs = append(srcs, rr)
+	}
+	if len(mem) > 0 {
+		srcs = append(srcs, NewSliceSource(mem))
+	}
+	return MergeSources(srcs, g.combiner, func(t tuple.Tuple) error {
+		return g.Emit(0, t)
+	})
+}
+
+// TupleSource is a pull iterator over a (usually sorted) tuple stream;
+// Next returns io.EOF at the end. *storage.RunReader satisfies it.
+type TupleSource interface {
+	Next() (tuple.Tuple, error)
+}
+
+// SliceSource adapts an in-memory tuple slice to a TupleSource.
+type SliceSource struct {
+	ts []tuple.Tuple
+	i  int
+}
+
+// NewSliceSource wraps ts (which must already be in the desired order).
+func NewSliceSource(ts []tuple.Tuple) *SliceSource { return &SliceSource{ts: ts} }
+
+// Next returns the next tuple or io.EOF.
+func (s *SliceSource) Next() (tuple.Tuple, error) {
+	if s.i >= len(s.ts) {
+		return nil, io.EOF
+	}
+	t := s.ts[s.i]
+	s.i++
+	return t, nil
+}
+
+type srcHeap struct {
+	items []srcItem
+}
+
+type srcItem struct {
+	t   tuple.Tuple
+	src TupleSource
+}
+
+func (h *srcHeap) Len() int           { return len(h.items) }
+func (h *srcHeap) Less(i, j int) bool { return bytes.Compare(h.items[i].t[0], h.items[j].t[0]) < 0 }
+func (h *srcHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *srcHeap) Push(x any)         { h.items = append(h.items, x.(srcItem)) }
+func (h *srcHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// MergeSources k-way merges sorted sources, folding equal keys through
+// the combiner (when non-nil), and emits in ascending key order.
+func MergeSources(srcs []TupleSource, combiner Combiner, emit func(tuple.Tuple) error) error {
+	h := &srcHeap{}
+	for _, s := range srcs {
+		t, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		h.items = append(h.items, srcItem{t, s})
+	}
+	heap.Init(h)
+	var acc tuple.Tuple
+	for h.Len() > 0 {
+		item := h.items[0]
+		t, err := item.src.Next()
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if err == io.EOF {
+			heap.Pop(h)
+		} else {
+			h.items[0] = srcItem{t, item.src}
+			heap.Fix(h, 0)
+		}
+		cur := item.t
+		switch {
+		case combiner == nil:
+			if err := emit(cur); err != nil {
+				return err
+			}
+		case acc == nil:
+			acc = combiner.First(cur)
+		case bytes.Equal(acc[0], cur[0]):
+			acc = combiner.Add(acc, cur)
+		default:
+			if err := emit(acc); err != nil {
+				return err
+			}
+			acc = combiner.First(cur)
+		}
+	}
+	if acc != nil {
+		return emit(acc)
+	}
+	return nil
+}

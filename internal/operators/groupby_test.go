@@ -1,0 +1,208 @@
+package operators
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/tuple"
+)
+
+// sumCombiner folds (key, float64) tuples by summing payloads.
+type sumCombiner struct{}
+
+func (sumCombiner) First(t tuple.Tuple) tuple.Tuple {
+	return tuple.Tuple{t[0], append([]byte(nil), t[1]...)}
+}
+
+func (sumCombiner) Add(acc, t tuple.Tuple) tuple.Tuple {
+	s := tuple.DecodeFloat64(acc[1]) + tuple.DecodeFloat64(t[1])
+	acc[1] = tuple.EncodeFloat64(s)
+	return acc
+}
+
+// runGroupBy pushes tuples through a group-by runtime on a single-node
+// cluster and returns what it emitted.
+func runGroupBy(t *testing.T, kind GroupByKind, combiner Combiner, opMem int64, in []tuple.Tuple) []tuple.Tuple {
+	t.Helper()
+	cluster, err := hyracks.NewCluster(t.TempDir(), 1, hyracks.NodeConfig{
+		PageSize: 1024, OperatorMemBytes: opMem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var out []tuple.Tuple
+	spec := &hyracks.JobSpec{Name: fmt.Sprintf("gb-%v", kind)}
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID: "src", Partitions: 1,
+		NewSource: func(tc *hyracks.TaskContext) (hyracks.SourceRuntime, error) {
+			return &hyracks.FuncSource{F: func(ctx context.Context, b *hyracks.BaseSource) error {
+				for _, tp := range in {
+					if err := b.Emit(0, tp); err != nil {
+						return err
+					}
+				}
+				return nil
+			}}, nil
+		},
+	})
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID: "gb", Partitions: 1,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return NewGroupByRuntime(tc, kind, combiner), nil
+		},
+	})
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID: "sink", Partitions: 1,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return &hyracks.FuncRuntime{OnTuple: func(_ *hyracks.BaseRuntime, tp tuple.Tuple) error {
+				mu.Lock()
+				out = append(out, tp.Clone())
+				mu.Unlock()
+				return nil
+			}}, nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{From: "src", To: "gb", Type: hyracks.OneToOne})
+	spec.Connect(&hyracks.ConnectorDesc{From: "gb", To: "sink", Type: hyracks.OneToOne})
+	if _, err := hyracks.RunJob(context.Background(), cluster, spec); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func makeMsgs(rng *rand.Rand, n, keys int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.Tuple{
+			tuple.EncodeUint64(uint64(rng.Intn(keys))),
+			tuple.EncodeFloat64(float64(rng.Intn(10))),
+		}
+	}
+	return ts
+}
+
+func expectedSums(in []tuple.Tuple) map[uint64]float64 {
+	m := map[uint64]float64{}
+	for _, t := range in {
+		m[tuple.DecodeUint64(t[0])] += tuple.DecodeFloat64(t[1])
+	}
+	return m
+}
+
+func checkGrouped(t *testing.T, out []tuple.Tuple, want map[uint64]float64, wantSorted bool) {
+	t.Helper()
+	if len(out) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(out), len(want))
+	}
+	var prev []byte
+	for _, tp := range out {
+		k := tuple.DecodeUint64(tp[0])
+		if got := tuple.DecodeFloat64(tp[1]); got != want[k] {
+			t.Fatalf("key %d: sum %v want %v", k, got, want[k])
+		}
+		if wantSorted && prev != nil && bytes.Compare(prev, tp[0]) >= 0 {
+			t.Fatal("output not sorted")
+		}
+		prev = tp[0]
+	}
+}
+
+func TestSortGroupByInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := makeMsgs(rng, 5000, 200)
+	out := runGroupBy(t, SortGroupBy, sumCombiner{}, 64<<20, in)
+	checkGrouped(t, out, expectedSums(in), true)
+}
+
+func TestSortGroupBySpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := makeMsgs(rng, 20000, 5000)
+	out := runGroupBy(t, SortGroupBy, sumCombiner{}, 16<<10, in) // 16 KiB: forces many runs
+	checkGrouped(t, out, expectedSums(in), true)
+}
+
+func TestHashSortGroupByInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := makeMsgs(rng, 5000, 50)
+	out := runGroupBy(t, HashSortGroupBy, sumCombiner{}, 64<<20, in)
+	checkGrouped(t, out, expectedSums(in), true)
+}
+
+func TestHashSortGroupBySpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := makeMsgs(rng, 20000, 6000)
+	out := runGroupBy(t, HashSortGroupBy, sumCombiner{}, 16<<10, in)
+	checkGrouped(t, out, expectedSums(in), true)
+}
+
+func TestPreclusteredGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := makeMsgs(rng, 3000, 100)
+	sort.SliceStable(in, func(i, j int) bool { return bytes.Compare(in[i][0], in[j][0]) < 0 })
+	out := runGroupBy(t, PreclusteredGroupBy, sumCombiner{}, 64<<20, in)
+	checkGrouped(t, out, expectedSums(in), true)
+}
+
+func TestExternalSortNoCombiner(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := makeMsgs(rng, 10000, 3000)
+	out := runGroupBy(t, SortGroupBy, nil, 8<<10, in)
+	if len(out) != len(in) {
+		t.Fatalf("sort dropped tuples: %d vs %d", len(out), len(in))
+	}
+	for i := 1; i < len(out); i++ {
+		if bytes.Compare(out[i-1][0], out[i][0]) > 0 {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	for _, kind := range []GroupByKind{SortGroupBy, HashSortGroupBy, PreclusteredGroupBy} {
+		out := runGroupBy(t, kind, sumCombiner{}, 1<<20, nil)
+		if len(out) != 0 {
+			t.Fatalf("%v: empty input produced %d tuples", kind, len(out))
+		}
+	}
+}
+
+// TestGroupByStrategiesAgree: the three implementations must produce
+// identical grouped output on identical inputs (preclustered gets its
+// input pre-sorted). This is the key plan-equivalence invariant behind
+// Figure 7's interchangeable strategies.
+func TestGroupByStrategiesAgree(t *testing.T) {
+	check := func(seed int64, tiny bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := makeMsgs(rng, 2000+rng.Intn(2000), 1+rng.Intn(500))
+		opMem := int64(64 << 20)
+		if tiny {
+			opMem = 8 << 10
+		}
+		sortOut := runGroupBy(t, SortGroupBy, sumCombiner{}, opMem, in)
+		hashOut := runGroupBy(t, HashSortGroupBy, sumCombiner{}, opMem, in)
+		clustered := make([]tuple.Tuple, len(in))
+		copy(clustered, in)
+		sort.SliceStable(clustered, func(i, j int) bool { return bytes.Compare(clustered[i][0], clustered[j][0]) < 0 })
+		preOut := runGroupBy(t, PreclusteredGroupBy, sumCombiner{}, opMem, clustered)
+		if len(sortOut) != len(hashOut) || len(sortOut) != len(preOut) {
+			t.Fatalf("seed %d: group counts differ: %d/%d/%d", seed, len(sortOut), len(hashOut), len(preOut))
+		}
+		for i := range sortOut {
+			if !tuple.Equal(sortOut[i], hashOut[i]) || !tuple.Equal(sortOut[i], preOut[i]) {
+				t.Fatalf("seed %d: strategies disagree at %d", seed, i)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

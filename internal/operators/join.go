@@ -1,0 +1,166 @@
+package operators
+
+import (
+	"bytes"
+	"io"
+
+	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
+)
+
+// JoinEmitter receives one joined row of the Msg ⟕⟖ Vertex join
+// (Figure 2). Exactly one of the three Pregel cases holds per call:
+//
+//   - inner:       msg != nil, vertex != nil
+//   - left-outer:  msg != nil, vertex == nil (message to missing vertex)
+//   - right-outer: msg == nil, vertex != nil (vertex without messages)
+//
+// vid is always set. The emitter must not retain msg/vertex slices.
+type JoinEmitter func(vid, msg, vertex []byte) error
+
+// FullOuterIndexJoin merges the sorted combined-message stream (tuples of
+// (vid, payload)) with a full scan of the vertex index, emitting every
+// join case. This is the left plan of Figure 8: a single merge pass that
+// reads every vertex, suited to algorithms where most vertices are live
+// (e.g. PageRank).
+func FullOuterIndexJoin(msgs TupleSource, idx storage.Index, emit JoinEmitter) error {
+	cur, err := idx.ScanFrom(nil)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+
+	mt, merr := msgs.Next()
+	vk, vv, vok := cur.Next()
+	for {
+		switch {
+		case merr == nil && vok:
+			c := bytes.Compare(mt[0], vk)
+			switch {
+			case c == 0: // inner
+				if err := emit(vk, mt[1], vv); err != nil {
+					return err
+				}
+				mt, merr = msgs.Next()
+				vk, vv, vok = cur.Next()
+			case c < 0: // message without vertex
+				if err := emit(mt[0], mt[1], nil); err != nil {
+					return err
+				}
+				mt, merr = msgs.Next()
+			default: // vertex without message
+				if err := emit(vk, nil, vv); err != nil {
+					return err
+				}
+				vk, vv, vok = cur.Next()
+			}
+		case merr == nil: // vertices exhausted
+			if err := emit(mt[0], mt[1], nil); err != nil {
+				return err
+			}
+			mt, merr = msgs.Next()
+		case vok: // messages exhausted
+			if merr != io.EOF {
+				return merr
+			}
+			if err := emit(vk, nil, vv); err != nil {
+				return err
+			}
+			vk, vv, vok = cur.Next()
+		default:
+			if merr != nil && merr != io.EOF {
+				return merr
+			}
+			return cur.Err()
+		}
+	}
+}
+
+// ProbeJoinLeftOuter probes the vertex index once per input tuple
+// (vid, payload), emitting inner or left-outer rows. Tuples whose payload
+// is the NullMsg marker (nil) represent live vertices from the Vid index
+// rather than real messages. This is the right plan of Figure 8: it
+// avoids scanning vertices that are neither live nor addressed, suited to
+// message-sparse algorithms (e.g. SSSP).
+func ProbeJoinLeftOuter(in TupleSource, idx storage.Index, emit JoinEmitter) error {
+	for {
+		t, err := in.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		v, err := idx.Search(t[0])
+		if err == storage.ErrNotFound {
+			if err := emit(t[0], t[1], nil); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(t[0], t[1], v); err != nil {
+			return err
+		}
+	}
+}
+
+// ChooseMerge merges two sorted tuple streams by field 0; when both carry
+// the same key, the tuple from a wins and b's is discarded. It implements
+// the Merge(choose()) operator of the left-outer-join plan: a is the
+// combined Msg stream, b the Vid null-message stream, so a vertex that is
+// both live and addressed is processed once with its real messages.
+func ChooseMerge(a, b TupleSource, emit func(tuple.Tuple) error) error {
+	at, aerr := a.Next()
+	bt, berr := b.Next()
+	for {
+		switch {
+		case aerr == nil && berr == nil:
+			c := bytes.Compare(at[0], bt[0])
+			switch {
+			case c == 0:
+				if err := emit(at); err != nil {
+					return err
+				}
+				at, aerr = a.Next()
+				bt, berr = b.Next()
+			case c < 0:
+				if err := emit(at); err != nil {
+					return err
+				}
+				at, aerr = a.Next()
+			default:
+				if err := emit(bt); err != nil {
+					return err
+				}
+				bt, berr = b.Next()
+			}
+		case aerr == nil:
+			if berr != io.EOF {
+				return berr
+			}
+			if err := emit(at); err != nil {
+				return err
+			}
+			at, aerr = a.Next()
+		case berr == nil:
+			if aerr != io.EOF {
+				return aerr
+			}
+			if err := emit(bt); err != nil {
+				return err
+			}
+			bt, berr = b.Next()
+		default:
+			if aerr != io.EOF {
+				return aerr
+			}
+			if berr != io.EOF {
+				return berr
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package reference
+
+import (
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+func TestSSSPKnownDistances(t *testing.T) {
+	// 1 -2-> 2 -3-> 3, 1 -10-> 3 (weights); shortest 1->3 = 5.
+	g := &graphgen.Graph{
+		Adj:     map[uint64][]uint64{1: {2, 3}, 2: {3}, 3: nil},
+		Weights: map[uint64][]float32{1: {2, 10}, 2: {3}, 3: nil},
+	}
+	job := algorithms.NewSSSPJob("sssp", "", "", 1)
+	e := NewFromGraph(job, g)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	dist := func(id uint64) float64 {
+		return float64(*e.Vertices()[id].Value.(*pregel.Double))
+	}
+	if dist(1) != 0 || dist(2) != 2 || dist(3) != 5 {
+		t.Fatalf("distances: %v %v %v", dist(1), dist(2), dist(3))
+	}
+}
+
+func TestCCLabels(t *testing.T) {
+	g := &graphgen.Graph{Adj: map[uint64][]uint64{
+		1: {2}, 2: {1}, 3: {4}, 4: {3}, 5: nil,
+	}}
+	job := algorithms.NewConnectedComponentsJob("cc", "", "")
+	e := NewFromGraph(job, g)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	label := func(id uint64) int64 {
+		return int64(*e.Vertices()[id].Value.(*pregel.Int64))
+	}
+	if label(1) != 1 || label(2) != 1 || label(3) != 3 || label(4) != 3 || label(5) != 5 {
+		t.Fatalf("labels: %d %d %d %d %d", label(1), label(2), label(3), label(4), label(5))
+	}
+}
+
+func TestTerminationOnAllHalted(t *testing.T) {
+	g := &graphgen.Graph{Adj: map[uint64][]uint64{1: nil, 2: nil}}
+	job := &pregel.Job{
+		Name: "noop",
+		Program: pregel.ProgramFunc(func(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+			v.VoteToHalt()
+			return nil
+		}),
+		Codec: pregel.Codec{NewVertexValue: pregel.NewInt64, NewMessage: pregel.NewInt64},
+	}
+	e := NewFromGraph(job, g)
+	steps, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("noop program took %d supersteps", steps)
+	}
+}
+
+func TestMaxSuperstepsCap(t *testing.T) {
+	g := &graphgen.Graph{Adj: map[uint64][]uint64{1: nil}}
+	job := &pregel.Job{
+		Name: "loop",
+		Program: pregel.ProgramFunc(func(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+			m := pregel.Int64(1)
+			ctx.SendMessage(v.ID, &m) // self-loop forever
+			return nil
+		}),
+		Codec:         pregel.Codec{NewVertexValue: pregel.NewInt64, NewMessage: pregel.NewInt64},
+		MaxSupersteps: 7,
+	}
+	e := NewFromGraph(job, g)
+	steps, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 7 {
+		t.Fatalf("cap at 7, ran %d", steps)
+	}
+}
+
+func TestMessageCreatesVertex(t *testing.T) {
+	g := &graphgen.Graph{Adj: map[uint64][]uint64{1: nil}}
+	job := &pregel.Job{
+		Name: "ghost",
+		Program: pregel.ProgramFunc(func(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+			if ctx.Superstep() == 1 && v.ID == 1 {
+				m := pregel.Int64(5)
+				ctx.SendMessage(77, &m)
+			}
+			v.VoteToHalt()
+			return nil
+		}),
+		Codec: pregel.Codec{NewVertexValue: pregel.NewInt64, NewMessage: pregel.NewInt64},
+	}
+	e := NewFromGraph(job, g)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Vertices()[77]; !ok {
+		t.Fatal("vertex 77 not materialized")
+	}
+}

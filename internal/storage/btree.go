@@ -1,0 +1,559 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BTree is a disk-resident B+tree over a BufferCache file, keyed by opaque
+// byte strings in raw byte order. It supports point lookups, upserts,
+// deletes, ordered range scans, and bulk loading from a sorted stream.
+//
+// Vertex partitions are stored in B-trees keyed by the big-endian vid
+// (Section 5.2): the index full outer join merges a sorted message stream
+// against a leaf scan, and the index left outer join probes it per
+// message.
+//
+// A BTree instance is not safe for concurrent use; in the simulated
+// cluster each graph partition is owned by exactly one operator task at a
+// time, matching Hyracks' partition-per-task execution.
+type BTree struct {
+	bc  *BufferCache
+	fid FileID
+
+	// Stats.
+	Lookups, Inserts, Deletes int64
+}
+
+const btreeMagic = 0xB7EE0001
+
+var (
+	// ErrNotFound is returned by Search when the key is absent.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrKeyTooLarge is returned when a record cannot fit in a page.
+	ErrKeyTooLarge = errors.New("storage: record too large for page")
+)
+
+// CreateBTree initializes an empty B+tree in a fresh file at path.
+func CreateBTree(bc *BufferCache, path string) (*BTree, error) {
+	fid, err := bc.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{bc: bc, fid: fid}
+	if bc.NumPages(fid) > 0 {
+		return nil, fmt.Errorf("btree: create on non-empty file %s", path)
+	}
+	meta, err := bc.NewPage(fid)
+	if err != nil {
+		return nil, err
+	}
+	root, err := bc.NewPage(fid)
+	if err != nil {
+		bc.Unpin(meta, true)
+		return nil, err
+	}
+	initNodePage(root.Data, 0)
+	rootPN := root.PageNum()
+	bc.Unpin(root, true)
+	binary.LittleEndian.PutUint32(meta.Data[0:], btreeMagic)
+	binary.LittleEndian.PutUint32(meta.Data[4:], uint32(rootPN))
+	bc.Unpin(meta, true)
+	return t, nil
+}
+
+// OpenBTree opens an existing B+tree file.
+func OpenBTree(bc *BufferCache, path string) (*BTree, error) {
+	fid, err := bc.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{bc: bc, fid: fid}
+	meta, err := bc.Pin(fid, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer bc.Unpin(meta, false)
+	if binary.LittleEndian.Uint32(meta.Data[0:]) != btreeMagic {
+		return nil, fmt.Errorf("btree: bad magic in %s", path)
+	}
+	return t, nil
+}
+
+// Close flushes the tree's pages and releases the file handle.
+func (t *BTree) Close() error { return t.bc.CloseFile(t.fid) }
+
+// Drop closes the tree and deletes its file.
+func (t *BTree) Drop() error { return t.bc.DeleteFile(t.fid) }
+
+// Path returns the backing file path.
+func (t *BTree) Path() string { return t.bc.Path(t.fid) }
+
+func (t *BTree) root() (PageNum, error) {
+	meta, err := t.bc.Pin(t.fid, 0)
+	if err != nil {
+		return 0, err
+	}
+	pn := PageNum(binary.LittleEndian.Uint32(meta.Data[4:]))
+	t.bc.Unpin(meta, false)
+	return pn, nil
+}
+
+func (t *BTree) setRoot(pn PageNum) error {
+	meta, err := t.bc.Pin(t.fid, 0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[4:], uint32(pn))
+	t.bc.Unpin(meta, true)
+	return nil
+}
+
+// Search returns a copy of the value stored under key, or ErrNotFound.
+func (t *BTree) Search(key []byte) ([]byte, error) {
+	t.Lookups++
+	pn, err := t.root()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		fr, err := t.bc.Pin(t.fid, pn)
+		if err != nil {
+			return nil, err
+		}
+		p := nodePage{fr.Data}
+		if p.level() > 0 {
+			next := p.childFor(key)
+			t.bc.Unpin(fr, false)
+			pn = next
+			continue
+		}
+		i, ok := p.search(key)
+		if !ok {
+			t.bc.Unpin(fr, false)
+			return nil, ErrNotFound
+		}
+		v := append([]byte(nil), p.value(i)...)
+		t.bc.Unpin(fr, false)
+		return v, nil
+	}
+}
+
+// Insert upserts key=value.
+func (t *BTree) Insert(key, value []byte) error {
+	t.Inserts++
+	if 4+len(key)+len(value) > t.bc.PageSize-pageHeaderSize-2 {
+		return fmt.Errorf("%w: key %d + value %d vs page %d",
+			ErrKeyTooLarge, len(key), len(value), t.bc.PageSize)
+	}
+	rootPN, err := t.root()
+	if err != nil {
+		return err
+	}
+	splitKey, newPN, err := t.insert(rootPN, key, value)
+	if err != nil {
+		return err
+	}
+	if newPN == invalidPage {
+		return nil
+	}
+	// Root split: create a new interior root.
+	oldRoot, err := t.bc.Pin(t.fid, rootPN)
+	if err != nil {
+		return err
+	}
+	level := nodePage{oldRoot.Data}.level()
+	t.bc.Unpin(oldRoot, false)
+	nr, err := t.bc.NewPage(t.fid)
+	if err != nil {
+		return err
+	}
+	np := initNodePage(nr.Data, level+1)
+	np.setLeftmost(rootPN)
+	np.interiorInsertAt(0, splitKey, newPN)
+	newRoot := nr.PageNum()
+	t.bc.Unpin(nr, true)
+	return t.setRoot(newRoot)
+}
+
+// insert descends from pn; on split it returns the separator key and the
+// new right sibling's page number.
+func (t *BTree) insert(pn PageNum, key, value []byte) ([]byte, PageNum, error) {
+	fr, err := t.bc.Pin(t.fid, pn)
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	p := nodePage{fr.Data}
+
+	if p.level() > 0 {
+		child := p.childFor(key)
+		// Release during recursion: single-writer discipline makes this
+		// safe, and it keeps pin depth constant.
+		t.bc.Unpin(fr, false)
+		sk, npn, err := t.insert(child, key, value)
+		if err != nil || npn == invalidPage {
+			return nil, invalidPage, err
+		}
+		fr, err = t.bc.Pin(t.fid, pn)
+		if err != nil {
+			return nil, invalidPage, err
+		}
+		p = nodePage{fr.Data}
+		i, _ := p.search(sk)
+		rec := 4 + len(sk) + 4
+		if p.hasRoomFor(rec) {
+			if p.freeSpace() < rec+2 {
+				p.compact()
+			}
+			p.interiorInsertAt(i, sk, npn)
+			t.bc.Unpin(fr, true)
+			return nil, invalidPage, nil
+		}
+		// Split interior node.
+		promoted, right, err := t.splitInterior(p, i, sk, npn)
+		t.bc.Unpin(fr, true)
+		return promoted, right, err
+	}
+
+	// Leaf.
+	i, exact := p.search(key)
+	if exact {
+		old := p.recordSize(i)
+		newSize := 4 + len(key) + len(value)
+		if newSize <= old {
+			// Overwrite in place.
+			off := p.slotOff(i)
+			binary.LittleEndian.PutUint16(p.data[off:], uint16(len(key)))
+			binary.LittleEndian.PutUint16(p.data[off+2:], uint16(len(value)))
+			copy(p.data[off+4:], key)
+			copy(p.data[off+4+len(key):], value)
+			t.bc.Unpin(fr, true)
+			return nil, invalidPage, nil
+		}
+		p.removeSlot(i)
+	}
+	rec := 4 + len(key) + len(value)
+	if p.hasRoomFor(rec) {
+		if p.freeSpace() < rec+2 {
+			p.compact()
+		}
+		p.leafInsertAt(i, key, value)
+		t.bc.Unpin(fr, true)
+		return nil, invalidPage, nil
+	}
+	sk, right, err := t.splitLeaf(p, i, key, value)
+	t.bc.Unpin(fr, true)
+	return sk, right, err
+}
+
+// splitLeaf moves the upper half of p to a fresh right sibling and inserts
+// (key,value) into the correct half. Returns the first key of the right
+// page as separator.
+func (t *BTree) splitLeaf(p nodePage, insertAt int, key, value []byte) ([]byte, PageNum, error) {
+	n := p.count()
+	mid := n / 2
+	if mid == 0 {
+		mid = 1
+	}
+	nr, err := t.bc.NewPage(t.fid)
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	rp := initNodePage(nr.Data, 0)
+	for i := mid; i < n; i++ {
+		rp.leafInsertAt(rp.count(), p.key(i), p.value(i))
+	}
+	// Truncate left half.
+	p.setCount(mid)
+	p.compact()
+	rp.setNext(p.next())
+	p.setNext(nr.PageNum())
+
+	if insertAt >= mid {
+		j, _ := rp.search(key)
+		if rp.freeSpace() < 4+len(key)+len(value)+2 {
+			rp.compact()
+		}
+		rp.leafInsertAt(j, key, value)
+	} else {
+		if p.freeSpace() < 4+len(key)+len(value)+2 {
+			p.compact()
+		}
+		p.leafInsertAt(insertAt, key, value)
+	}
+	sep := append([]byte(nil), rp.key(0)...)
+	right := nr.PageNum()
+	t.bc.Unpin(nr, true)
+	return sep, right, nil
+}
+
+// splitInterior splits interior page p while inserting (key,child) at slot
+// insertAt. The middle key is promoted (not kept in either half).
+func (t *BTree) splitInterior(p nodePage, insertAt int, key []byte, child PageNum) ([]byte, PageNum, error) {
+	n := p.count()
+	type entry struct {
+		key   []byte
+		child PageNum
+	}
+	entries := make([]entry, 0, n+1)
+	for i := 0; i < n; i++ {
+		entries = append(entries, entry{append([]byte(nil), p.key(i)...), p.child(i)})
+	}
+	entries = append(entries[:insertAt], append([]entry{{append([]byte(nil), key...), child}}, entries[insertAt:]...)...)
+
+	mid := len(entries) / 2
+	promoted := entries[mid]
+
+	nr, err := t.bc.NewPage(t.fid)
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	rp := initNodePage(nr.Data, p.level())
+	rp.setLeftmost(promoted.child)
+	for _, e := range entries[mid+1:] {
+		rp.interiorInsertAt(rp.count(), e.key, e.child)
+	}
+
+	left := entries[:mid]
+	leftmost := p.leftmost()
+	initNodePage(p.data, rp.level())
+	p.setLeftmost(leftmost)
+	for _, e := range left {
+		p.interiorInsertAt(p.count(), e.key, e.child)
+	}
+	right := nr.PageNum()
+	t.bc.Unpin(nr, true)
+	return promoted.key, right, nil
+}
+
+// Delete removes key if present; it reports whether a record was removed.
+// Deletion is lazy (no page merging), as in many production B-trees.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	t.Deletes++
+	pn, err := t.root()
+	if err != nil {
+		return false, err
+	}
+	for {
+		fr, err := t.bc.Pin(t.fid, pn)
+		if err != nil {
+			return false, err
+		}
+		p := nodePage{fr.Data}
+		if p.level() > 0 {
+			next := p.childFor(key)
+			t.bc.Unpin(fr, false)
+			pn = next
+			continue
+		}
+		i, ok := p.search(key)
+		if !ok {
+			t.bc.Unpin(fr, false)
+			return false, nil
+		}
+		p.removeSlot(i)
+		t.bc.Unpin(fr, true)
+		return true, nil
+	}
+}
+
+// Cursor iterates leaf records in ascending key order.
+type Cursor struct {
+	t    *BTree
+	fr   *PageFrame
+	slot int
+	err  error
+}
+
+// ScanFrom positions a cursor at the first key >= start (nil start means
+// the smallest key). Callers must Close the cursor.
+func (t *BTree) ScanFrom(start []byte) (*Cursor, error) {
+	pn, err := t.root()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		fr, err := t.bc.Pin(t.fid, pn)
+		if err != nil {
+			return nil, err
+		}
+		p := nodePage{fr.Data}
+		if p.level() > 0 {
+			var next PageNum
+			if start == nil {
+				next = p.leftmost()
+			} else {
+				next = p.childFor(start)
+			}
+			t.bc.Unpin(fr, false)
+			pn = next
+			continue
+		}
+		slot := 0
+		if start != nil {
+			slot, _ = p.search(start)
+		}
+		c := &Cursor{t: t, fr: fr, slot: slot}
+		return c, nil
+	}
+}
+
+// Next returns the next key/value pair (copies), or ok=false at the end.
+func (c *Cursor) Next() (key, value []byte, ok bool) {
+	for {
+		if c.fr == nil {
+			return nil, nil, false
+		}
+		p := nodePage{c.fr.Data}
+		if c.slot < p.count() {
+			k := append([]byte(nil), p.key(c.slot)...)
+			v := append([]byte(nil), p.value(c.slot)...)
+			c.slot++
+			return k, v, true
+		}
+		next := p.next()
+		c.t.bc.Unpin(c.fr, false)
+		c.fr = nil
+		if next == invalidPage {
+			return nil, nil, false
+		}
+		fr, err := c.t.bc.Pin(c.t.fid, next)
+		if err != nil {
+			c.err = err
+			return nil, nil, false
+		}
+		c.fr = fr
+		c.slot = 0
+	}
+}
+
+// Err returns any I/O error encountered during iteration.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's pinned page.
+func (c *Cursor) Close() {
+	if c.fr != nil {
+		c.t.bc.Unpin(c.fr, false)
+		c.fr = nil
+	}
+}
+
+// BulkLoader builds a B-tree bottom-up from a strictly ascending key
+// stream, packing leaves to the configured fill factor. It is used to
+// (re)build the Vid live-vertex index each superstep in the left outer
+// join plan, and to reload checkpoints.
+type BulkLoader struct {
+	t        *BTree
+	fill     float64
+	cur      *PageFrame
+	curPage  nodePage
+	lastKey  []byte
+	children []loaderEntry // (firstKey, page) of completed leaves
+	count    int64
+}
+
+type loaderEntry struct {
+	key []byte
+	pn  PageNum
+}
+
+// NewBulkLoader starts a bulk load into the (empty) tree. fill in (0,1].
+func (t *BTree) NewBulkLoader(fill float64) (*BulkLoader, error) {
+	if fill <= 0 || fill > 1 {
+		fill = 1.0
+	}
+	return &BulkLoader{t: t, fill: fill}, nil
+}
+
+// Add appends a record; keys must arrive in strictly ascending order.
+func (l *BulkLoader) Add(key, value []byte) error {
+	if l.lastKey != nil && bytes.Compare(key, l.lastKey) <= 0 {
+		return fmt.Errorf("btree bulkload: keys out of order: %x after %x", key, l.lastKey)
+	}
+	rec := 4 + len(key) + len(value)
+	if rec > l.t.bc.PageSize-pageHeaderSize-2 {
+		return ErrKeyTooLarge
+	}
+	if l.cur == nil {
+		fr, err := l.t.bc.NewPage(l.t.fid)
+		if err != nil {
+			return err
+		}
+		l.cur = fr
+		l.curPage = initNodePage(fr.Data, 0)
+		l.children = append(l.children, loaderEntry{append([]byte(nil), key...), fr.PageNum()})
+	}
+	limit := int(float64(l.t.bc.PageSize-pageHeaderSize) * l.fill)
+	if l.curPage.freeSpace() < rec+2 || (l.curPage.count() > 0 && l.curPage.freeOff()+rec > limit) {
+		// Start a new leaf, chaining it.
+		fr, err := l.t.bc.NewPage(l.t.fid)
+		if err != nil {
+			return err
+		}
+		np := initNodePage(fr.Data, 0)
+		l.curPage.setNext(fr.PageNum())
+		l.t.bc.Unpin(l.cur, true)
+		l.cur, l.curPage = fr, np
+		l.children = append(l.children, loaderEntry{append([]byte(nil), key...), fr.PageNum()})
+	}
+	l.curPage.leafInsertAt(l.curPage.count(), key, value)
+	l.lastKey = append(l.lastKey[:0], key...)
+	l.count++
+	return nil
+}
+
+// Finish builds the interior levels and installs the new root. The tree
+// must have been empty (fresh from CreateBTree) when loading began.
+func (l *BulkLoader) Finish() error {
+	if l.cur != nil {
+		l.t.bc.Unpin(l.cur, true)
+		l.cur = nil
+	}
+	if len(l.children) == 0 {
+		return nil // empty load: keep the pre-created empty root leaf
+	}
+	level := 1
+	entries := l.children
+	for len(entries) > 1 {
+		var parents []loaderEntry
+		var fr *PageFrame
+		var p nodePage
+		for i, e := range entries {
+			if fr == nil {
+				nf, err := l.t.bc.NewPage(l.t.fid)
+				if err != nil {
+					return err
+				}
+				fr, p = nf, initNodePage(nf.Data, level)
+				p.setLeftmost(e.pn)
+				parents = append(parents, loaderEntry{e.key, nf.PageNum()})
+				continue
+			}
+			rec := 4 + len(e.key) + 4
+			if p.freeSpace() < rec+2 {
+				l.t.bc.Unpin(fr, true)
+				nf, err := l.t.bc.NewPage(l.t.fid)
+				if err != nil {
+					return err
+				}
+				fr, p = nf, initNodePage(nf.Data, level)
+				p.setLeftmost(e.pn)
+				parents = append(parents, loaderEntry{e.key, nf.PageNum()})
+				continue
+			}
+			p.interiorInsertAt(p.count(), e.key, e.pn)
+			_ = i
+		}
+		if fr != nil {
+			l.t.bc.Unpin(fr, true)
+		}
+		entries = parents
+		level++
+	}
+	return l.t.setRoot(entries[0].pn)
+}
+
+// Count returns the number of records loaded.
+func (l *BulkLoader) Count() int64 { return l.count }

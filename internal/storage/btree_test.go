@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pregelix/internal/memory"
+	"pregelix/internal/tuple"
+)
+
+func newTestCache(t *testing.T, pages int) *BufferCache {
+	t.Helper()
+	var budget *memory.Budget
+	if pages > 0 {
+		budget = memory.NewBudget("test", int64(pages*1024))
+	}
+	return NewBufferCache(1024, budget)
+}
+
+func newTestBTree(t *testing.T, pages int) *BTree {
+	t.Helper()
+	bc := newTestCache(t, pages)
+	bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), "t.btree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bt.Close() })
+	return bt
+}
+
+func TestBTreeInsertSearch(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	for i := 0; i < 1000; i++ {
+		k := tuple.EncodeUint64(uint64(i * 7 % 1000))
+		v := []byte(fmt.Sprintf("value-%d", i*7%1000))
+		if err := bt.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v, err := bt.Search(tuple.EncodeUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		want := fmt.Sprintf("value-%d", i)
+		if string(v) != want {
+			t.Fatalf("key %d: got %q want %q", i, v, want)
+		}
+	}
+	if _, err := bt.Search(tuple.EncodeUint64(5000)); err != ErrNotFound {
+		t.Fatalf("missing key: got %v want ErrNotFound", err)
+	}
+}
+
+func TestBTreeUpdateGrowsValue(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	k := tuple.EncodeUint64(42)
+	if err := bt.Insert(k, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 500)
+	if err := bt.Insert(k, big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := bt.Search(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, big) {
+		t.Fatal("updated value mismatch")
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 2 {
+		ok, err := bt.Delete(tuple.EncodeUint64(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, err := bt.Search(tuple.EncodeUint64(uint64(i)))
+		if i%2 == 0 && err != ErrNotFound {
+			t.Fatalf("deleted key %d still present (err=%v)", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept key %d missing: %v", i, err)
+		}
+	}
+	ok, err := bt.Delete(tuple.EncodeUint64(9999))
+	if err != nil || ok {
+		t.Fatalf("delete of absent key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBTreeScan(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(i*2)), tuple.EncodeUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var prev []byte
+	count := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %d", count)
+		}
+		prev = k
+		count++
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if count != n {
+		t.Fatalf("scan returned %d records, want %d", count, n)
+	}
+
+	// Mid-range scan.
+	c2, err := bt.ScanFrom(tuple.EncodeUint64(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	k, _, ok := c2.Next()
+	if !ok || tuple.DecodeUint64(k) != 1002 {
+		t.Fatalf("ScanFrom(1001) first key = %v ok=%v, want 1002", k, ok)
+	}
+}
+
+func TestBTreeTinyBufferCacheSpills(t *testing.T) {
+	// With only 8 cacheable pages the tree must still work correctly,
+	// exercising eviction + writeback.
+	bc := newTestCache(t, 8)
+	bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), "spill.btree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bc.Evictions == 0 {
+		t.Fatal("expected evictions with a tiny buffer cache")
+	}
+	for i := 0; i < n; i += 37 {
+		v, err := bt.Search(tuple.EncodeUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: wrong value %q", i, v)
+		}
+	}
+}
+
+func TestBTreeBulkLoad(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	loader, err := bt.NewBulkLoader(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := loader.Add(tuple.EncodeUint64(uint64(i)), tuple.EncodeUint64(uint64(i*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loader.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 113 {
+		v, err := bt.Search(tuple.EncodeUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if tuple.DecodeUint64(v) != uint64(i*i) {
+			t.Fatalf("key %d: wrong value", i)
+		}
+	}
+	// Scan must return all keys in order.
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	count := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if tuple.DecodeUint64(k) != uint64(count) {
+			t.Fatalf("scan key %d out of sequence", count)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("bulk-loaded scan count %d want %d", count, n)
+	}
+}
+
+func TestBTreeBulkLoadRejectsOutOfOrder(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	loader, _ := bt.NewBulkLoader(1.0)
+	if err := loader.Add(tuple.EncodeUint64(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.Add(tuple.EncodeUint64(5), nil); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
+
+func TestBTreeEmptyScan(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("empty tree scan returned a record")
+	}
+}
+
+// TestBTreeQuickVsModel drives random operation sequences against the tree
+// and a model map and requires identical behaviour.
+func TestBTreeQuickVsModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bc := NewBufferCache(1024, memory.NewBudget("q", 16*1024))
+		bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), fmt.Sprintf("q%d.btree", seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bt.Close()
+		model := map[uint64][]byte{}
+		for op := 0; op < 800; op++ {
+			k := uint64(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0, 1: // insert/update
+				v := make([]byte, rng.Intn(60))
+				rng.Read(v)
+				if err := bt.Insert(tuple.EncodeUint64(k), v); err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				model[k] = v
+			case 2: // delete
+				ok, err := bt.Delete(tuple.EncodeUint64(k))
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				_, inModel := model[k]
+				if ok != inModel {
+					t.Fatalf("delete(%d) = %v, model has %v", k, ok, inModel)
+				}
+				delete(model, k)
+			}
+		}
+		// Compare full contents via scan.
+		var modelKeys []uint64
+		for k := range model {
+			modelKeys = append(modelKeys, k)
+		}
+		sort.Slice(modelKeys, func(i, j int) bool { return modelKeys[i] < modelKeys[j] })
+		c, err := bt.ScanFrom(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		i := 0
+		for {
+			k, v, ok := c.Next()
+			if !ok {
+				break
+			}
+			if i >= len(modelKeys) {
+				t.Fatalf("tree has extra key %d", tuple.DecodeUint64(k))
+			}
+			if tuple.DecodeUint64(k) != modelKeys[i] {
+				t.Fatalf("key mismatch at %d: tree %d model %d", i, tuple.DecodeUint64(k), modelKeys[i])
+			}
+			if !bytes.Equal(v, model[modelKeys[i]]) {
+				t.Fatalf("value mismatch for key %d", modelKeys[i])
+			}
+			i++
+		}
+		if i != len(modelKeys) {
+			t.Fatalf("tree has %d keys, model %d", i, len(modelKeys))
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestBTreeLargeValuesNearPageLimit exercises splits and compaction with
+// records close to the page capacity.
+func TestBTreeLargeValuesNearPageLimit(t *testing.T) {
+	bc := newTestCache(t, 0) // 1 KiB pages
+	bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), "big.btree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	// Max record for 1 KiB pages: 1024-16-2-4-8 = ~990 value bytes.
+	val := bytes.Repeat([]byte{7}, 900)
+	for i := 0; i < 50; i++ {
+		if err := bt.Insert(key64(uint64(i)), val); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		got, err := bt.Search(key64(uint64(i)))
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	// A record too large for a page must be rejected.
+	if err := bt.Insert(key64(999), bytes.Repeat([]byte{1}, 2000)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+// TestBTreeShrinkGrowUpdatesFragmentPages updates values with alternating
+// sizes to exercise in-place overwrite, slot removal, and compaction.
+func TestBTreeShrinkGrowUpdates(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	rng := rand.New(rand.NewSource(9))
+	model := map[uint64][]byte{}
+	for round := 0; round < 6; round++ {
+		for k := uint64(0); k < 200; k++ {
+			v := bytes.Repeat([]byte{byte(round)}, rng.Intn(200))
+			if err := bt.Insert(key64(k), v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		got, err := bt.Search(key64(k))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %d: err=%v", k, err)
+		}
+	}
+}
+
+// TestBTreeReopenPersists verifies the tree survives a close/reopen.
+func TestBTreeReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "persist.btree")
+	bc := newTestCache(t, 0)
+	bt, err := CreateBTree(bc, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(key64(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBTree(newTestCache(t, 0), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt2.Close()
+	for i := 0; i < 500; i += 13 {
+		got, err := bt2.Search(key64(uint64(i)))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d after reopen: %q err=%v", i, got, err)
+		}
+	}
+}
+
+func TestOpenBTreeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage")
+	bc := newTestCache(t, 0)
+	fid, err := bc.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := bc.NewPage(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr.Data, []byte("not a btree"))
+	bc.Unpin(fr, true)
+	if err := bc.CloseFile(fid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBTree(newTestCache(t, 0), path); err == nil {
+		t.Fatal("garbage file opened as btree")
+	}
+}
+
+func key64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[7-i] = byte(v >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pregelix/internal/memory"
+	"pregelix/internal/tuple"
+)
+
+func newTestLSM(t *testing.T, memLimit int64) *LSMBTree {
+	t.Helper()
+	bc := NewBufferCache(1024, memory.NewBudget("lsm", 0))
+	l, err := CreateLSMBTree(bc, t.TempDir(), LSMOptions{MemLimit: memLimit, MaxComponents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLSMInsertSearch(t *testing.T) {
+	l := newTestLSM(t, 2048) // tiny: force many flushes
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := l.Insert(tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Flushes == 0 {
+		t.Fatal("expected flushes with tiny mem component")
+	}
+	for i := 0; i < n; i++ {
+		v, err := l.Search(tuple.EncodeUint64(uint64(i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: got %q", i, v)
+		}
+	}
+}
+
+func TestLSMNewestWins(t *testing.T) {
+	l := newTestLSM(t, 1<<20)
+	k := tuple.EncodeUint64(7)
+	if err := l.Insert(k, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Insert(k, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.Search(k)
+	if err != nil || string(v) != "new" {
+		t.Fatalf("got %q err=%v, want new", v, err)
+	}
+	// And through another flush.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v, err = l.Search(k)
+	if err != nil || string(v) != "new" {
+		t.Fatalf("after flush: got %q err=%v", v, err)
+	}
+}
+
+func TestLSMDeleteTombstone(t *testing.T) {
+	l := newTestLSM(t, 1<<20)
+	k := tuple.EncodeUint64(1)
+	if err := l.Insert(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Search(k); err != ErrNotFound {
+		t.Fatalf("deleted key visible: %v", err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Search(k); err != ErrNotFound {
+		t.Fatalf("deleted key visible after flush: %v", err)
+	}
+	// Scan must not surface it either.
+	c, err := l.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("scan surfaced tombstoned key")
+	}
+}
+
+func TestLSMMergeCompaction(t *testing.T) {
+	l := newTestLSM(t, 1<<20)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 50; i++ {
+			if err := l.Insert(tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Merges == 0 {
+		t.Fatal("expected merges after many flushes")
+	}
+	if l.Components() > 3 {
+		t.Fatalf("components not compacted: %d", l.Components())
+	}
+	for i := 0; i < 50; i++ {
+		v, err := l.Search(tuple.EncodeUint64(uint64(i)))
+		if err != nil || string(v) != "r5" {
+			t.Fatalf("key %d: %q err=%v, want r5", i, v, err)
+		}
+	}
+}
+
+func TestLSMScanOrderAcrossComponents(t *testing.T) {
+	l := newTestLSM(t, 1<<20)
+	rng := rand.New(rand.NewSource(3))
+	want := map[uint64]string{}
+	for flush := 0; flush < 4; flush++ {
+		for i := 0; i < 100; i++ {
+			k := uint64(rng.Intn(300))
+			v := fmt.Sprintf("f%d-%d", flush, i)
+			if err := l.Insert(tuple.EncodeUint64(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		}
+		if flush < 3 {
+			if err := l.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var keys []uint64
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	c, err := l.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	i := 0
+	for {
+		k, v, ok := c.Next()
+		if !ok {
+			break
+		}
+		if i >= len(keys) || tuple.DecodeUint64(k) != keys[i] {
+			t.Fatalf("scan key %d mismatch", i)
+		}
+		if string(v) != want[keys[i]] {
+			t.Fatalf("key %d: got %q want %q", keys[i], v, want[keys[i]])
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("scan count %d want %d", i, len(keys))
+	}
+}
+
+// TestLSMQuickVsModel: random interleavings of insert/delete/flush agree
+// with a model map.
+func TestLSMQuickVsModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := newTestLSM(t, 4096)
+		model := map[uint64][]byte{}
+		for op := 0; op < 500; op++ {
+			k := uint64(rng.Intn(150))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := make([]byte, rng.Intn(40))
+				rng.Read(v)
+				if err := l.Insert(tuple.EncodeUint64(k), v); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			case 3:
+				if err := l.Delete(tuple.EncodeUint64(k)); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, k)
+			case 4:
+				if err := l.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for k, want := range model {
+			got, err := l.Search(tuple.EncodeUint64(k))
+			if err != nil {
+				t.Fatalf("seed %d key %d: %v", seed, k, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d key %d: value mismatch", seed, k)
+			}
+		}
+		// No extra keys.
+		c, err := l.ScanFrom(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		n := 0
+		for {
+			k, _, ok := c.Next()
+			if !ok {
+				break
+			}
+			if _, exists := model[tuple.DecodeUint64(k)]; !exists {
+				t.Fatalf("seed %d: phantom key %d", seed, tuple.DecodeUint64(k))
+			}
+			n++
+		}
+		if n != len(model) {
+			t.Fatalf("seed %d: scan %d keys, model %d", seed, n, len(model))
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"pregelix/internal/tuple"
+)
+
+// RunFile is a sequential, append-only tuple file. Pregelix uses run files
+// for external-sort runs, sender-side materialized connector channels, and
+// the per-partition Msg relation between supersteps (Section 5.2: message
+// partitions are stored in temporary local files sorted by vid).
+type RunFile struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	n    int64
+	sz   int64
+}
+
+// CreateRunFile opens a new run file for writing at path.
+func CreateRunFile(path string) (*RunFile, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runfile: create %s: %w", path, err)
+	}
+	return &RunFile{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append writes one tuple.
+func (r *RunFile) Append(t tuple.Tuple) error {
+	if err := tuple.WriteTuple(r.w, t); err != nil {
+		return err
+	}
+	r.n++
+	r.sz += int64(t.Size())
+	return nil
+}
+
+// AppendFrame writes every tuple of the frame.
+func (r *RunFile) AppendFrame(f *tuple.Frame) error {
+	for _, t := range f.Tuples {
+		if err := r.Append(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples written.
+func (r *RunFile) Count() int64 { return r.n }
+
+// PayloadBytes returns the total tuple payload bytes written.
+func (r *RunFile) PayloadBytes() int64 { return r.sz }
+
+// Path returns the file's path.
+func (r *RunFile) Path() string { return r.path }
+
+// CloseWrite flushes and closes the write handle. The file remains on
+// disk for reading.
+func (r *RunFile) CloseWrite() error {
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil {
+			return err
+		}
+		r.w = nil
+	}
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		return err
+	}
+	return nil
+}
+
+// Delete removes the file from disk.
+func (r *RunFile) Delete() error {
+	_ = r.CloseWrite()
+	return os.Remove(r.path)
+}
+
+// RunReader streams tuples back from a run file.
+type RunReader struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+// OpenRunReader opens path for sequential reading.
+func OpenRunReader(path string) (*RunReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runfile: open %s: %w", path, err)
+	}
+	return &RunReader{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// Next returns the next tuple or (nil, io.EOF) at end of file.
+func (rr *RunReader) Next() (tuple.Tuple, error) {
+	return tuple.ReadTuple(rr.r)
+}
+
+// Close releases the read handle.
+func (rr *RunReader) Close() error { return rr.f.Close() }
+
+// ReadAll loads every tuple of a run file (test/tooling helper).
+func ReadAll(path string) ([]tuple.Tuple, error) {
+	rr, err := OpenRunReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rr.Close()
+	var out []tuple.Tuple
+	for {
+		t, err := rr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,95 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultFrameSize is the soft byte capacity of a frame. Producers flush a
+// frame downstream once its payload exceeds this threshold, mirroring the
+// fixed-size frame transport of the Hyracks engine.
+const DefaultFrameSize = 32 * 1024
+
+// Frame is a batch of tuples moved between operators in one transfer. It
+// is the unit of flow control for connectors and of buffering for
+// materialization.
+type Frame struct {
+	Tuples []Tuple
+	bytes  int
+}
+
+// NewFrame returns an empty frame with capacity hints sized for the
+// default frame size.
+func NewFrame() *Frame {
+	return &Frame{Tuples: make([]Tuple, 0, 64)}
+}
+
+// Append adds a tuple to the frame and returns true when the frame has
+// reached its soft capacity and should be flushed.
+func (f *Frame) Append(t Tuple) bool {
+	f.Tuples = append(f.Tuples, t)
+	f.bytes += t.Size()
+	return f.bytes >= DefaultFrameSize
+}
+
+// Len returns the number of tuples in the frame.
+func (f *Frame) Len() int { return len(f.Tuples) }
+
+// Bytes returns the payload size of the frame in bytes.
+func (f *Frame) Bytes() int { return f.bytes }
+
+// Reset empties the frame for reuse by a producer.
+func (f *Frame) Reset() {
+	f.Tuples = f.Tuples[:0]
+	f.bytes = 0
+}
+
+// WriteTuple serializes one tuple in length-prefixed form:
+// u32 fieldCount, then per field u32 length + bytes.
+func WriteTuple(w io.Writer, t Tuple) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(t)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, f := range t {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(f)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTuple reads one tuple written by WriteTuple. It returns io.EOF when
+// the stream is exhausted at a tuple boundary.
+func ReadTuple(r io.Reader) (Tuple, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("tuple: truncated stream: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("tuple: implausible field count %d", n)
+	}
+	t := make(Tuple, n)
+	for i := range t {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("tuple: truncated field header: %w", err)
+		}
+		fl := binary.LittleEndian.Uint32(hdr[:])
+		f := make([]byte, fl)
+		if _, err := io.ReadFull(r, f); err != nil {
+			return nil, fmt.Errorf("tuple: truncated field body: %w", err)
+		}
+		t[i] = f
+	}
+	return t, nil
+}

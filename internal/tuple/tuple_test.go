@@ -1,0 +1,137 @@
+package tuple
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64EncodingOrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea, eb := EncodeUint64(a), EncodeUint64(b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return DecodeUint64(EncodeUint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -3.25, math.MaxFloat64, math.Inf(1), math.SmallestNonzeroFloat64} {
+		if DecodeFloat64(EncodeFloat64(v)) != v {
+			t.Fatalf("round trip failed for %v", v)
+		}
+	}
+	if !math.IsNaN(DecodeFloat64(EncodeFloat64(math.NaN()))) {
+		t.Fatal("NaN round trip failed")
+	}
+}
+
+func TestBoolEncoding(t *testing.T) {
+	if !DecodeBool(EncodeBool(true)) || DecodeBool(EncodeBool(false)) {
+		t.Fatal("bool encoding broken")
+	}
+	if DecodeBool(nil) {
+		t.Fatal("nil should decode to false")
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	orig := Tuple{[]byte{1, 2}, []byte{3}}
+	c := orig.Clone()
+	c[0][0] = 99
+	if orig[0][0] == 99 {
+		t.Fatal("clone shares memory with original")
+	}
+}
+
+func TestTupleStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tuples := []Tuple{
+		{EncodeUint64(1), []byte("hello")},
+		{},
+		{nil, nil, []byte("x")},
+		{EncodeUint64(math.MaxUint64)},
+	}
+	for _, tp := range tuples {
+		if err := WriteTuple(&buf, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range tuples {
+		got, err := ReadTuple(r)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tuple %d: field count %d want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("tuple %d field %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := ReadTuple(r); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReadTupleTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTuple(&buf, Tuple{[]byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadTuple(bytes.NewReader(trunc)); err == nil || err == io.EOF {
+		t.Fatalf("truncated stream: want error, got %v", err)
+	}
+}
+
+func TestFrameFlushThreshold(t *testing.T) {
+	f := NewFrame()
+	big := make([]byte, DefaultFrameSize)
+	if !f.Append(Tuple{big}) {
+		t.Fatal("oversized tuple should trigger flush")
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Bytes() != 0 {
+		t.Fatal("reset did not clear frame")
+	}
+	if f.Append(Tuple{[]byte("small")}) {
+		t.Fatal("small tuple should not trigger flush")
+	}
+}
+
+func TestComparators(t *testing.T) {
+	a := Tuple{EncodeUint64(5), []byte("x")}
+	b := Tuple{EncodeUint64(9), []byte("a")}
+	if Field0Compare(a, b) >= 0 || Field0Compare(b, a) <= 0 || Field0Compare(a, a) != 0 {
+		t.Fatal("Field0Compare broken")
+	}
+	c1 := KeyCompare(1)
+	if c1(a, b) <= 0 {
+		t.Fatal("KeyCompare(1) broken")
+	}
+	if !Equal(a, a.Clone()) || Equal(a, b) {
+		t.Fatal("Equal broken")
+	}
+}

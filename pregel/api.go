@@ -1,0 +1,246 @@
+package pregel
+
+import "fmt"
+
+// Context gives the compute UDF access to superstep-scoped state and
+// actions, mirroring the methods of Figure 9 (getSuperstep, sendMsg,
+// aggregate, graph mutation, and the cached global state of Section 5.7).
+type Context interface {
+	// Superstep returns the current superstep number (1-based).
+	Superstep() int64
+	// NumVertices returns the global vertex count as of the end of the
+	// previous superstep.
+	NumVertices() int64
+	// NumEdges returns the global edge count as of the end of the
+	// previous superstep.
+	NumEdges() int64
+	// GlobalAggregate returns the global aggregate produced by the
+	// previous superstep, or nil in superstep 1.
+	GlobalAggregate() Value
+	// Config returns a job configuration string (Figure 9's
+	// conf.getLong pattern).
+	Config(key string) string
+
+	// SendMessage delivers m to the vertex with the given id at the
+	// start of the next superstep. m is serialized immediately, so the
+	// caller may reuse the Value.
+	SendMessage(to VertexID, m Value)
+	// Aggregate contributes v to the global aggregation function.
+	Aggregate(v Value)
+	// AddVertex requests insertion of a new vertex at the end of the
+	// superstep (conflicts resolved by the job's Resolver).
+	AddVertex(v *Vertex)
+	// RemoveVertex requests deletion of a vertex at the end of the
+	// superstep.
+	RemoveVertex(id VertexID)
+}
+
+// Program is the vertex compute UDF. It is invoked once per active
+// vertex per superstep with the messages sent to that vertex in the
+// previous superstep. The vertex may be mutated in place; the runtime
+// persists it after the call.
+type Program interface {
+	Compute(ctx Context, v *Vertex, msgs []Value) error
+}
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc func(ctx Context, v *Vertex, msgs []Value) error
+
+// Compute implements Program.
+func (f ProgramFunc) Compute(ctx Context, v *Vertex, msgs []Value) error {
+	return f(ctx, v, msgs)
+}
+
+// Combiner pre-aggregates messages addressed to the same destination
+// (Table 2). Combine must be commutative and associative; it may reuse a.
+type Combiner interface {
+	Combine(a, b Value) Value
+}
+
+// CombinerFunc adapts a function to Combiner.
+type CombinerFunc func(a, b Value) Value
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(a, b Value) Value { return f(a, b) }
+
+// Aggregator computes the global aggregate state across all vertices'
+// contributions (Table 2). Merge must be commutative and associative.
+type Aggregator interface {
+	// Zero returns the identity element.
+	Zero() Value
+	// Merge folds two partial aggregates (or an aggregate and a vertex
+	// contribution) into one; it may reuse a.
+	Merge(a, b Value) Value
+}
+
+// Resolver reconciles graph mutations targeting one vertex id
+// (Table 2's resolve UDF). Per the Pregel contract, deletions are
+// applied before insertions, then Resolve settles remaining conflicts.
+type Resolver interface {
+	// Resolve returns the final vertex for vid, or nil to delete it.
+	// existing is the pre-mutation vertex (nil if absent, or already
+	// nil if removed was requested), additions are the AddVertex
+	// requests in arrival order.
+	Resolve(vid VertexID, existing *Vertex, additions []*Vertex, removed bool) *Vertex
+}
+
+// DefaultResolver applies deletions before insertions and lets the last
+// addition win, the documented default conflict ordering.
+type DefaultResolver struct{}
+
+// Resolve implements Resolver.
+func (DefaultResolver) Resolve(vid VertexID, existing *Vertex, additions []*Vertex, removed bool) *Vertex {
+	v := existing
+	if removed {
+		v = nil
+	}
+	if len(additions) > 0 {
+		v = additions[len(additions)-1]
+	}
+	return v
+}
+
+// JoinKind selects the message-delivery join plan (Section 5.3.2).
+type JoinKind int
+
+const (
+	// FullOuterJoin merges the message stream with a full vertex-index
+	// scan; best when most vertices are live (PageRank).
+	FullOuterJoin JoinKind = iota
+	// LeftOuterJoin probes the vertex index per message, using the Vid
+	// live-vertex index; best for message-sparse algorithms (SSSP).
+	LeftOuterJoin
+)
+
+func (k JoinKind) String() string {
+	if k == LeftOuterJoin {
+		return "leftouter"
+	}
+	return "fullouter"
+}
+
+// GroupByKind selects the message-combination group-by (Section 5.3.1).
+type GroupByKind int
+
+const (
+	// SortGroupBy uses sort-based grouping on both sides.
+	SortGroupBy GroupByKind = iota
+	// HashSortGroupBy uses hash-based in-memory grouping, sorting on
+	// spill/emit; best when distinct receivers are few.
+	HashSortGroupBy
+)
+
+func (k GroupByKind) String() string {
+	if k == HashSortGroupBy {
+		return "hashsort"
+	}
+	return "sort"
+}
+
+// ConnectorKind selects the message redistribution policy (Figure 7).
+type ConnectorKind int
+
+const (
+	// UnmergeConnector is the m-to-n partitioning connector (fully
+	// pipelined) with receiver-side re-grouping.
+	UnmergeConnector ConnectorKind = iota
+	// MergeConnector is the m-to-n partitioning merging connector
+	// (sender-side materializing) with a one-pass preclustered
+	// receiver-side group-by.
+	MergeConnector
+)
+
+func (k ConnectorKind) String() string {
+	if k == MergeConnector {
+		return "merge"
+	}
+	return "unmerge"
+}
+
+// StorageKind selects the vertex access method (Section 5.2).
+type StorageKind int
+
+const (
+	// BTreeStorage favors in-place updates (PageRank).
+	BTreeStorage StorageKind = iota
+	// LSMStorage favors drastic size changes and frequent mutations
+	// (path merging in genome assembly).
+	LSMStorage
+)
+
+func (k StorageKind) String() string {
+	if k == LSMStorage {
+		return "lsm"
+	}
+	return "btree"
+}
+
+// Job configures one Pregelix job: the program, its UDFs, value codecs,
+// I/O paths, and the physical plan hints (2 joins x 2 group-bys x 2
+// connectors x 2 storages = the 16 tailored executions of Section 5.8).
+type Job struct {
+	Name    string
+	Program Program
+
+	// Codec factories for the user's value types.
+	Codec Codec
+
+	// Optional UDFs.
+	Combiner   Combiner
+	Aggregator Aggregator
+	Resolver   Resolver // nil = DefaultResolver
+
+	// Physical plan hints.
+	Join      JoinKind
+	GroupBy   GroupByKind
+	Connector ConnectorKind
+	Storage   StorageKind
+
+	// AutoPlan enables the cost-based plan advisor (the paper's stated
+	// future work, Section 9): the runtime re-chooses the join strategy
+	// before every superstep from the observed message/live-vertex
+	// sparsity, switching between the full-outer-join plan
+	// (message-dense supersteps) and the left-outer-join plan
+	// (message-sparse supersteps). The Join hint is then only the
+	// superstep-1 default.
+	AutoPlan bool
+
+	// InputPath/OutputPath are DFS paths; Input is read unless the job
+	// is pipelined after a compatible predecessor, and Output is
+	// written unless a compatible successor is pipelined after it.
+	InputPath  string
+	OutputPath string
+
+	// CheckpointEvery checkpoints state every N supersteps (0 = off).
+	CheckpointEvery int
+	// MaxSupersteps caps execution (0 = until convergence).
+	MaxSupersteps int
+
+	// Config carries algorithm parameters to the compute UDF.
+	Config map[string]string
+}
+
+// Validate checks the job for completeness.
+func (j *Job) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("pregel: job needs a name")
+	}
+	if j.Program == nil {
+		return fmt.Errorf("pregel: job %s needs a Program", j.Name)
+	}
+	if j.Codec.NewVertexValue == nil {
+		return fmt.Errorf("pregel: job %s needs Codec.NewVertexValue", j.Name)
+	}
+	if j.Codec.NewMessage == nil {
+		return fmt.Errorf("pregel: job %s needs Codec.NewMessage", j.Name)
+	}
+	return nil
+}
+
+// ResolverOrDefault returns the configured resolver or the default.
+func (j *Job) ResolverOrDefault() Resolver {
+	if j.Resolver != nil {
+		return j.Resolver
+	}
+	return DefaultResolver{}
+}

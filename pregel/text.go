@@ -1,0 +1,98 @@
+package pregel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Text graph format (the SimpleTextInputFormat/SimpleTextOutputFormat of
+// Figure 9): one vertex per line,
+//
+//	vid <tab> dest[:weight] dest[:weight] ...
+//
+// Vertex values are not part of the input; programs initialize them in
+// superstep 1 (as the paper's SSSP does). On output, the vertex value is
+// appended as a second tab-separated column when a formatter is set.
+
+// ParseVertexLine parses one adjacency line. newEdgeValue may be nil for
+// unweighted graphs; weights present in the input are decoded as Float.
+func ParseVertexLine(line string, withWeights bool) (*Vertex, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("pregel: empty vertex line")
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("pregel: bad vid %q: %w", fields[0], err)
+	}
+	v := &Vertex{ID: VertexID(id)}
+	for _, f := range fields[1:] {
+		var destStr, wStr string
+		if i := strings.IndexByte(f, ':'); i >= 0 {
+			destStr, wStr = f[:i], f[i+1:]
+		} else {
+			destStr = f
+		}
+		dest, err := strconv.ParseUint(destStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pregel: bad edge dest %q: %w", destStr, err)
+		}
+		var ev Value
+		if withWeights && wStr != "" {
+			w, err := strconv.ParseFloat(wStr, 32)
+			if err != nil {
+				return nil, fmt.Errorf("pregel: bad edge weight %q: %w", wStr, err)
+			}
+			fv := Float(w)
+			ev = &fv
+		}
+		v.Edges = append(v.Edges, Edge{Dest: VertexID(dest), Value: ev})
+	}
+	return v, nil
+}
+
+// FormatVertexLine renders a vertex for result dumping:
+// "vid<TAB>value<TAB>dest[:w] ...". The value column prints via
+// ValueString.
+func FormatVertexLine(v *Vertex) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\t%s\t", uint64(v.ID), ValueString(v.Value))
+	for i, e := range v.Edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if f, ok := e.Value.(*Float); ok && f != nil {
+			fmt.Fprintf(&b, "%d:%g", uint64(e.Dest), float64(*f))
+		} else {
+			fmt.Fprintf(&b, "%d", uint64(e.Dest))
+		}
+	}
+	return b.String()
+}
+
+// ValueString renders a Value for human-readable output.
+func ValueString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case *Double:
+		return strconv.FormatFloat(float64(*x), 'g', -1, 64)
+	case *Float:
+		return strconv.FormatFloat(float64(*x), 'g', -1, 32)
+	case *Int64:
+		return strconv.FormatInt(int64(*x), 10)
+	case *Bool:
+		return strconv.FormatBool(bool(*x))
+	case *Bytes:
+		return fmt.Sprintf("%x", []byte(*x))
+	case *VIDList:
+		parts := make([]string, len(*x))
+		for i, id := range *x {
+			parts[i] = strconv.FormatUint(id, 10)
+		}
+		return strings.Join(parts, ",")
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
