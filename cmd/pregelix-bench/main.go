@@ -6,19 +6,41 @@
 //
 //	pregelix-bench -list
 //	pregelix-bench -experiment fig10a [-nodes 8] [-ram 1048576]
-//	pregelix-bench -experiment all
+//	pregelix-bench -experiment all [-json BENCH_PR1.json]
+//
+// Every run also emits a machine-readable JSON report (default
+// BENCH_PR1.json, disable with -json "") with per-experiment wall
+// time and per-run wall time, supersteps and I/O bytes.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pregelix/internal/bench"
 )
+
+// experimentReport is one experiment's entry in the JSON report.
+type experimentReport struct {
+	ID          string            `json:"id"`
+	Title       string            `json:"title"`
+	WallSeconds float64           `json:"wallSeconds"`
+	Runs        []bench.RunMetric `json:"runs,omitempty"`
+}
+
+// benchReport is the top-level BENCH_PR<n>.json document.
+type benchReport struct {
+	GeneratedAt string             `json:"generatedAt"`
+	Nodes       int                `json:"nodes"`
+	RAMPerNode  int64              `json:"ramPerNode"`
+	Experiments []experimentReport `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -28,6 +50,7 @@ func main() {
 		ram        = flag.Int64("ram", 1<<20, "per-machine RAM budget in bytes")
 		ratios     = flag.String("ratios", "", "comma-separated dataset/RAM ratios (default per-experiment)")
 		iterations = flag.Int("pr-iterations", 5, "PageRank iterations")
+		jsonPath   = flag.String("json", "BENCH_PR1.json", "machine-readable report path (\"\" = disabled)")
 	)
 	flag.Parse()
 
@@ -61,24 +84,55 @@ func main() {
 	}
 
 	ctx := context.Background()
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Nodes:       *nodes,
+		RAMPerNode:  *ram,
+	}
 	run := func(e bench.Experiment) {
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-		if err := e.Run(ctx, opts); err != nil {
+		met := &bench.Metrics{}
+		per := opts
+		per.Metrics = met
+		start := time.Now()
+		if err := e.Run(ctx, per); err != nil {
 			fmt.Fprintf(os.Stderr, "pregelix-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		runs := met.Runs()
+		for i := range runs {
+			runs[i].Experiment = e.ID
+		}
+		report.Experiments = append(report.Experiments, experimentReport{
+			ID:          e.ID,
+			Title:       e.Title,
+			WallSeconds: time.Since(start).Seconds(),
+			Runs:        runs,
+		})
 		fmt.Println()
 	}
 	if *experiment == "all" {
 		for _, e := range bench.Experiments() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := bench.Find(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pregelix-bench: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := bench.Find(*experiment)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pregelix-bench: unknown experiment %q (try -list)\n", *experiment)
-		os.Exit(2)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pregelix-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pregelix-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pregelix-bench: wrote %s (%d experiments)\n", *jsonPath, len(report.Experiments))
 	}
-	run(e)
 }

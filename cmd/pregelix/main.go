@@ -1,12 +1,20 @@
 // Command pregelix runs one built-in graph algorithm over a local graph
 // file on the simulated Pregelix cluster, with the physical plan hints
-// of Section 5.3 exposed as flags.
+// of Section 5.3 exposed as flags — or serves a multi-tenant cluster
+// over HTTP that accepts concurrent job submissions.
 //
 // Usage:
 //
 //	pregelix -algorithm pagerank -input graph.txt -output ranks.txt \
 //	         -nodes 4 -join fullouter -groupby sort -connector unmerge \
 //	         -storage btree
+//
+//	pregelix serve -listen 127.0.0.1:8080 -nodes 4 -max-concurrent 2
+//
+// In serve mode, clients upload graphs with PUT /files/<dfs-path>,
+// submit jobs with POST /jobs, poll GET /jobs and GET /jobs/<id>,
+// cancel with DELETE /jobs/<id>, and read cluster/scheduler metrics
+// from GET /stats.
 package main
 
 import (
@@ -22,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		algorithm  = flag.String("algorithm", "pagerank", "pagerank | sssp | cc | reachability | bfs | triangles | cliques | sample | pathmerge")
 		input      = flag.String("input", "", "input graph file (adjacency text)")

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/hyracks"
+	"pregelix/pregel"
+)
+
+// serveMain runs the multi-tenant serving mode: one shared simulated
+// cluster, an admission-controlled JobManager, and an HTTP API for
+// concurrent job submission, status polling, cancellation, file
+// transfer and cluster metrics.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("pregelix serve", flag.ExitOnError)
+	var (
+		listen        = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		nodes         = fs.Int("nodes", 4, "simulated cluster size")
+		ram           = fs.Int64("ram", 0, "per-machine RAM budget in bytes (0 = unlimited)")
+		partitions    = fs.Int("partitions-per-node", 1, "graph partitions per machine")
+		maxConcurrent = fs.Int("max-concurrent", 2, "jobs allowed in flight at once")
+		maxQueued     = fs.Int("max-queued", 64, "queued-job bound (0 = unlimited)")
+		baseDir       = fs.String("dir", "", "cluster state directory (default: a temp dir)")
+	)
+	fs.Parse(args)
+
+	dir := *baseDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "pregelix-serve-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	rt, err := core.NewRuntime(core.Options{
+		BaseDir:           dir,
+		Nodes:             *nodes,
+		PartitionsPerNode: *partitions,
+		NodeConfig:        hyracks.NodeConfig{RAMBytes: *ram},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	m := core.NewJobManager(rt, core.JobManagerOptions{
+		MaxConcurrentJobs: *maxConcurrent,
+		MaxQueuedJobs:     *maxQueued,
+	})
+	srv := &http.Server{Addr: *listen, Handler: newServer(m)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "pregelix serve: draining")
+		m.Close()
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "pregelix serve: %d machines, %d concurrent jobs, listening on %s\n",
+		*nodes, *maxConcurrent, *listen)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// server is the HTTP API over one shared JobManager. It is separate
+// from serveMain so tests can drive it through httptest.
+type server struct {
+	m   *core.JobManager
+	mux *http.ServeMux
+}
+
+func newServer(m *core.JobManager) *server {
+	s := &server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/files/", s.handleFiles)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// jobRequest is the POST /jobs submission body.
+type jobRequest struct {
+	// Algorithm is a built-in algorithm name (same set as the CLI).
+	Algorithm string `json:"algorithm"`
+	// Name is an optional client label (default: the algorithm name).
+	Name string `json:"name"`
+	// Input is the DFS path of the graph (uploaded via PUT /files/...).
+	Input string `json:"input"`
+	// Output is the DFS path to dump results to ("" = no dump).
+	Output string `json:"output"`
+	// Source is the source vertex for sssp/reachability/bfs. A pointer
+	// distinguishes "absent" (default 1) from an explicit vertex 0.
+	Source *uint64 `json:"source"`
+	// Iterations configures pagerank/pathmerge rounds.
+	Iterations int `json:"iterations"`
+	// Join/GroupBy/Connector/Storage are the plan hints of Section 5.3
+	// (same values as the CLI flags); empty = per-algorithm default.
+	Join      string `json:"join"`
+	GroupBy   string `json:"groupby"`
+	Connector string `json:"connector"`
+	Storage   string `json:"storage"`
+}
+
+// jobView is the status representation returned by the job endpoints.
+type jobView struct {
+	ID          int64   `json:"id"`
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Error       string  `json:"error,omitempty"`
+	OperatorMem int64   `json:"operatorMemBytes,omitempty"`
+	QueueWaitMS float64 `json:"queueWaitMs"`
+	RunTimeMS   float64 `json:"runTimeMs"`
+	Supersteps  int64   `json:"supersteps,omitempty"`
+	Messages    int64   `json:"messages,omitempty"`
+	Vertices    int64   `json:"vertices,omitempty"`
+}
+
+func (s *server) view(h *core.JobHandle) jobView {
+	st := h.Status()
+	v := jobView{
+		ID:          st.ID,
+		Name:        h.Name(),
+		State:       st.State.String(),
+		Error:       st.Err,
+		OperatorMem: st.OperatorMem,
+		QueueWaitMS: float64(st.QueueWait) / float64(time.Millisecond),
+		RunTimeMS:   float64(st.RunTime) / float64(time.Millisecond),
+	}
+	if stats, err := h.Result(); stats != nil {
+		v.Supersteps = stats.Supersteps
+		v.Messages = stats.TotalMessages
+		v.Vertices = stats.FinalState.NumVertices
+	} else if err != nil && v.Error == "" {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := []jobView{} // [] rather than null when no jobs exist
+		for _, h := range s.m.Jobs() {
+			out = append(out, s.view(h))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req jobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		job, err := buildServeJob(&req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// The job outlives the HTTP request, so it must not run under
+		// the request context.
+		h, err := s.m.Submit(context.Background(), job)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, s.view(h))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST /jobs")
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", idStr)
+		return
+	}
+	h := s.m.Job(id)
+	if h == nil {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.view(h))
+	case http.MethodDelete:
+		h.Cancel()
+		writeJSON(w, http.StatusOK, s.view(h))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE /jobs/{id}")
+	}
+}
+
+// handleFiles moves graph/result files in and out of the cluster DFS.
+func (s *server) handleFiles(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/files")
+	if path == "" || path == "/" {
+		httpError(w, http.StatusBadRequest, "missing DFS path")
+		return
+	}
+	dfs := s.m.Runtime().DFS
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		wr, err := dfs.Create(path)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if _, err := io.Copy(wr, r.Body); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if err := wr.Close(); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"path": path})
+	case http.MethodGet:
+		data, err := dfs.ReadFile(path)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write(data)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET, PUT or POST /files/{path}")
+	}
+}
+
+// statsView is the GET /stats payload: scheduler counters plus the
+// statistics collector's per-machine snapshot.
+type statsView struct {
+	Scheduler hyracks.SchedulerStats `json:"scheduler"`
+	Queued    int                    `json:"queued"`
+	Running   int                    `json:"running"`
+	Manager   struct {
+		TotalSupersteps int64   `json:"totalSupersteps"`
+		TotalMessages   int64   `json:"totalMessages"`
+		TotalRunTimeMS  float64 `json:"totalRunTimeMs"`
+	} `json:"manager"`
+	Cluster core.ClusterStats `json:"cluster"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ms := s.m.Stats()
+	out := statsView{
+		Scheduler: ms.Scheduler,
+		Queued:    ms.QueuedNow,
+		Running:   ms.RunningNow,
+		Cluster:   s.m.Runtime().CollectStats(),
+	}
+	out.Manager.TotalSupersteps = ms.TotalSupersteps
+	out.Manager.TotalMessages = ms.TotalMessages
+	out.Manager.TotalRunTimeMS = float64(ms.TotalRunTime) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// buildServeJob maps a submission request onto a built-in algorithm job
+// with the requested plan hints.
+func buildServeJob(req *jobRequest) (*pregel.Job, error) {
+	iterations := req.Iterations
+	if iterations <= 0 {
+		iterations = 10
+	}
+	source := uint64(1)
+	if req.Source != nil {
+		source = *req.Source
+	}
+	job := buildJob(req.Algorithm, source, iterations)
+	if job == nil {
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	if req.Input == "" {
+		return nil, fmt.Errorf("input DFS path is required (upload via PUT /files/...)")
+	}
+	if req.Name != "" {
+		job.Name = req.Name
+	}
+	job.InputPath = req.Input
+	job.OutputPath = req.Output
+	if err := applyHintValue("join", req.Join, map[string]func(){
+		"fullouter": func() { job.Join = pregel.FullOuterJoin },
+		"leftouter": func() { job.Join = pregel.LeftOuterJoin },
+	}); err != nil {
+		return nil, err
+	}
+	if err := applyHintValue("groupby", req.GroupBy, map[string]func(){
+		"sort":     func() { job.GroupBy = pregel.SortGroupBy },
+		"hashsort": func() { job.GroupBy = pregel.HashSortGroupBy },
+	}); err != nil {
+		return nil, err
+	}
+	if err := applyHintValue("connector", req.Connector, map[string]func(){
+		"merge":   func() { job.Connector = pregel.MergeConnector },
+		"unmerge": func() { job.Connector = pregel.UnmergeConnector },
+	}); err != nil {
+		return nil, err
+	}
+	if err := applyHintValue("storage", req.Storage, map[string]func(){
+		"btree": func() { job.Storage = pregel.BTreeStorage },
+		"lsm":   func() { job.Storage = pregel.LSMStorage },
+	}); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+func applyHintValue(kind, val string, actions map[string]func()) error {
+	if val == "" {
+		return nil
+	}
+	fn, ok := actions[val]
+	if !ok {
+		return fmt.Errorf("bad %s hint %q", kind, val)
+	}
+	fn()
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/graphgen"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.JobManager) {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Options{
+		BaseDir: t.TempDir(),
+		Nodes:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewJobManager(rt, core.JobManagerOptions{MaxConcurrentJobs: 2})
+	ts := httptest.NewServer(newServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+		rt.Close()
+	})
+	return ts, m
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, msg.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func uploadGraph(t *testing.T, baseURL, path string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := graphgen.WriteText(&buf, graphgen.Webmap(120, 3, 31)); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, baseURL+"/files"+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload returned %d", resp.StatusCode)
+	}
+}
+
+// TestServeSubmitAndPoll drives the full HTTP flow: upload a graph,
+// submit concurrent jobs, poll until done, download the result, and
+// read scheduler metrics.
+func TestServeSubmitAndPoll(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadGraph(t, ts.URL, "/in/web")
+
+	var views []jobView
+	for i := 0; i < 3; i++ {
+		var v jobView
+		doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+			Algorithm: "cc",
+			Name:      fmt.Sprintf("serve-cc-%d", i),
+			Input:     "/in/web",
+			Output:    fmt.Sprintf("/out/cc-%d", i),
+		}, http.StatusAccepted, &v)
+		if v.ID == 0 || v.State == "" {
+			t.Fatalf("submission view %+v", v)
+		}
+		views = append(views, v)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for _, v := range views {
+		for {
+			var cur jobView
+			doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", ts.URL, v.ID), nil, http.StatusOK, &cur)
+			if cur.State == "done" {
+				if cur.Supersteps == 0 || cur.Vertices != 120 {
+					t.Fatalf("done job view %+v", cur)
+				}
+				break
+			}
+			if cur.State == "failed" || cur.State == "canceled" {
+				t.Fatalf("job %d ended %s: %s", v.ID, cur.State, cur.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in %s", v.ID, cur.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Results must be retrievable through the files endpoint.
+	resp, err := http.Get(ts.URL + "/files/out/cc-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), "\t") {
+		t.Fatalf("result download: %d %q", resp.StatusCode, body.String())
+	}
+
+	var list []jobView
+	doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, http.StatusOK, &list)
+	if len(list) != 3 {
+		t.Fatalf("job list has %d entries", len(list))
+	}
+
+	var stats statsView
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, http.StatusOK, &stats)
+	if stats.Scheduler.Completed != 3 || stats.Scheduler.Submitted != 3 {
+		t.Fatalf("scheduler stats %+v", stats.Scheduler)
+	}
+	if stats.Scheduler.PeakRunning > 2 {
+		t.Fatalf("admission bound violated: %+v", stats.Scheduler)
+	}
+	if stats.Manager.TotalSupersteps == 0 {
+		t.Fatalf("manager stats %+v", stats.Manager)
+	}
+	if len(stats.Cluster.Nodes) != 2 {
+		t.Fatalf("cluster stats %+v", stats.Cluster)
+	}
+}
+
+// TestServeCancel cancels a long pagerank over the API.
+func TestServeCancel(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadGraph(t, ts.URL, "/in/web")
+
+	var v jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm:  "pagerank",
+		Input:      "/in/web",
+		Iterations: 100000,
+	}, http.StatusAccepted, &v)
+
+	// Let it get going, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur jobView
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", ts.URL, v.ID), nil, http.StatusOK, &cur)
+		if cur.State == "running" && cur.RunTimeMS > 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	doJSON(t, http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, v.ID), nil, http.StatusOK, nil)
+
+	for {
+		var cur jobView
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", ts.URL, v.ID), nil, http.StatusOK, &cur)
+		if cur.State == "canceled" {
+			break
+		}
+		if cur.State == "done" || cur.State == "failed" {
+			t.Fatalf("canceled job ended %s", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never landed: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServeValidation covers the API error paths.
+func TestServeValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{Algorithm: "nope", Input: "/in/x"},
+		http.StatusBadRequest, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{Algorithm: "pagerank"},
+		http.StatusBadRequest, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{Algorithm: "pagerank", Input: "/in/x", Join: "sideways"},
+		http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/jobs/999", nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/files/no/such", nil, http.StatusNotFound, nil)
+
+	// Unknown algorithm must not leak a job into the list.
+	var list []jobView
+	doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, http.StatusOK, &list)
+	if len(list) != 0 {
+		t.Fatalf("rejected submissions leaked into the job list: %+v", list)
+	}
+}
+
+// TestServeQueueFull checks the 503 surface when the queue bound trips.
+func TestServeQueueFull(t *testing.T) {
+	rt, err := core.NewRuntime(core.Options{BaseDir: t.TempDir(), Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewJobManager(rt, core.JobManagerOptions{MaxConcurrentJobs: 1, MaxQueuedJobs: 1})
+	ts := httptest.NewServer(newServer(m))
+	defer func() { ts.Close(); m.Close(); rt.Close() }()
+	uploadGraph(t, ts.URL, "/in/web")
+
+	// Saturate: one long job runs, one waits, the third must bounce.
+	// The first submission may leave the queue as soon as it is
+	// admitted, so saturation needs the runner slot provably occupied.
+	var first jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm: "pagerank", Input: "/in/web", Iterations: 100000,
+	}, http.StatusAccepted, &first)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur jobView
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", ts.URL, first.ID), nil, http.StatusOK, &cur)
+		if cur.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job never admitted: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm: "pagerank", Input: "/in/web", Iterations: 100000,
+	}, http.StatusAccepted, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm: "cc", Input: "/in/web",
+	}, http.StatusServiceUnavailable, nil)
+
+	// Drain so Cleanup does not hang on running jobs.
+	for _, h := range m.Jobs() {
+		h.Cancel()
+	}
+}

@@ -16,23 +16,40 @@
 //   - pregel/algorithms — the built-in algorithm library (PageRank,
 //     SSSP, CC, reachability, BFS tree, triangles, cliques, sampling,
 //     path merging)
-//   - internal/hyracks  — the shared-nothing dataflow engine substrate
+//   - internal/hyracks  — the shared-nothing dataflow engine substrate,
+//     including the multi-tenant admission scheduler (JobScheduler:
+//     FIFO queue, bounded in-flight jobs, per-job operator-memory
+//     carves, cancellation)
 //   - internal/storage  — B-tree, LSM B-tree, buffer cache, run files
 //   - internal/operators— external sort, three group-bys, index joins
 //   - internal/core     — the Pregelix runtime (plan generator,
-//     superstep loop, checkpoint/recovery, job pipelining)
+//     superstep loop, checkpoint/recovery, job pipelining) and the
+//     JobManager that runs many concurrent jobs on one shared cluster
 //   - internal/dfs      — a small replicated distributed file system
 //   - internal/baselines— simulations of Giraph/Hama/GraphLab/GraphX
-//   - internal/bench    — the Section 7 experiment harness
+//   - internal/bench    — the Section 7 experiment harness plus the
+//     concurrent-jobs throughput experiment
 //
 // Quickstart: see examples/quickstart, or run
 //
 //	go run ./cmd/pregelix -algorithm pagerank -input graph.txt
 //
+// Multi-tenant serving mode (concurrent job submissions over HTTP
+// against one shared simulated cluster):
+//
+//	go run ./cmd/pregelix serve -listen 127.0.0.1:8080 -max-concurrent 2
+//
+// Programmatically, submit concurrent jobs through core.JobManager:
+//
+//	rt, _ := core.NewRuntime(core.Options{BaseDir: dir, Nodes: 4})
+//	m := core.NewJobManager(rt, core.JobManagerOptions{MaxConcurrentJobs: 2})
+//	h, _ := m.Submit(ctx, job) // queued, then admitted FIFO
+//	stats, err := h.Wait(ctx)
+//
 // Every table and figure of the paper's evaluation is regenerable via
 //
 //	go run ./cmd/pregelix-bench -experiment all
 //
-// or via the benchmarks in bench_test.go; see DESIGN.md and
-// EXPERIMENTS.md.
+// which also writes the machine-readable BENCH_PR1.json report; see
+// README.md for the scheduler/JobManager API tour.
 package pregelix

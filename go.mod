@@ -1,0 +1,3 @@
+module pregelix
+
+go 1.24

@@ -40,6 +40,9 @@ type Options struct {
 	Out io.Writer
 	// WorkDir hosts cluster state (default a temp dir per run).
 	WorkDir string
+	// Metrics, when set, receives machine-readable per-run observations
+	// (the bench CLI aggregates them into BENCH_PR<n>.json).
+	Metrics *Metrics
 }
 
 func (o *Options) defaults() {
@@ -159,8 +162,23 @@ type RunResult struct {
 	Overall      time.Duration
 	AvgIteration time.Duration
 	Supersteps   int64
+	IOBytes      int64
 	Failed       bool
 	FailReason   string
+}
+
+// record reports the result to the options' metrics collector.
+func (o *Options) record(job string, r RunResult) {
+	o.Metrics.Record(RunMetric{
+		System:         r.System,
+		Job:            job,
+		Ratio:          r.Ratio,
+		WallSeconds:    r.Overall.Seconds(),
+		AvgIterSeconds: r.AvgIteration.Seconds(),
+		Supersteps:     r.Supersteps,
+		IOBytes:        r.IOBytes,
+		Failed:         r.Failed,
+	})
 }
 
 // Cell renders the result the way the figures plot it.
@@ -182,6 +200,12 @@ func (r RunResult) IterCell() string {
 // runPregelix executes the workload on the Pregelix runtime with the
 // given plan-configured job.
 func (o *Options) runPregelix(ctx context.Context, job *pregel.Job, g *graphgen.Graph, nodes int) RunResult {
+	res := o.runPregelixInner(ctx, job, g, nodes)
+	o.record(job.Name, res)
+	return res
+}
+
+func (o *Options) runPregelixInner(ctx context.Context, job *pregel.Job, g *graphgen.Graph, nodes int) RunResult {
 	res := RunResult{System: "pregelix"}
 	baseDir, err := os.MkdirTemp(o.WorkDir, "pregelix-bench-")
 	if err != nil {
@@ -219,11 +243,20 @@ func (o *Options) runPregelix(ctx context.Context, job *pregel.Job, g *graphgen.
 	res.Overall = stats.LoadDuration + stats.RunDuration
 	res.AvgIteration = stats.AvgIterationTime()
 	res.Supersteps = stats.Supersteps
+	for _, ss := range stats.SuperstepStats {
+		res.IOBytes += ss.IOBytes
+	}
 	return res
 }
 
 // runBaseline executes the workload on one baseline system.
 func (o *Options) runBaseline(ctx context.Context, kind baselines.Kind, job *pregel.Job, g *graphgen.Graph, workers int) RunResult {
+	res := o.runBaselineInner(ctx, kind, job, g, workers)
+	o.record(job.Name, res)
+	return res
+}
+
+func (o *Options) runBaselineInner(ctx context.Context, kind baselines.Kind, job *pregel.Job, g *graphgen.Graph, workers int) RunResult {
 	tmp, err := os.MkdirTemp(o.WorkDir, "baseline-")
 	if err != nil {
 		return RunResult{System: kind.String(), Failed: true, FailReason: err.Error()}

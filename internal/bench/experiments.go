@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"fig12b", "Fig 12(b): PageRank speedup on X-Small, all systems", RunFig12b},
 		{"fig12c", "Fig 12(c): Pregelix scaleup (PR, SSSP, CC)", RunFig12c},
 		{"fig13", "Fig 13: throughput (jobs/hour) vs concurrency, 4 sizes", RunFig13},
+		{"conc-jobs", "Throughput: concurrent jobs under the admission-controlled JobManager", RunConcJobs},
 		{"fig14a", "Fig 14(a): LOJ vs FOJ, SSSP", runFig14(SSSP)},
 		{"fig14b", "Fig 14(b): LOJ vs FOJ, PageRank", runFig14(PageRank)},
 		{"fig14c", "Fig 14(c): LOJ vs FOJ, CC", runFig14(CC)},
@@ -264,10 +265,8 @@ func RunFig12c(ctx context.Context, o Options) error {
 		scale := float64(m) / float64(o.Nodes)
 		o.printf("%-10.2f", scale)
 		for _, a := range algs {
-			per := Options{
-				Nodes: m, RAMPerNode: o.RAMPerNode, Out: o.Out, WorkDir: o.WorkDir,
-				PageRankIterations: o.PageRankIterations, Ratios: o.Ratios,
-			}
+			per := o
+			per.Nodes = m
 			g, _ := per.buildDataset(per.datasetFor(a), 0.10, int64(30+m))
 			job := o.jobFor(a, fmt.Sprintf("f12c-%s-%d", a, m))
 			res := per.runPregelix(ctx, job, g, m)

@@ -1,0 +1,62 @@
+package bench
+
+import "sync"
+
+// RunMetric is one machine-readable benchmark observation. The bench
+// CLI aggregates these per experiment into BENCH_PR<n>.json, seeding
+// the repository's benchmark trajectory.
+type RunMetric struct {
+	// Experiment is filled in by the CLI aggregator.
+	Experiment string `json:"experiment,omitempty"`
+	// System names the engine ("pregelix", "giraph-mem", ...).
+	System string `json:"system"`
+	// Job is the workload label.
+	Job string `json:"job"`
+	// Ratio is the dataset-size/aggregated-RAM ratio, when applicable.
+	Ratio float64 `json:"ratio,omitempty"`
+	// WallSeconds is the run's load+execute wall time.
+	WallSeconds float64 `json:"wallSeconds"`
+	// AvgIterSeconds is the mean superstep time.
+	AvgIterSeconds float64 `json:"avgIterSeconds,omitempty"`
+	// Supersteps the run executed.
+	Supersteps int64 `json:"supersteps,omitempty"`
+	// IOBytes is temp-file I/O attributed to the run (Pregelix only).
+	IOBytes int64 `json:"ioBytes,omitempty"`
+	// Concurrency is the number of concurrent jobs (throughput runs).
+	Concurrency int `json:"concurrency,omitempty"`
+	// JobsPerHour is the throughput metric (throughput runs).
+	JobsPerHour float64 `json:"jobsPerHour,omitempty"`
+	// QueueWaitSeconds is the mean admission wait (scheduler runs).
+	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
+	// Failed marks runs that did not complete.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Metrics collects RunMetrics concurrently; experiments record into it
+// when Options.Metrics is set.
+type Metrics struct {
+	mu   sync.Mutex
+	runs []RunMetric
+}
+
+// Record appends one observation.
+func (m *Metrics) Record(r RunMetric) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs = append(m.runs, r)
+}
+
+// Runs returns a copy of the recorded observations.
+func (m *Metrics) Runs() []RunMetric {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RunMetric, len(m.runs))
+	copy(out, m.runs)
+	return out
+}

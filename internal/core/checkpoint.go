@@ -242,7 +242,7 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 	var vidTree *storage.BTree
 	if rs.needVid() {
 		vidTree, err = storage.CreateBTree(node.BufferCache,
-			node.TempPath(fmt.Sprintf("vid-rec-p%d", ps.idx)))
+			rs.tempPath(node, fmt.Sprintf("vid-rec-p%d", ps.idx)))
 		if err != nil {
 			return err
 		}
@@ -252,18 +252,18 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 	}
 
 	if rs.job.Storage == pregel.LSMStorage {
-		lsmDir := filepath.Join(node.Dir, fmt.Sprintf("vertex-lsm-rec-p%d-%d", ps.idx, rs.nextSeq()))
+		lsmDir := rs.localDir(node, fmt.Sprintf("vertex-lsm-rec-p%d-%d", ps.idx, rs.nextSeq()))
 		if err := mkdir(lsmDir); err != nil {
 			return err
 		}
-		lsm, err := storage.CreateLSMBTree(node.BufferCache, lsmDir, storage.LSMOptions{MemLimit: node.OperatorMem})
+		lsm, err := storage.CreateLSMBTree(node.BufferCache, lsmDir, storage.LSMOptions{MemLimit: rs.operatorMem(node)})
 		if err != nil {
 			return err
 		}
 		ps.vertexIdx = storage.AsLSMIndex(lsm)
 	} else {
 		bt, err := storage.CreateBTree(node.BufferCache,
-			node.TempPath(fmt.Sprintf("vertex-rec-p%d", ps.idx)))
+			rs.tempPath(node, fmt.Sprintf("vertex-rec-p%d", ps.idx)))
 		if err != nil {
 			return err
 		}
@@ -326,7 +326,7 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 		return err
 	}
 	mbr := bufio.NewReaderSize(mr, 1<<16)
-	rf, err := storage.CreateRunFile(node.TempPath("msg-rec-p" + strconv.Itoa(ps.idx)))
+	rf, err := storage.CreateRunFile(rs.tempPath(node, "msg-rec-p"+strconv.Itoa(ps.idx)))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pregelix/internal/hyracks"
+	"pregelix/pregel"
+)
+
+// JobManager runs many Pregel jobs concurrently against one shared
+// simulated cluster. It sits on top of the hyracks admission scheduler:
+// each submission gets a ticket, waits its FIFO turn for one of the
+// bounded concurrency slots, runs under a per-job operator-memory carve,
+// and keeps its node-local scratch files in an isolated per-job
+// directory that is reclaimed when the job finishes. This is the
+// multi-tenant serving layer of the reproduction: one cluster, many
+// tenants, no job able to overcommit the shared RAM budget.
+type JobManager struct {
+	rt    *Runtime
+	sched *hyracks.JobScheduler
+
+	mu      sync.Mutex
+	handles map[int64]*JobHandle
+	order   []int64
+	retain  int // terminal jobs kept visible (<0 = unlimited)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// JobManagerOptions bounds the manager's admission control.
+type JobManagerOptions struct {
+	// MaxConcurrentJobs bounds in-flight jobs (default 2).
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds the admission queue (<=0 = unlimited).
+	MaxQueuedJobs int
+	// OperatorMemPerJob overrides the per-job operator-memory carve
+	// (0 = node budget / MaxConcurrentJobs).
+	OperatorMemPerJob int64
+	// RetainFinishedJobs bounds how many terminal jobs stay visible in
+	// Jobs()/Job() and the scheduler snapshot, so a long-running serve
+	// instance does not grow without bound (0 = default 1024, <0 =
+	// unlimited). Callers holding a JobHandle keep full access to its
+	// results after eviction.
+	RetainFinishedJobs int
+}
+
+// NewJobManager creates a multi-tenant manager over the runtime's
+// cluster.
+func NewJobManager(rt *Runtime, opts JobManagerOptions) *JobManager {
+	retain := opts.RetainFinishedJobs
+	if retain == 0 {
+		retain = 1024
+	}
+	return &JobManager{
+		rt: rt,
+		sched: hyracks.NewJobScheduler(rt.Cluster, hyracks.AdmissionConfig{
+			MaxConcurrentJobs: opts.MaxConcurrentJobs,
+			MaxQueuedJobs:     opts.MaxQueuedJobs,
+			OperatorMemPerJob: opts.OperatorMemPerJob,
+		}),
+		handles: make(map[int64]*JobHandle),
+		retain:  retain,
+	}
+}
+
+// Scheduler exposes the underlying admission controller (status
+// endpoints, tests).
+func (m *JobManager) Scheduler() *hyracks.JobScheduler { return m.sched }
+
+// Runtime returns the shared runtime the manager serves.
+func (m *JobManager) Runtime() *Runtime { return m.rt }
+
+// JobHandle tracks one submitted job. Wait blocks for completion;
+// Cancel aborts the job whether queued or mid-superstep.
+type JobHandle struct {
+	id     int64
+	name   string
+	ticket *hyracks.JobTicket
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	stats *JobStats
+	err   error
+}
+
+// ID returns the scheduler-assigned job id.
+func (h *JobHandle) ID() int64 { return h.id }
+
+// Name returns the tenant-qualified job name the runtime executed under
+// (unique per submission, so concurrent tenants never collide on DFS or
+// node-local paths).
+func (h *JobHandle) Name() string { return h.name }
+
+// State returns the job's lifecycle state.
+func (h *JobHandle) State() hyracks.JobState { return h.ticket.State() }
+
+// Status returns the scheduler's view of the job.
+func (h *JobHandle) Status() hyracks.JobStatus { return h.ticket.Status() }
+
+// Done is closed when the job reaches a terminal state.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Cancel aborts the job. Queued jobs leave the admission queue
+// immediately; running jobs are interrupted at the next superstep
+// boundary check (context cancellation propagates into every task).
+func (h *JobHandle) Cancel() {
+	h.ticket.Cancel()
+	h.cancel()
+}
+
+// Wait blocks until the job finishes (or ctx expires) and returns its
+// stats and terminal error.
+func (h *JobHandle) Wait(ctx context.Context) (*JobStats, error) {
+	select {
+	case <-h.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats, h.err
+}
+
+// Result returns the stats and error of a finished job (nil, nil while
+// the job is still queued or running).
+func (h *JobHandle) Result() (*JobStats, error) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.stats, h.err
+	default:
+		return nil, nil
+	}
+}
+
+// Submit enqueues a job for execution and returns immediately. The
+// job's Name is qualified with the submission id so concurrent (or
+// repeated) submissions of the same job never share DFS global-state
+// paths or node-local scratch directories.
+func (m *JobManager) Submit(ctx context.Context, job *pregel.Job) (*JobHandle, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, hyracks.ErrSchedulerClosed
+	}
+	ticket, err := m.sched.Submit(job.Name)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	tenantJob := *job // shallow copy; the runtime never mutates the job
+	tenantJob.Name = fmt.Sprintf("%s@j%d", job.Name, ticket.ID())
+	jobCtx, cancel := context.WithCancel(ctx)
+	h := &JobHandle{
+		id:     ticket.ID(),
+		name:   tenantJob.Name,
+		ticket: ticket,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.handles[h.id] = h
+	m.order = append(m.order, h.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.runJob(jobCtx, h, &tenantJob)
+	return h, nil
+}
+
+// runJob drives one submission through admission, execution, release
+// and scratch cleanup.
+func (m *JobManager) runJob(ctx context.Context, h *JobHandle, job *pregel.Job) {
+	defer m.wg.Done()
+	defer close(h.done)
+	defer h.cancel()
+
+	// A Cancel on the ticket (serve endpoint, scheduler Close) must
+	// interrupt the running supersteps.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-h.ticket.Done():
+			h.cancel()
+		case <-stopWatch:
+		}
+	}()
+
+	if err := h.ticket.Await(ctx); err != nil {
+		h.finish(nil, err)
+		return
+	}
+
+	runDir := filepath.Join("jobs", fmt.Sprintf("j%d", h.id))
+	stats, err := m.rt.runManaged(ctx, job, tenancy{
+		opMem:  h.ticket.OperatorMem(),
+		runDir: runDir,
+	})
+	h.ticket.Release(err)
+	// Reclaim the job's isolated scratch directory on every node; all
+	// live state (indexes, run files) was dropped by the run itself, so
+	// this only sweeps stragglers from failure paths.
+	for _, n := range m.rt.Cluster.Nodes() {
+		n.RemoveJobDir(runDir)
+	}
+	h.finish(stats, err)
+	m.evictFinished()
+}
+
+// evictFinished drops the oldest terminal jobs beyond the retention
+// bound from the manager's history and the scheduler's ticket map.
+// Handles already held by callers remain fully usable.
+func (m *JobManager) evictFinished() {
+	if m.retain < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	terminal := 0
+	for _, id := range m.order {
+		if m.handles[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if terminal > m.retain && m.handles[id].State().Terminal() {
+			delete(m.handles, id)
+			m.sched.Forget(id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (h *JobHandle) finish(stats *JobStats, err error) {
+	h.mu.Lock()
+	h.stats, h.err = stats, err
+	h.mu.Unlock()
+}
+
+// Job returns the handle with the given id, or nil.
+func (m *JobManager) Job(id int64) *JobHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handles[id]
+}
+
+// Jobs returns all handles in submission order.
+func (m *JobManager) Jobs() []*JobHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*JobHandle, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.handles[id])
+	}
+	return out
+}
+
+// WaitAll blocks until every job submitted so far has finished (or ctx
+// expires) and returns their stats in submission order along with the
+// first job error encountered (canceled jobs report their cancellation
+// error).
+func (m *JobManager) WaitAll(ctx context.Context) ([]*JobStats, error) {
+	var firstErr error
+	var all []*JobStats
+	for _, h := range m.Jobs() {
+		stats, err := h.Wait(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("job %s: %w", h.Name(), err)
+		}
+		if ctx.Err() != nil {
+			return all, ctx.Err()
+		}
+		all = append(all, stats)
+	}
+	return all, firstErr
+}
+
+// ManagerStats aggregates the manager's view across all submissions.
+type ManagerStats struct {
+	Scheduler       hyracks.SchedulerStats
+	QueuedNow       int
+	RunningNow      int
+	TotalSupersteps int64
+	TotalMessages   int64
+	TotalRunTime    time.Duration
+}
+
+// Stats aggregates scheduler counters with per-job runtime statistics
+// of finished jobs.
+func (m *JobManager) Stats() ManagerStats {
+	out := ManagerStats{
+		Scheduler:  m.sched.Stats(),
+		QueuedNow:  m.sched.QueueLen(),
+		RunningNow: m.sched.Running(),
+	}
+	for _, h := range m.Jobs() {
+		stats, _ := h.Result()
+		if stats == nil {
+			continue
+		}
+		out.TotalSupersteps += stats.Supersteps
+		out.TotalMessages += stats.TotalMessages
+		out.TotalRunTime += stats.RunDuration
+	}
+	return out
+}
+
+// Close stops accepting submissions, cancels queued jobs, and waits for
+// running jobs to drain.
+func (m *JobManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.sched.Close()
+	m.wg.Wait()
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pregelix/internal/graphgen"
+	"pregelix/internal/hyracks"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// gatedProgram blocks every vertex computation of superstep 1 until the
+// gate closes, after signalling once per job that the job has reached
+// compute. It lets tests hold N jobs provably mid-superstep at once.
+type gatedProgram struct {
+	arrived func()
+	gate    <-chan struct{}
+	once    sync.Once
+}
+
+func (p *gatedProgram) Compute(ctx pregel.Context, v *pregel.Vertex, msgs []pregel.Value) error {
+	if ctx.Superstep() == 1 {
+		p.once.Do(p.arrived)
+		<-p.gate
+	}
+	v.VoteToHalt()
+	return nil
+}
+
+func newGatedJob(name string, arrived func(), gate <-chan struct{}) *pregel.Job {
+	return &pregel.Job{
+		Name:    name,
+		Program: &gatedProgram{arrived: arrived, gate: gate},
+		Codec: pregel.Codec{
+			NewVertexValue: pregel.NewInt64,
+			NewMessage:     pregel.NewInt64,
+		},
+		InputPath: "/in/shared",
+	}
+}
+
+// TestJobManagerFourJobsRunConcurrently is the acceptance scenario: six
+// jobs submitted against one shared cluster with a 4-slot admission
+// bound; four run concurrently (all provably mid-superstep at the same
+// instant) while the other two wait in the queue, then everything
+// drains.
+func TestJobManagerFourJobsRunConcurrently(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	putGraph(t, rt, "/in/shared", graphgen.Webmap(60, 3, 7))
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 4})
+	defer m.Close()
+
+	const jobs = 6
+	arrivals := make(chan string, jobs)
+	gate := make(chan struct{})
+	var handles []*JobHandle
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("gated-%d", i)
+		h, err := m.Submit(context.Background(), newGatedJob(name, func() { arrivals <- name }, gate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	// Exactly four jobs must reach compute; the fifth arrival would mean
+	// admission control is broken.
+	running := map[string]bool{}
+	for len(running) < 4 {
+		select {
+		case name := <-arrivals:
+			running[name] = true
+		case <-time.After(30 * time.Second):
+			t.Fatalf("only %d jobs reached compute: %v", len(running), running)
+		}
+	}
+	select {
+	case name := <-arrivals:
+		t.Fatalf("fifth job %s admitted past the 4-job bound", name)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := m.Scheduler().Running(); got != 4 {
+		t.Fatalf("scheduler reports %d running, want 4", got)
+	}
+	if got := m.Scheduler().QueueLen(); got != 2 {
+		t.Fatalf("scheduler reports %d queued, want 2", got)
+	}
+
+	close(gate)
+	if _, err := m.WaitAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range handles {
+		if st := h.State(); st != hyracks.JobDone {
+			t.Fatalf("job %s finished in state %v", h.Name(), st)
+		}
+	}
+	stats := m.Scheduler().Stats()
+	if stats.Completed != jobs {
+		t.Fatalf("completed %d jobs, want %d", stats.Completed, jobs)
+	}
+	if stats.PeakRunning != 4 {
+		t.Fatalf("peak running %d, want 4", stats.PeakRunning)
+	}
+}
+
+// TestJobManagerResultsMatchSequential checks the isolation contract:
+// jobs crammed through a 2-slot admission bound on one shared cluster
+// must produce byte-identical results to sequential oracle execution.
+func TestJobManagerResultsMatchSequential(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	g := graphgen.Webmap(300, 4, 11)
+	putGraph(t, rt, "/in/shared", g)
+
+	type workload struct {
+		name string
+		mk   func(name, out string) *pregel.Job
+	}
+	workloads := []workload{
+		{"pr-a", func(n, o string) *pregel.Job { return algorithms.NewPageRankJob(n, "/in/shared", o, 3) }},
+		{"pr-b", func(n, o string) *pregel.Job { return algorithms.NewPageRankJob(n, "/in/shared", o, 3) }},
+		{"cc-a", func(n, o string) *pregel.Job { return algorithms.NewConnectedComponentsJob(n, "/in/shared", o) }},
+		{"cc-b", func(n, o string) *pregel.Job { return algorithms.NewConnectedComponentsJob(n, "/in/shared", o) }},
+		{"sssp", func(n, o string) *pregel.Job { return algorithms.NewSSSPJob(n, "/in/shared", o, 1) }},
+	}
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 2})
+	defer m.Close()
+	for _, w := range workloads {
+		if _, err := m.Submit(context.Background(), w.mk(w.name, "/out/"+w.name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.WaitAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range workloads {
+		want := referenceValues(t, w.mk(w.name, ""), g)
+		got := readOutputValues(t, rt, "/out/"+w.name)
+		compareValues(t, got, want, w.name)
+	}
+	stats := m.Scheduler().Stats()
+	if stats.PeakRunning > 2 {
+		t.Fatalf("admission bound violated: peak running %d > 2", stats.PeakRunning)
+	}
+	if stats.Completed != int64(len(workloads)) {
+		t.Fatalf("completed %d, want %d", stats.Completed, len(workloads))
+	}
+}
+
+// TestJobManagerCancelMidSuperstep cancels a long-running job between
+// supersteps and checks the cancellation is clean: the victim reports
+// canceled, the shared cluster stays healthy, and a concurrent job
+// finishes normally.
+func TestJobManagerCancelMidSuperstep(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	g := graphgen.Webmap(200, 4, 13)
+	putGraph(t, rt, "/in/shared", g)
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 2})
+	defer m.Close()
+
+	victim, err := m.Submit(context.Background(),
+		algorithms.NewPageRankJob("long-pr", "/in/shared", "/out/long", 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := m.Submit(context.Background(),
+		algorithms.NewConnectedComponentsJob("cc", "/in/shared", "/out/cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the victim has completed at least one superstep so the
+	// cancel lands mid-run, not pre-admission.
+	deadline := time.Now().Add(30 * time.Second)
+	for victim.Status().State != hyracks.JobRunning || victim.Status().RunTime < 10*time.Millisecond {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never started running: %+v", victim.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim.Cancel()
+
+	if _, err := victim.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("victim error = %v, want context.Canceled", err)
+	}
+	if st := victim.State(); st != hyracks.JobCanceled {
+		t.Fatalf("victim state %v, want canceled", st)
+	}
+	if _, err := bystander.Wait(context.Background()); err != nil {
+		t.Fatalf("bystander failed after cancel: %v", err)
+	}
+	want := referenceValues(t, algorithms.NewConnectedComponentsJob("cc", "", ""), g)
+	compareValues(t, readOutputValues(t, rt, "/out/cc"), want, "bystander-cc")
+
+	stats := m.Scheduler().Stats()
+	if stats.Canceled != 1 || stats.Completed != 1 {
+		t.Fatalf("scheduler stats %+v, want 1 canceled + 1 completed", stats)
+	}
+}
+
+// TestJobManagerCancelQueued cancels a job that never left the queue.
+func TestJobManagerCancelQueued(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	putGraph(t, rt, "/in/shared", graphgen.Webmap(50, 3, 5))
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 1})
+	defer m.Close()
+
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, 1)
+	blocker, err := m.Submit(context.Background(),
+		newGatedJob("blocker", func() { arrived <- struct{}{} }, gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-arrived // blocker holds the only slot mid-superstep
+
+	queued, err := m.Submit(context.Background(),
+		algorithms.NewConnectedComponentsJob("queued-cc", "/in/shared", "/out/qcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != hyracks.JobQueued {
+		t.Fatalf("second job state %v, want queued", st)
+	}
+	queued.Cancel()
+	if _, err := queued.Wait(context.Background()); err == nil {
+		t.Fatal("canceled queued job returned nil error")
+	}
+	if st := queued.State(); st != hyracks.JobCanceled {
+		t.Fatalf("canceled queued job state %v", st)
+	}
+
+	close(gate)
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobManagerFairnessFIFO submits a burst of jobs through one slot
+// and asserts admission follows submission order exactly — no job
+// starves behind later arrivals.
+func TestJobManagerFairnessFIFO(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	putGraph(t, rt, "/in/shared", graphgen.Webmap(80, 3, 19))
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 1})
+	defer m.Close()
+
+	const jobs = 6
+	var handles []*JobHandle
+	for i := 0; i < jobs; i++ {
+		h, err := m.Submit(context.Background(),
+			algorithms.NewConnectedComponentsJob(fmt.Sprintf("fifo-%d", i), "/in/shared", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if _, err := m.WaitAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Time
+	for i, h := range handles {
+		st := h.Status()
+		if st.State != hyracks.JobDone {
+			t.Fatalf("job %d state %v", i, st.State)
+		}
+		if st.StartedAt.Before(prev) {
+			t.Fatalf("job %d admitted at %v, before its predecessor at %v (FIFO violated)",
+				i, st.StartedAt, prev)
+		}
+		prev = st.StartedAt
+	}
+}
+
+// TestJobManagerStress is the N jobs x M partitions race stress: many
+// small jobs with mixed outcomes (completed and canceled) contending for
+// two admission slots on a 2-node x 2-partition cluster.
+func TestJobManagerStress(t *testing.T) {
+	rt := newTestRuntime(t, 2) // 2 nodes x 2 partitions/node = 4 partitions
+	defer rt.Close()
+	g := graphgen.Webmap(150, 3, 23)
+	putGraph(t, rt, "/in/shared", g)
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 2})
+	defer m.Close()
+
+	const jobs = 10
+	var handles []*JobHandle
+	for i := 0; i < jobs; i++ {
+		var job *pregel.Job
+		if i%2 == 0 {
+			job = algorithms.NewConnectedComponentsJob(fmt.Sprintf("s-cc-%d", i), "/in/shared", fmt.Sprintf("/out/s%d", i))
+		} else {
+			job = algorithms.NewPageRankJob(fmt.Sprintf("s-pr-%d", i), "/in/shared", fmt.Sprintf("/out/s%d", i), 2)
+		}
+		h, err := m.Submit(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Cancel two late submissions while the early ones occupy the slots.
+	handles[8].Cancel()
+	handles[9].Cancel()
+
+	for i, h := range handles[:8] {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for _, h := range handles[8:] {
+		if _, err := h.Wait(context.Background()); err == nil {
+			// A cancel can race admission: the job may have finished
+			// before the cancel landed. Done is acceptable; limbo is not.
+			if st := h.State(); st != hyracks.JobDone {
+				t.Fatalf("canceled job in state %v with nil error", st)
+			}
+		}
+	}
+
+	wantCC := referenceValues(t, algorithms.NewConnectedComponentsJob("ref", "", ""), g)
+	wantPR := referenceValues(t, algorithms.NewPageRankJob("ref", "", "", 2), g)
+	for i := 0; i < 8; i++ {
+		want := wantCC
+		if i%2 == 1 {
+			want = wantPR
+		}
+		compareValues(t, readOutputValues(t, rt, fmt.Sprintf("/out/s%d", i)), want, fmt.Sprintf("stress-%d", i))
+	}
+}
+
+// TestJobManagerOperatorMemCarve checks that admitted jobs observe the
+// per-tenant operator-memory carve rather than the full node budget.
+func TestJobManagerOperatorMemCarve(t *testing.T) {
+	rt, err := NewRuntime(Options{
+		BaseDir:           t.TempDir(),
+		Nodes:             2,
+		PartitionsPerNode: 1,
+		NodeConfig:        hyracks.NodeConfig{RAMBytes: 4 << 20, PageSize: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	g := graphgen.Webmap(300, 4, 29)
+	putGraph(t, rt, "/in/shared", g)
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 4})
+	defer m.Close()
+	h, err := m.Submit(context.Background(),
+		algorithms.NewPageRankJob("carved", "/in/shared", "/out/carved", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	nodeMem := rt.Cluster.Nodes()[0].OperatorMem
+	carve := h.Status().OperatorMem
+	if carve <= 0 || carve > nodeMem/4 {
+		t.Fatalf("operator-memory carve %d, want in (0, %d]", carve, nodeMem/4)
+	}
+	want := referenceValues(t, algorithms.NewPageRankJob("ref", "", "", 2), g)
+	compareValues(t, readOutputValues(t, rt, "/out/carved"), want, "carved-pr")
+}
+
+// TestJobManagerCloseRejectsSubmit checks Close drains and rejects.
+func TestJobManagerCloseRejectsSubmit(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	putGraph(t, rt, "/in/shared", graphgen.Webmap(40, 3, 3))
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 2})
+	h, err := m.Submit(context.Background(),
+		algorithms.NewConnectedComponentsJob("pre-close", "/in/shared", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatalf("pre-close job: %v", err)
+	}
+	m.Close()
+	if _, err := m.Submit(context.Background(),
+		algorithms.NewConnectedComponentsJob("post-close", "/in/shared", "")); !errors.Is(err, hyracks.ErrSchedulerClosed) {
+		t.Fatalf("submit after close: %v, want ErrSchedulerClosed", err)
+	}
+}
+
+// TestJobManagerRetention checks terminal jobs beyond the retention
+// bound are evicted from the visible history (and scheduler snapshot)
+// while held handles keep their results.
+func TestJobManagerRetention(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	g := graphgen.Webmap(60, 3, 37)
+	putGraph(t, rt, "/in/shared", g)
+
+	m := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 1, RetainFinishedJobs: 3})
+	defer m.Close()
+
+	var handles []*JobHandle
+	for i := 0; i < 8; i++ {
+		h, err := m.Submit(context.Background(),
+			algorithms.NewConnectedComponentsJob(fmt.Sprintf("ret-%d", i), "/in/shared", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Eviction runs on each completion; after draining, at most the
+	// retention bound remains visible.
+	if got := len(m.Jobs()); got > 3 {
+		t.Fatalf("history holds %d jobs, retention bound is 3", got)
+	}
+	if snap := m.Scheduler().Snapshot(); len(snap) > 3 {
+		t.Fatalf("scheduler snapshot holds %d tickets, want <= 3", len(snap))
+	}
+	// Evicted handles held by the caller still expose their results.
+	stats, err := handles[0].Result()
+	if err != nil || stats == nil || stats.Supersteps == 0 {
+		t.Fatalf("evicted handle lost its result: stats=%v err=%v", stats, err)
+	}
+	if m.Job(handles[0].ID()) != nil {
+		t.Fatalf("evicted job still visible via Job()")
+	}
+	// Unlimited retention keeps everything.
+	m2 := NewJobManager(rt, JobManagerOptions{MaxConcurrentJobs: 2, RetainFinishedJobs: -1})
+	defer m2.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := m2.Submit(context.Background(),
+			algorithms.NewConnectedComponentsJob(fmt.Sprintf("unl-%d", i), "/in/shared", "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m2.WaitAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m2.Jobs()); got != 4 {
+		t.Fatalf("unlimited retention lost jobs: %d", got)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -32,7 +31,7 @@ func (rs *runState) load(ctx context.Context) error {
 		rs.parts[i] = &partitionState{idx: i, node: nodes[i]}
 	}
 
-	spec := &hyracks.JobSpec{Name: rs.job.Name + "-load"}
+	spec := rs.newSpec(rs.job.Name + "-load")
 	scanOp := &hyracks.OperatorDesc{
 		ID:         "scan",
 		Partitions: 1,
@@ -138,12 +137,12 @@ func newBulkLoadSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime
 		OnOpen: func(_ *hyracks.BaseRuntime) error {
 			var err error
 			if rs.job.Storage == pregel.LSMStorage {
-				dir := filepath.Join(node.Dir, fmt.Sprintf("vertex-lsm-p%d-%d", ps.idx, rs.nextSeq()))
+				dir := rs.localDir(node, fmt.Sprintf("vertex-lsm-p%d-%d", ps.idx, rs.nextSeq()))
 				if err := mkdir(dir); err != nil {
 					return err
 				}
 				lsm, err = storage.CreateLSMBTree(node.BufferCache, dir, storage.LSMOptions{
-					MemLimit: node.OperatorMem,
+					MemLimit: tc.OperatorMem,
 				})
 				if err != nil {
 					return err
@@ -151,7 +150,7 @@ func newBulkLoadSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime
 				ps.vertexIdx = storage.AsLSMIndex(lsm)
 			} else {
 				bt, err = storage.CreateBTree(node.BufferCache,
-					node.TempPath(fmt.Sprintf("vertex-p%d", ps.idx)))
+					rs.tempPath(node, fmt.Sprintf("vertex-p%d", ps.idx)))
 				if err != nil {
 					return err
 				}
@@ -162,7 +161,7 @@ func newBulkLoadSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime
 			}
 			if rs.needVid() {
 				vt, err := storage.CreateBTree(node.BufferCache,
-					node.TempPath(fmt.Sprintf("vid-p%d", ps.idx)))
+					rs.tempPath(node, fmt.Sprintf("vid-p%d", ps.idx)))
 				if err != nil {
 					return err
 				}
@@ -240,7 +239,7 @@ func (rs *runState) dump(ctx context.Context) error {
 	}
 	rows := make([]row, 0, 1024)
 
-	spec := &hyracks.JobSpec{Name: rs.job.Name + "-dump"}
+	spec := rs.newSpec(rs.job.Name + "-dump")
 	spec.AddOp(&hyracks.OperatorDesc{
 		ID:         "scan-vertex",
 		Partitions: p,

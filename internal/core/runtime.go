@@ -135,6 +135,13 @@ type runState struct {
 	parts []*partitionState
 	gs    globalState
 
+	// opMem is the per-job operator-memory carve assigned by the
+	// admission scheduler (0 = each node's default budget).
+	opMem int64
+	// runDir is the node-relative scratch subdirectory isolating this
+	// job's local files from concurrent tenants ("" = node root).
+	runDir string
+
 	// pendingGS accumulates the superstep's global aggregation results
 	// (written by the single-partition gs operator).
 	pendingGS struct {
@@ -145,6 +152,10 @@ type runState struct {
 
 	stats *JobStats
 	seq   atomic.Int64 // local file version counter
+	// ioBytes accumulates the job's own temp-file I/O (per-tenant, so
+	// concurrent jobs on the shared cluster don't pollute each other's
+	// superstep statistics).
+	ioBytes atomic.Int64
 }
 
 // SuperstepStat records the statistics collector's view of one superstep.
@@ -233,7 +244,23 @@ func (rs *runState) readGS() error {
 // Run executes one job end to end: load from DFS, iterate supersteps
 // until termination, dump results to DFS.
 func (r *Runtime) Run(ctx context.Context, job *pregel.Job) (*JobStats, error) {
-	stats, _, err := r.run(ctx, job, nil, true)
+	stats, _, err := r.run(ctx, job, nil, true, tenancy{})
+	return stats, err
+}
+
+// tenancy carries the multi-tenant isolation parameters the JobManager
+// assigns to a managed job.
+type tenancy struct {
+	// opMem is the per-job operator-memory carve (0 = node default).
+	opMem int64
+	// runDir is the per-job node-local scratch subdirectory.
+	runDir string
+}
+
+// runManaged executes a job under the admission scheduler's resource
+// carve with isolated node-local scratch directories.
+func (r *Runtime) runManaged(ctx context.Context, job *pregel.Job, ten tenancy) (*JobStats, error) {
+	stats, _, err := r.run(ctx, job, nil, true, ten)
 	return stats, err
 }
 
@@ -251,7 +278,7 @@ func (r *Runtime) RunPipeline(ctx context.Context, jobs []*pregel.Job) ([]*JobSt
 	var carried []*partitionState
 	for i, job := range jobs {
 		last := i == len(jobs)-1
-		stats, parts, err := r.run(ctx, job, carried, last)
+		stats, parts, err := r.run(ctx, job, carried, last, tenancy{})
 		if err != nil {
 			return all, err
 		}
@@ -261,16 +288,18 @@ func (r *Runtime) RunPipeline(ctx context.Context, jobs []*pregel.Job) ([]*JobSt
 	return all, nil
 }
 
-func (r *Runtime) run(ctx context.Context, job *pregel.Job, carried []*partitionState, dump bool) (*JobStats, []*partitionState, error) {
+func (r *Runtime) run(ctx context.Context, job *pregel.Job, carried []*partitionState, dump bool, ten tenancy) (*JobStats, []*partitionState, error) {
 	if err := job.Validate(); err != nil {
 		return nil, nil, err
 	}
 	start := time.Now()
 	rs := &runState{
-		rt:    r,
-		job:   job,
-		codec: &job.Codec,
-		stats: &JobStats{Job: job.Name},
+		rt:     r,
+		job:    job,
+		codec:  &job.Codec,
+		opMem:  ten.opMem,
+		runDir: ten.runDir,
+		stats:  &JobStats{Job: job.Name},
 	}
 
 	// Load or inherit the Vertex relation.
@@ -354,7 +383,7 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 			return nil
 		}
 		stepStart := time.Now()
-		ioBefore := rs.totalIOBytes()
+		ioBefore := rs.ioBytes.Load()
 
 		spec, err := rs.buildSuperstepJob(ss)
 		if err != nil {
@@ -381,7 +410,7 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 			LiveVertices: rs.gs.LiveVertices,
 			NumVertices:  rs.gs.NumVertices,
 			NumEdges:     rs.gs.NumEdges,
-			IOBytes:      rs.totalIOBytes() - ioBefore,
+			IOBytes:      rs.ioBytes.Load() - ioBefore,
 			Plan:         rs.stats.pendingPlan,
 		})
 		if jobRes != nil {
@@ -442,14 +471,6 @@ func (rs *runState) commitSuperstep(ss int64) {
 	rs.pendingGS.hasAgg = false
 }
 
-func (rs *runState) totalIOBytes() int64 {
-	var total int64
-	for _, n := range rs.rt.Cluster.Nodes() {
-		total += n.IOBytes()
-	}
-	return total
-}
-
 func (rs *runState) cleanup() {
 	for _, ps := range rs.parts {
 		if ps.vertexIdx != nil {
@@ -496,6 +517,38 @@ func (rs *runState) locations() []hyracks.NodeID {
 }
 
 func (rs *runState) nextSeq() int64 { return rs.seq.Add(1) }
+
+// newSpec creates a physical job spec carrying the run's tenancy
+// parameters (operator-memory carve, isolated scratch directory) so
+// every task of every compiled plan observes them.
+func (rs *runState) newSpec(name string) *hyracks.JobSpec {
+	return &hyracks.JobSpec{
+		Name:             name,
+		OperatorMemBytes: rs.opMem,
+		RunDir:           rs.runDir,
+		IOCounter:        &rs.ioBytes,
+	}
+}
+
+// tempPath returns a job-scoped temp file path on the given node, under
+// the run's isolated scratch directory when one is set.
+func (rs *runState) tempPath(node *hyracks.NodeController, prefix string) string {
+	return node.TempPathIn(rs.runDir, prefix)
+}
+
+// localDir returns a job-scoped node-local directory path (for LSM
+// component trees), under the run's scratch directory when set.
+func (rs *runState) localDir(node *hyracks.NodeController, name string) string {
+	return filepath.Join(node.JobDir(rs.runDir), name)
+}
+
+// operatorMem returns the effective per-operator budget on a node.
+func (rs *runState) operatorMem(node *hyracks.NodeController) int64 {
+	if rs.opMem > 0 {
+		return rs.opMem
+	}
+	return node.OperatorMem
+}
 
 // failureOf unwraps a recoverable node failure, distinguishing it from
 // application errors which are forwarded to the user (the failure

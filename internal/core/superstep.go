@@ -67,7 +67,7 @@ func (rs *runState) chooseJoin(ss int64) pregel.JoinKind {
 func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
 	p := len(rs.parts)
 	locs := rs.locations()
-	spec := &hyracks.JobSpec{Name: fmt.Sprintf("%s-ss%d", rs.job.Name, ss)}
+	spec := rs.newSpec(fmt.Sprintf("%s-ss%d", rs.job.Name, ss))
 
 	// Join + compute source, pinned to the vertex partitions. The join
 	// strategy comes from the job hint, or from the cost-based advisor
@@ -219,7 +219,7 @@ func newMsgSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime, err
 			if err := rf.CloseWrite(); err != nil {
 				return err
 			}
-			tc.Node.AddIOBytes(rf.PayloadBytes())
+			tc.AddIOBytes(rf.PayloadBytes())
 			ps.nextMsgPath = rf.Path()
 			ps.nextMsgs = rf.Count()
 			return nil
@@ -458,7 +458,7 @@ func (c *computeSource) run(ctx context.Context) error {
 	var vidLoader *storage.BulkLoader
 	if rs.needVid() {
 		vt, err := storage.CreateBTree(ps.node.BufferCache,
-			ps.node.TempPath(fmt.Sprintf("vid-v%d", rs.nextSeq())))
+			rs.tempPath(ps.node, fmt.Sprintf("vid-v%d", rs.nextSeq())))
 		if err != nil {
 			return err
 		}
@@ -499,7 +499,7 @@ func (c *computeSource) run(ctx context.Context) error {
 	if err := updates.CloseWrite(); err != nil {
 		return err
 	}
-	c.tc.Node.AddIOBytes(updates.PayloadBytes() * 2)
+	c.tc.AddIOBytes(updates.PayloadBytes() * 2)
 	ur, err := storage.OpenRunReader(updates.Path())
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pregelix/internal/tuple"
 )
@@ -125,18 +126,27 @@ func (s *partitionSender) Fail(err error) {
 // policy: frames are spooled to a node-local temp file while a pump
 // goroutine forwards them to the wrapped writer.
 type materializingWriter struct {
-	ctx   context.Context
-	node  *NodeController
-	path  string
-	inner FrameWriter
+	ctx       context.Context
+	node      *NodeController
+	path      string
+	inner     FrameWriter
+	ioCounter *atomic.Int64 // owning job's I/O counter (may be nil)
 
 	sp      *spool
 	done    chan struct{}
 	pumpErr error
 }
 
-func newMaterializingWriter(ctx context.Context, node *NodeController, path string, inner FrameWriter) *materializingWriter {
-	return &materializingWriter{ctx: ctx, node: node, path: path, inner: inner}
+func newMaterializingWriter(ctx context.Context, node *NodeController, path string, ioCounter *atomic.Int64, inner FrameWriter) *materializingWriter {
+	return &materializingWriter{ctx: ctx, node: node, path: path, ioCounter: ioCounter, inner: inner}
+}
+
+// addIO attributes spool I/O to the machine and the owning job.
+func (m *materializingWriter) addIO(n int64) {
+	m.node.AddIOBytes(n)
+	if m.ioCounter != nil {
+		m.ioCounter.Add(n)
+	}
 }
 
 func (m *materializingWriter) Open() error {
@@ -181,7 +191,7 @@ func (m *materializingWriter) pump() {
 			m.inner.Fail(err)
 			return
 		}
-		m.node.AddIOBytes(int64(f.Bytes()))
+		m.addIO(int64(f.Bytes()))
 		if err := m.inner.NextFrame(f); err != nil {
 			m.pumpErr = err
 			m.inner.Fail(err)
@@ -191,7 +201,7 @@ func (m *materializingWriter) pump() {
 }
 
 func (m *materializingWriter) NextFrame(f *tuple.Frame) error {
-	m.node.AddIOBytes(int64(f.Bytes()))
+	m.addIO(int64(f.Bytes()))
 	return m.sp.writeFrame(f)
 }
 

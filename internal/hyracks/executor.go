@@ -144,6 +144,10 @@ func (ex *executor) fail(err error) {
 }
 
 func (ex *executor) taskContext(op *OperatorDesc, partition int, node *NodeController) *TaskContext {
+	opMem := node.OperatorMem
+	if ex.spec.OperatorMemBytes > 0 {
+		opMem = ex.spec.OperatorMemBytes
+	}
 	return &TaskContext{
 		Ctx:           ex.ctx,
 		Node:          node,
@@ -151,6 +155,9 @@ func (ex *executor) taskContext(op *OperatorDesc, partition int, node *NodeContr
 		OperatorID:    op.ID,
 		Partition:     partition,
 		NumPartitions: op.Partitions,
+		OperatorMem:   opMem,
+		RunDir:        ex.spec.RunDir,
+		ioCounter:     ex.spec.IOCounter,
 	}
 }
 
@@ -195,7 +202,7 @@ func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition i
 		var w FrameWriter = &partitionSender{ctx: ex.ctx, chans: cs.plain, part: cd.Partitioner, stats: cs.stats}
 		if cd.Materialized {
 			w = newMaterializingWriter(ex.ctx, node,
-				node.TempPath(fmt.Sprintf("%s-%s-p%d-mat", ex.spec.Name, cd.From, partition)), w)
+				node.TempPathIn(ex.spec.RunDir, fmt.Sprintf("%s-%s-p%d-mat", ex.spec.Name, cd.From, partition)), ex.spec.IOCounter, w)
 		}
 		return w, nil
 	case MToNPartitioningMerging:
@@ -203,7 +210,7 @@ func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition i
 		// Merging connectors always use the sender-side materializing
 		// pipelined policy to avoid deadlock (Section 5.3.1).
 		return newMaterializingWriter(ex.ctx, node,
-			node.TempPath(fmt.Sprintf("%s-%s-p%d-merge", ex.spec.Name, cd.From, partition)), inner), nil
+			node.TempPathIn(ex.spec.RunDir, fmt.Sprintf("%s-%s-p%d-merge", ex.spec.Name, cd.From, partition)), ex.spec.IOCounter, inner), nil
 	case ReduceToOne:
 		toZero := func(_ tuple.Tuple, _ int) int { return 0 }
 		return &partitionSender{ctx: ex.ctx, chans: cs.plain, part: toZero, stats: cs.stats}, nil

@@ -3,6 +3,7 @@ package hyracks
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"pregelix/internal/tuple"
 )
@@ -41,11 +42,30 @@ type TaskContext struct {
 	OperatorID    string
 	Partition     int
 	NumPartitions int
+	// OperatorMem is the buffer budget for this task's memory-hungry
+	// operators: the job-level carve when the spec sets one (multi-tenant
+	// admission control), otherwise the node default.
+	OperatorMem int64
+	// RunDir is the job's node-local scratch subdirectory ("" = the
+	// node's root scratch dir).
+	RunDir string
+	// ioCounter attributes temp-file I/O to the owning job (may be nil).
+	ioCounter *atomic.Int64
+}
+
+// AddIOBytes records temp-file I/O against both the machine (cluster
+// statistics) and the owning job (per-tenant statistics, so concurrent
+// jobs on one cluster do not absorb each other's I/O).
+func (tc *TaskContext) AddIOBytes(n int64) {
+	tc.Node.AddIOBytes(n)
+	if tc.ioCounter != nil {
+		tc.ioCounter.Add(n)
+	}
 }
 
 // TempPath returns a task-scoped temp file path on the task's node.
 func (tc *TaskContext) TempPath(kind string) string {
-	return tc.Node.TempPath(fmt.Sprintf("%s-%s-p%d-%s", tc.JobName, tc.OperatorID, tc.Partition, kind))
+	return tc.Node.TempPathIn(tc.RunDir, fmt.Sprintf("%s-%s-p%d-%s", tc.JobName, tc.OperatorID, tc.Partition, kind))
 }
 
 // OperatorDesc declares one logical operator of a job. Exactly one of
@@ -142,6 +162,17 @@ type JobSpec struct {
 	Name  string
 	Ops   []*OperatorDesc
 	Conns []*ConnectorDesc
+	// OperatorMemBytes overrides each node's default per-operator buffer
+	// budget for this job's tasks (0 = node default). The multi-tenant
+	// scheduler uses it to carve a share of the machine budget per
+	// admitted job so concurrent jobs spill instead of overcommitting.
+	OperatorMemBytes int64
+	// RunDir is a node-relative scratch subdirectory isolating this
+	// job's temp files from other tenants ("" = node root).
+	RunDir string
+	// IOCounter, when set, receives the job's temp-file I/O bytes so
+	// statistics stay per-tenant on a shared cluster.
+	IOCounter *atomic.Int64
 }
 
 // AddOp appends an operator and returns it for chaining.

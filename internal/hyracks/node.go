@@ -51,6 +51,9 @@ type NodeController struct {
 	failed  atomic.Bool
 	tmpSeq  atomic.Int64
 	ioBytes atomic.Int64
+	// madeDirs memoizes created scratch subdirectories so the per-file
+	// TempPathIn hot path skips redundant MkdirAll syscalls.
+	madeDirs sync.Map
 }
 
 // NodeConfig configures a simulated machine.
@@ -107,6 +110,43 @@ func (n *NodeController) Failed() bool { return n.failed.Load() }
 // TempPath returns a fresh temporary file path on this node's disk.
 func (n *NodeController) TempPath(prefix string) string {
 	return filepath.Join(n.Dir, fmt.Sprintf("%s-%d.tmp", prefix, n.tmpSeq.Add(1)))
+}
+
+// TempPathIn returns a fresh temp file path under the node-relative
+// subdirectory sub, creating the directory on first use. Per-job
+// subdirectories isolate concurrent tenants' scratch files and let the
+// job manager reclaim a whole job's local state in one call.
+func (n *NodeController) TempPathIn(sub, prefix string) string {
+	if sub == "" {
+		return n.TempPath(prefix)
+	}
+	dir := filepath.Join(n.Dir, sub)
+	if _, seen := n.madeDirs.Load(dir); !seen {
+		os.MkdirAll(dir, 0o755) // creation errors surface at file-create time
+		n.madeDirs.Store(dir, struct{}{})
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.tmp", prefix, n.tmpSeq.Add(1)))
+}
+
+// JobDir returns the node-local directory backing the given run
+// subdirectory ("" = the node root).
+func (n *NodeController) JobDir(sub string) string {
+	if sub == "" {
+		return n.Dir
+	}
+	return filepath.Join(n.Dir, sub)
+}
+
+// RemoveJobDir reclaims a job's scratch subdirectory and forgets the
+// memoized creation so a later tenant may reuse the path. Removing the
+// node root is refused.
+func (n *NodeController) RemoveJobDir(sub string) error {
+	if sub == "" {
+		return nil
+	}
+	dir := filepath.Join(n.Dir, sub)
+	n.madeDirs.Delete(dir)
+	return os.RemoveAll(dir)
 }
 
 // AddIOBytes records bytes of temp-file I/O for statistics.

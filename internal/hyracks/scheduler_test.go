@@ -1,0 +1,306 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func schedCluster(t *testing.T, nodes int, cfg NodeConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(t.TempDir(), nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSchedulerBoundsConcurrency hammers the admission controller with
+// many short jobs and asserts the in-flight bound is never violated.
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	c := schedCluster(t, 2, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 3})
+
+	const jobs = 40
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		tk, err := s.Submit(fmt.Sprintf("job-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tk.Await(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			tk.Release(nil)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent jobs, bound is 3", p)
+	}
+	st := s.Stats()
+	if st.Completed != jobs || st.Submitted != jobs {
+		t.Fatalf("stats %+v, want %d submitted+completed", st, jobs)
+	}
+	if st.PeakRunning > 3 {
+		t.Fatalf("scheduler recorded peak %d > 3", st.PeakRunning)
+	}
+}
+
+// TestSchedulerFIFOOrder serializes admission through one slot and
+// asserts jobs start in exact submission order.
+func TestSchedulerFIFOOrder(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	const jobs = 16
+	order := make(chan int, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		tk, err := s.Submit(fmt.Sprintf("fifo-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tk.Await(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			tk.Release(nil)
+		}()
+	}
+	wg.Wait()
+	close(order)
+	prev := -1
+	for got := range order {
+		if got != prev+1 {
+			t.Fatalf("admission order broke FIFO: got job %d after job %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSchedulerQueueBound checks ErrQueueFull.
+func TestSchedulerQueueBound(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1, MaxQueuedJobs: 2})
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(fmt.Sprintf("q-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit("overflow"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+}
+
+// TestSchedulerCancelQueued cancels a waiting ticket and checks the
+// waiter unblocks with ErrJobCanceled.
+func TestSchedulerCancelQueued(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	head, err := s.Submit("head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := head.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiting, err := s.Submit("waiting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- waiting.Await(context.Background()) }()
+	waiting.Cancel()
+	if err := <-got; !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("Await returned %v, want ErrJobCanceled", err)
+	}
+	if st := waiting.State(); st != JobCanceled {
+		t.Fatalf("state %v, want canceled", st)
+	}
+	head.Release(nil)
+	if st := s.Stats(); st.Canceled != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSchedulerCancelRunning checks the Done channel fires and Release
+// records the canceled outcome.
+func TestSchedulerCancelRunning(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	tk, err := s.Submit("running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tk.Cancel()
+	select {
+	case <-tk.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done channel never closed")
+	}
+	tk.Release(context.Canceled)
+	if st := tk.State(); st != JobCanceled {
+		t.Fatalf("state %v, want canceled", st)
+	}
+}
+
+// TestSchedulerAwaitContextTimeout checks a queued ticket abandons the
+// queue when its caller's context expires, freeing the head for others.
+func TestSchedulerAwaitContextTimeout(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	head, err := s.Submit("head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := head.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiting, err := s.Submit("impatient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := waiting.Await(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Await returned %v, want deadline exceeded", err)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("abandoned ticket still queued")
+	}
+	head.Release(nil)
+}
+
+// TestSchedulerOperatorMemCarve checks the shared-RAM division.
+func TestSchedulerOperatorMemCarve(t *testing.T) {
+	// RAM 16 MiB => default node operator budget 1 MiB; 4 slots => 256 KiB.
+	c := schedCluster(t, 2, NodeConfig{RAMBytes: 16 << 20})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 4})
+	tk, err := s.Submit("carved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tk.OperatorMem(), int64(256<<10); got != want {
+		t.Fatalf("carve %d, want %d", got, want)
+	}
+	tk.Release(nil)
+
+	// Explicit override wins.
+	s2 := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 4, OperatorMemPerJob: 123456})
+	tk2, err := s2.Submit("explicit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk2.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk2.OperatorMem(); got != 123456 {
+		t.Fatalf("explicit carve %d", got)
+	}
+	tk2.Release(nil)
+}
+
+// TestSchedulerClose checks queued jobs are canceled and submissions
+// rejected after Close, while a running job can still release.
+func TestSchedulerClose(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	running, err := s.Submit("running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := running.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit("queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if st := queued.State(); st != JobCanceled {
+		t.Fatalf("queued job state %v after Close", st)
+	}
+	if _, err := s.Submit("late"); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	running.Release(nil)
+	if st := running.State(); st != JobDone {
+		t.Fatalf("running job state %v", st)
+	}
+}
+
+// TestSchedulerSnapshotAndStates covers the status plumbing.
+func TestSchedulerSnapshotAndStates(t *testing.T) {
+	c := schedCluster(t, 1, NodeConfig{})
+	s := NewJobScheduler(c, AdmissionConfig{MaxConcurrentJobs: 1})
+
+	a, _ := s.Submit("a")
+	b, _ := s.Submit("b")
+	if err := a.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	if snap[0].Name != "a" || snap[0].State != JobRunning {
+		t.Fatalf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "b" || snap[1].State != JobQueued {
+		t.Fatalf("snapshot[1] = %+v", snap[1])
+	}
+	a.Release(errors.New("boom"))
+	if st := a.State(); st != JobFailed {
+		t.Fatalf("failed job state %v", st)
+	}
+	if got := a.Status().Err; got != "boom" {
+		t.Fatalf("status err %q", got)
+	}
+	b.Cancel()
+	for _, want := range []struct {
+		st  JobState
+		str string
+	}{
+		{JobQueued, "queued"}, {JobRunning, "running"}, {JobDone, "done"},
+		{JobFailed, "failed"}, {JobCanceled, "canceled"},
+	} {
+		if want.st.String() != want.str {
+			t.Fatalf("state string %v", want.st)
+		}
+	}
+}

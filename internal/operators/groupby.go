@@ -157,7 +157,7 @@ type spillingGroupBy struct {
 }
 
 func (g *spillingGroupBy) Open() error {
-	cap := g.tc.Node.OperatorMem
+	cap := g.tc.OperatorMem
 	g.budget = g.tc.Node.RAM.Child(
 		fmt.Sprintf("groupby-%s-p%d", g.tc.OperatorID, g.tc.Partition), cap)
 	if g.hash && g.combiner != nil {
@@ -255,7 +255,7 @@ func (g *spillingGroupBy) spill() error {
 	if err := rf.CloseWrite(); err != nil {
 		return err
 	}
-	g.tc.Node.AddIOBytes(rf.PayloadBytes())
+	g.tc.AddIOBytes(rf.PayloadBytes())
 	g.runs = append(g.runs, rf)
 	g.budget.Release(g.budget.Used())
 	return nil
