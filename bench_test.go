@@ -202,12 +202,83 @@ func BenchmarkTupleRoundTrip(b *testing.B) {
 	rf.Delete()
 }
 
+// BenchmarkFrameAppend measures the packed-frame write path: packing
+// (vid, payload) tuples into a frame buffer in place. Compare with
+// BenchmarkFrameAppendBoxed, the seed's boxed representation.
+func BenchmarkFrameAppend(b *testing.B) {
+	f := tuple.NewFrame()
+	app := tuple.NewFrameAppender(f)
+	k := tuple.EncodeUint64(42)
+	v := make([]byte, 16)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !app.Append(k, v) {
+			f.Reset()
+			app.Append(k, v)
+		}
+	}
+}
+
+// BenchmarkFrameAppendBoxed is the boxed-tuple baseline for
+// BenchmarkFrameAppend: one Tuple header plus encoded key per append,
+// batched in a []Tuple frame that is reallocated at each flush (the
+// seed's transport representation).
+func BenchmarkFrameAppendBoxed(b *testing.B) {
+	frame := make([]tuple.Tuple, 0, 64)
+	bytes := 0
+	v := make([]byte, 16)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := tuple.Tuple{tuple.EncodeUint64(42), v}
+		frame = append(frame, t)
+		if bytes += t.Size(); bytes >= tuple.DefaultFrameSize {
+			frame = make([]tuple.Tuple, 0, 64)
+			bytes = 0
+		}
+	}
+	_ = frame
+}
+
+// BenchmarkMessagePath drives the packed message hot path through a real
+// dataflow job: source -> m-to-n hash partitioning -> sort group-by ->
+// frame-packing sink. allocs/op at N=100k tuples per op is the PR2
+// acceptance metric; BenchmarkMessagePathBoxed is the seed baseline.
+func BenchmarkMessagePath(b *testing.B) {
+	cluster, err := hyracks.NewCluster(b.TempDir(), 4, hyracks.NodeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunPackedMessagePath(ctx, cluster, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessagePathBoxed runs the same logical pipeline built from
+// the seed's boxed tuples (see internal/bench/framepath.go).
+func BenchmarkMessagePathBoxed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunBoxedMessagePath(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHashPartitioner(b *testing.B) {
 	p := hyracks.HashPartitioner(0)
-	t := tuple.Tuple{tuple.EncodeUint64(123456789)}
+	f := tuple.NewFrame()
+	tuple.NewFrameAppender(f).Append(tuple.EncodeUint64(123456789))
+	r := f.Tuple(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = p(t, 32)
+		_ = p(r, 32)
 	}
 }
 

@@ -9,6 +9,32 @@
 // Because every operator and access method is out-of-core capable, the
 // same plans run in-memory and disk-based workloads transparently.
 //
+// # Packed frames
+//
+// Tuples move between operators in packed byte-buffer frames
+// (internal/tuple), mirroring the fixed-size binary frame transport the
+// paper's performance rests on. A frame is one contiguous buffer:
+//
+//	[ tuple records ... | free | slot directory | tuple count ]
+//	 0 ............ dataEnd                cap-4-4*count   cap-4
+//
+// The slot directory grows backward from the end of the buffer; slot i
+// holds the end offset of record i. Each record is self-describing:
+// u32 field count, per-field u32 end offsets, then the field bytes.
+// Writers pack tuples with a tuple.FrameAppender; readers access fields
+// in place through tuple.TupleRef subslices — no per-tuple or per-field
+// objects are materialized on the data path, and frames are recycled
+// through a pool.
+//
+// Ownership rules: a frame passed to FrameWriter.NextFrame is borrowed —
+// the callee must copy anything it retains past the call, either packed
+// (FrameAppender.AppendRef, one memmove) or boxed (TupleRef.Materialize,
+// the compatibility view for call sites that legitimately keep data
+// beyond frame lifetime, e.g. hash-table accumulators). A frame received
+// from a connector channel is owned by the receiver, which returns it to
+// the pool with tuple.PutFrame once drained; the pool asserts that no
+// frame is released twice or recycled while still leased.
+//
 // Layout:
 //
 //   - pregel            — the user-facing Pregel API (Program, Combiner,
@@ -50,6 +76,8 @@
 //
 //	go run ./cmd/pregelix-bench -experiment all
 //
-// which also writes the machine-readable BENCH_PR1.json report; see
-// README.md for the scheduler/JobManager API tour.
+// which also writes the machine-readable BENCH_PR2.json report
+// (including the packed-vs-boxed message-path allocation comparison of
+// the framepath experiment); see README.md for the scheduler/JobManager
+// API tour and the frame memory layout.
 package pregelix

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/operators"
+	"pregelix/internal/tuple"
+)
+
+// The frame-path experiment measures what PR2's packed-frame refactor
+// buys on the message hot path (compute source → partitioning connector
+// → group-by → sink): heap allocations and nanoseconds per tuple, packed
+// frames versus the seed's boxed-tuple representation. The boxed
+// pipeline below reproduces the seed data structures stage by stage
+// ([][]byte tuples batched in []Tuple frames, a fresh frame per flush,
+// per-field length-prefixed writes at the sink) without engine goroutine
+// overhead, so it flatters the baseline if anything.
+
+// msgPathTuples is the tuple count per measured operation.
+const msgPathTuples = 100_000
+
+const (
+	msgPathSenders   = 4
+	msgPathReceivers = 4
+	msgPathPayload   = 16
+)
+
+// RunPackedMessagePath pushes n (vid, payload) tuples through a real
+// dataflow job — source, m-to-n hash partitioning connector, sort-based
+// group-by, frame-packing sink — and returns the tuple count seen by the
+// sink.
+func RunPackedMessagePath(ctx context.Context, cluster *hyracks.Cluster, n int) (int64, error) {
+	payload := make([]byte, msgPathPayload)
+	var seen int64
+	perSender := n / msgPathSenders
+
+	spec := &hyracks.JobSpec{Name: "msgpath"}
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "src",
+		Partitions: msgPathSenders,
+		NewSource: func(tc *hyracks.TaskContext) (hyracks.SourceRuntime, error) {
+			part := tc.Partition
+			return &hyracks.FuncSource{F: func(ctx context.Context, b *hyracks.BaseSource) error {
+				var vid [8]byte
+				for i := 0; i < perSender; i++ {
+					binary.BigEndian.PutUint64(vid[:], uint64(part*perSender+i))
+					if err := b.EmitFields(0, vid[:], payload); err != nil {
+						return err
+					}
+				}
+				return nil
+			}}, nil
+		},
+	})
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "gb",
+		Partitions: msgPathReceivers,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			return operators.NewExternalSortRuntime(tc), nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{
+		From: "src", To: "gb",
+		Type:        hyracks.MToNPartitioning,
+		Partitioner: hyracks.HashPartitioner(0),
+	})
+	sinkFrames := make([]*tuple.Frame, msgPathReceivers)
+	spec.AddOp(&hyracks.OperatorDesc{
+		ID:         "sink",
+		Partitions: msgPathReceivers,
+		NewRuntime: func(tc *hyracks.TaskContext) (hyracks.PushRuntime, error) {
+			// Packs the sorted stream into frames the way the msg-sink
+			// run file does, minus the disk write.
+			p := tc.Partition
+			if sinkFrames[p] == nil {
+				sinkFrames[p] = tuple.NewFrame()
+			}
+			out := sinkFrames[p]
+			out.Reset()
+			app := tuple.NewFrameAppender(out)
+			var count int64
+			return &hyracks.FuncRuntime{
+				OnRef: func(_ *hyracks.BaseRuntime, r tuple.TupleRef) error {
+					if !app.AppendRef(r) {
+						out.Reset()
+						app.AppendRef(r)
+					}
+					count++
+					return nil
+				},
+				OnClose: func(_ *hyracks.BaseRuntime) error {
+					atomic.AddInt64(&seen, count)
+					return nil
+				},
+			}, nil
+		},
+	})
+	spec.Connect(&hyracks.ConnectorDesc{From: "gb", To: "sink", Type: hyracks.OneToOne})
+
+	if _, err := hyracks.RunJob(ctx, cluster, spec); err != nil {
+		return 0, err
+	}
+	return atomic.LoadInt64(&seen), nil
+}
+
+// boxedFrame is the seed's frame: a slice of boxed tuples with a soft
+// byte threshold.
+type boxedFrame struct {
+	tuples []tuple.Tuple
+	bytes  int
+}
+
+func newBoxedFrame() *boxedFrame { return &boxedFrame{tuples: make([]tuple.Tuple, 0, 64)} }
+
+func (f *boxedFrame) append(t tuple.Tuple) bool {
+	f.tuples = append(f.tuples, t)
+	f.bytes += t.Size()
+	return f.bytes >= tuple.DefaultFrameSize
+}
+
+// RunBoxedMessagePath is the seed-style baseline: the same logical
+// pipeline built from boxed [][]byte tuples. Every stage allocates the
+// way the seed engine did — a Tuple header plus encoded key per source
+// tuple, a fresh frame per connector flush, boxed buffering in the sort,
+// and per-field length-prefixed writes at the sink.
+func RunBoxedMessagePath(n int) (int64, error) {
+	payload := make([]byte, msgPathPayload)
+	perSender := n / msgPathSenders
+
+	part := func(t tuple.Tuple) int {
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for _, b := range t[0] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		return int(h % uint64(msgPathReceivers))
+	}
+
+	// Receiver-side state: sort buffers and sink serialization buffer.
+	gbBufs := make([][]tuple.Tuple, msgPathReceivers)
+	var sinkBuf writerBuf
+
+	deliver := func(f *boxedFrame) {
+		for _, t := range f.tuples {
+			p := part(t)
+			gbBufs[p] = append(gbBufs[p], t)
+		}
+	}
+
+	// Source + partitioning: batch into frames, re-batch per receiver,
+	// allocating a fresh frame per flush as the seed connector did.
+	sendBufs := make([]*boxedFrame, msgPathSenders)
+	for s := range sendBufs {
+		sendBufs[s] = newBoxedFrame()
+	}
+	for s := 0; s < msgPathSenders; s++ {
+		for i := 0; i < perSender; i++ {
+			vid := uint64(s*perSender + i)
+			t := tuple.Tuple{tuple.EncodeUint64(vid), payload}
+			if sendBufs[s].append(t) {
+				deliver(sendBufs[s])
+				sendBufs[s] = newBoxedFrame()
+			}
+		}
+	}
+	for s := range sendBufs {
+		deliver(sendBufs[s])
+	}
+
+	// Group-by (sort) + sink: sort each receiver's buffer and serialize
+	// tuple-at-a-time, field-at-a-time.
+	var seen int64
+	for p := range gbBufs {
+		buf := gbBufs[p]
+		sort.SliceStable(buf, func(i, j int) bool {
+			return string(buf[i][0]) < string(buf[j][0])
+		})
+		sinkBuf.b = sinkBuf.b[:0]
+		for _, t := range buf {
+			if err := tuple.WriteTuple(&sinkBuf, t); err != nil {
+				return 0, err
+			}
+			if len(sinkBuf.b) >= tuple.DefaultFrameSize {
+				sinkBuf.b = sinkBuf.b[:0]
+			}
+			seen++
+		}
+	}
+	return seen, nil
+}
+
+// writerBuf is a minimal growable io.Writer.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// RunFramePath benchmarks the packed and boxed message paths and prints
+// the allocations-per-tuple comparison (the PR2 acceptance metric).
+func RunFramePath(ctx context.Context, o Options) error {
+	o.defaults()
+	dir := o.WorkDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "framepath")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	cluster, err := hyracks.NewCluster(dir, msgPathSenders, hyracks.NodeConfig{})
+	if err != nil {
+		return err
+	}
+
+	packed := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen, err := RunPackedMessagePath(ctx, cluster, msgPathTuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if seen != msgPathTuples {
+				b.Fatalf("packed path saw %d tuples, want %d", seen, msgPathTuples)
+			}
+		}
+	})
+	boxed := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen, err := RunBoxedMessagePath(msgPathTuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if seen != msgPathTuples {
+				b.Fatalf("boxed path saw %d tuples, want %d", seen, msgPathTuples)
+			}
+		}
+	})
+
+	pa := float64(packed.AllocsPerOp()) / msgPathTuples
+	ba := float64(boxed.AllocsPerOp()) / msgPathTuples
+	pn := float64(packed.NsPerOp()) / msgPathTuples
+	bn := float64(boxed.NsPerOp()) / msgPathTuples
+	fmt.Fprintf(o.Out, "%-22s %14s %14s\n", "message path", "allocs/tuple", "ns/tuple")
+	fmt.Fprintf(o.Out, "%-22s %14.3f %14.1f\n", "boxed (seed)", ba, bn)
+	fmt.Fprintf(o.Out, "%-22s %14.3f %14.1f\n", "packed (PR2)", pa, pn)
+	ratio := 0.0
+	if pa > 0 {
+		ratio = ba / pa
+	}
+	fmt.Fprintf(o.Out, "%-22s %14.1fx\n", "alloc reduction", ratio)
+
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "msgpath-boxed",
+		AllocsPerTuple: ba, NsPerTuple: bn})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "msgpath-packed",
+		AllocsPerTuple: pa, NsPerTuple: pn})
+	return nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"pregelix/internal/hyracks"
+)
+
+// TestMessagePathAllocRatio enforces the PR2 acceptance criterion: the
+// packed-frame message path must allocate at least 5x less per tuple
+// than the seed-style boxed pipeline.
+func TestMessagePathAllocRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison under -short")
+	}
+	cluster, err := hyracks.NewCluster(t.TempDir(), msgPathSenders, hyracks.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	packed := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen, err := RunPackedMessagePath(ctx, cluster, msgPathTuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if seen != msgPathTuples {
+				b.Fatalf("packed path saw %d tuples, want %d", seen, msgPathTuples)
+			}
+		}
+	})
+	boxed := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen, err := RunBoxedMessagePath(msgPathTuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if seen != msgPathTuples {
+				b.Fatalf("boxed path saw %d tuples, want %d", seen, msgPathTuples)
+			}
+		}
+	})
+
+	pa := float64(packed.AllocsPerOp())
+	ba := float64(boxed.AllocsPerOp())
+	t.Logf("allocs/op: packed=%d boxed=%d (per tuple: %.3f vs %.3f)",
+		packed.AllocsPerOp(), boxed.AllocsPerOp(),
+		pa/msgPathTuples, ba/msgPathTuples)
+	if pa*5 > ba {
+		t.Fatalf("packed path allocs/op %.0f not >=5x below boxed %.0f", pa, ba)
+	}
+}

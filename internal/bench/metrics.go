@@ -26,6 +26,11 @@ type RunMetric struct {
 	Concurrency int `json:"concurrency,omitempty"`
 	// JobsPerHour is the throughput metric (throughput runs).
 	JobsPerHour float64 `json:"jobsPerHour,omitempty"`
+	// AllocsPerTuple is the heap allocations per tuple moved through the
+	// data path (frame-path runs).
+	AllocsPerTuple float64 `json:"allocsPerTuple,omitempty"`
+	// NsPerTuple is wall nanoseconds per tuple (frame-path runs).
+	NsPerTuple float64 `json:"nsPerTuple,omitempty"`
 	// QueueWaitSeconds is the mean admission wait (scheduler runs).
 	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
 	// Failed marks runs that did not complete.

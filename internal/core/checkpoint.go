@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strconv"
 
@@ -40,9 +41,15 @@ func (rs *runState) ckptDir(ss int64) string {
 	return fmt.Sprintf("/pregelix/%s/ckpt/ss%d", rs.job.Name, ss)
 }
 
-// checkpoint writes the superstep's Vertex and Msg state to the DFS.
+// checkpoint writes the superstep's Vertex and Msg state to the DFS as
+// packed frame images: the vertex scan is packed through a frame
+// appender (one bulk write per frame), and the Msg run file — already a
+// stream of frame images on local disk — is copied byte-for-byte.
 func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 	dir := rs.ckptDir(ss)
+	fr := tuple.GetFrame()
+	defer tuple.PutFrame(fr)
+	app := tuple.NewFrameAppender(fr)
 	for _, ps := range rs.parts {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -57,20 +64,31 @@ func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 		if err != nil {
 			return err
 		}
+		fr.Reset()
 		for {
 			k, v, ok := cur.Next()
 			if !ok {
 				break
 			}
-			if err := tuple.WriteTuple(bw, tuple.Tuple{k, v}); err != nil {
-				cur.Close()
-				return err
+			if !app.Append(k, v) {
+				if err := tuple.WriteFrame(bw, fr); err != nil {
+					cur.Close()
+					return err
+				}
+				fr.Reset()
+				app.Append(k, v)
 			}
 		}
 		err = cur.Err()
 		cur.Close()
 		if err != nil {
 			return err
+		}
+		if fr.Len() > 0 {
+			if err := tuple.WriteFrame(bw, fr); err != nil {
+				return err
+			}
+			fr.Reset()
 		}
 		if err := bw.Flush(); err != nil {
 			return err
@@ -79,35 +97,22 @@ func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 			return err
 		}
 
-		// Msg partition: copy the run file bytes.
+		// Msg partition: copy the run file bytes (same frame-image
+		// format on local disk and in the DFS).
 		mw, err := rs.rt.DFS.Create(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
 		if err != nil {
 			return err
 		}
 		if ps.msgPath != "" {
-			rr, err := storage.OpenRunReader(ps.msgPath)
+			mf, err := os.Open(ps.msgPath)
 			if err != nil {
 				return err
 			}
-			mbw := bufio.NewWriterSize(mw, 1<<16)
-			for {
-				t, err := rr.Next()
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					rr.Close()
-					return err
-				}
-				if err := tuple.WriteTuple(mbw, t); err != nil {
-					rr.Close()
-					return err
-				}
-			}
-			rr.Close()
-			if err := mbw.Flush(); err != nil {
+			if _, err := io.Copy(mw, mf); err != nil {
+				mf.Close()
 				return err
 			}
+			mf.Close()
 		}
 		if err := mw.Close(); err != nil {
 			return err
@@ -251,6 +256,10 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 		}
 	}
 
+	// add routes one checkpoint record into the vertex index (bulk load
+	// for the B-tree, upsert for the LSM tree) and the Vid rebuild.
+	var add func(k, v []byte) error
+	var btLoader *storage.BulkLoader
 	if rs.job.Storage == pregel.LSMStorage {
 		lsmDir := rs.localDir(node, fmt.Sprintf("vertex-lsm-rec-p%d-%d", ps.idx, rs.nextSeq()))
 		if err := mkdir(lsmDir); err != nil {
@@ -261,56 +270,45 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 			return err
 		}
 		ps.vertexIdx = storage.AsLSMIndex(lsm)
+		add = ps.vertexIdx.Insert
 	} else {
 		bt, err := storage.CreateBTree(node.BufferCache,
 			rs.tempPath(node, fmt.Sprintf("vertex-rec-p%d", ps.idx)))
 		if err != nil {
 			return err
 		}
-		loader, err := bt.NewBulkLoader(0.9)
-		if err != nil {
-			return err
-		}
-		for {
-			t, err := tuple.ReadTuple(br)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			if err := loader.Add(t[0], t[1]); err != nil {
-				return err
-			}
-			if vidLoader != nil && isLiveVertexRecord(t[1]) {
-				if err := vidLoader.Add(t[0], nil); err != nil {
-					return err
-				}
-			}
-		}
-		if err := loader.Finish(); err != nil {
+		if btLoader, err = bt.NewBulkLoader(0.9); err != nil {
 			return err
 		}
 		ps.vertexIdx = storage.AsIndex(bt)
+		add = btLoader.Add
 	}
-	if rs.job.Storage == pregel.LSMStorage {
-		// LSM path: insert records (bulk path above only covers B-tree).
-		for {
-			t, err := tuple.ReadTuple(br)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
+
+	// Vertex snapshot: a stream of packed frame images, vid-sorted.
+	fr := tuple.GetFrame()
+	defer tuple.PutFrame(fr)
+	for {
+		if err := tuple.ReadFrameInto(br, fr); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		for i := 0; i < fr.Len(); i++ {
+			t := fr.Tuple(i)
+			k, v := t.Field(0), t.Field(1)
+			if err := add(k, v); err != nil {
 				return err
 			}
-			if err := ps.vertexIdx.Insert(t[0], t[1]); err != nil {
-				return err
-			}
-			if vidLoader != nil && isLiveVertexRecord(t[1]) {
-				if err := vidLoader.Add(t[0], nil); err != nil {
+			if vidLoader != nil && isLiveVertexRecord(v) {
+				if err := vidLoader.Add(k, nil); err != nil {
 					return err
 				}
 			}
+		}
+	}
+	if btLoader != nil {
+		if err := btLoader.Finish(); err != nil {
+			return err
 		}
 	}
 	if vidLoader != nil {
@@ -320,7 +318,7 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 		ps.vid = vidTree
 	}
 
-	// Msg run file.
+	// Msg run file: same frame-image format; repack frame by frame.
 	mr, err := rs.rt.DFS.Open(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
 	if err != nil {
 		return err
@@ -331,14 +329,12 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 		return err
 	}
 	for {
-		t, err := tuple.ReadTuple(mbr)
-		if err == io.EOF {
+		if err := tuple.ReadFrameInto(mbr, fr); err == io.EOF {
 			break
-		}
-		if err != nil {
+		} else if err != nil {
 			return err
 		}
-		if err := rf.Append(t); err != nil {
+		if err := rf.AppendFrame(fr); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// TestPageRankPackedFramePlans runs full PageRank jobs — compute source,
+// partitioning (and merging) connectors, group-bys, and the msg-sink run
+// files, all moving packed frames — under every connector/group-by
+// combination, and requires results identical to the reference engine.
+// Run with -race (as CI does) this doubles as the check that pooled
+// frame recycling never races a consumer still reading a frame.
+func TestPageRankPackedFramePlans(t *testing.T) {
+	g := graphgen.Webmap(240, 4, 9)
+	want := referenceValues(t, algorithms.NewPageRankJob("pr", "", "", 4), g)
+
+	for _, gb := range []pregel.GroupByKind{pregel.SortGroupBy, pregel.HashSortGroupBy} {
+		for _, conn := range []pregel.ConnectorKind{pregel.UnmergeConnector, pregel.MergeConnector} {
+			name := fmt.Sprintf("%v-%v", gb, conn)
+			t.Run(name, func(t *testing.T) {
+				rt := newTestRuntime(t, 3)
+				defer rt.Close()
+				putGraph(t, rt, "/in/g", g)
+				job := algorithms.NewPageRankJob("pr-"+name, "/in/g", "/out/"+name, 4)
+				job.GroupBy, job.Connector = gb, conn
+				if _, err := rt.Run(context.Background(), job); err != nil {
+					t.Fatal(err)
+				}
+				got := readOutputValues(t, rt, "/out/"+name)
+				compareValues(t, got, want, "pagerank-"+name)
+			})
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -103,10 +104,10 @@ func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
 
 	recvKind := gbKind
 	connType := hyracks.MToNPartitioning
-	var cmp tuple.Comparator
+	var cmp tuple.RefComparator
 	if rs.job.Connector == pregel.MergeConnector {
 		connType = hyracks.MToNPartitioningMerging
-		cmp = tuple.Field0Compare
+		cmp = tuple.Field0RefCompare
 		recvKind = operators.PreclusteredGroupBy
 	}
 	spec.AddOp(&hyracks.OperatorDesc{
@@ -212,8 +213,8 @@ func newMsgSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime, err
 			rf, err = storage.CreateRunFile(path)
 			return err
 		},
-		OnTuple: func(_ *hyracks.BaseRuntime, t tuple.Tuple) error {
-			return rf.Append(t)
+		OnRef: func(_ *hyracks.BaseRuntime, r tuple.TupleRef) error {
+			return rf.AppendRef(r)
 		},
 		OnClose: func(_ *hyracks.BaseRuntime) error {
 			if err := rf.CloseWrite(); err != nil {
@@ -259,17 +260,20 @@ func newResolveSink(rs *runState, tc *hyracks.TaskContext) *resolveSink {
 func (r *resolveSink) Open() error { return nil }
 
 func (r *resolveSink) NextFrame(f *tuple.Frame) error {
-	for _, t := range f.Tuples {
-		vid := tuple.DecodeUint64(t[0])
+	for i := 0; i < f.Len(); i++ {
+		t := f.Tuple(i)
+		vid := tuple.DecodeUint64(t.Field(0))
 		ms := r.muts[vid]
 		if ms == nil {
 			ms = &mutationSet{}
 			r.muts[vid] = ms
 			r.order = append(r.order, vid)
 		}
-		switch t[1][0] {
+		switch op := t.Field(1); op[0] {
 		case mutAdd:
-			v, err := r.rs.codec.DecodeVertex(pregel.VertexID(vid), t[2])
+			// DecodeVertex copies all bytes it keeps, so the retained
+			// vertex does not alias the borrowed frame.
+			v, err := r.rs.codec.DecodeVertex(pregel.VertexID(vid), t.Field(2))
 			if err != nil {
 				return fmt.Errorf("pregelix: corrupt mutation vertex: %w", err)
 			}
@@ -277,7 +281,7 @@ func (r *resolveSink) NextFrame(f *tuple.Frame) error {
 		case mutRemove:
 			ms.removed = true
 		default:
-			return fmt.Errorf("pregelix: unknown mutation op %d", t[1][0])
+			return fmt.Errorf("pregelix: unknown mutation op %d", op[0])
 		}
 	}
 	return nil
@@ -359,13 +363,14 @@ func newGSSink(rs *runState) *gsSink {
 func (g *gsSink) Open() error { return nil }
 
 func (g *gsSink) NextFrame(f *tuple.Frame) error {
-	for _, t := range f.Tuples {
-		g.haltAll = g.haltAll && tuple.DecodeBool(t[0])
-		if tuple.DecodeBool(t[1]) {
+	for i := 0; i < f.Len(); i++ {
+		t := f.Tuple(i)
+		g.haltAll = g.haltAll && tuple.DecodeBool(t.Field(0))
+		if tuple.DecodeBool(t.Field(1)) {
 			if g.rs.job.Aggregator == nil {
 				return fmt.Errorf("pregelix: aggregate contribution without Aggregator")
 			}
-			contrib, err := decodeAggValue(g.rs.job, t[2])
+			contrib, err := decodeAggValue(g.rs.job, t.Field(2))
 			if err != nil {
 				return err
 			}
@@ -598,7 +603,7 @@ func (c *computeSource) processVertex(cc *computeCtx, ps *partitionState,
 	}
 
 	// Persist the (possibly updated) vertex: D2.
-	if err := updates.Append(tuple.Tuple{vid, rs.codec.EncodeVertex(v)}); err != nil {
+	if err := updates.AppendFields(vid, rs.codec.EncodeVertex(v)); err != nil {
 		return err
 	}
 	if created {
@@ -652,8 +657,9 @@ func (c *computeCtx) GlobalAggregate() pregel.Value {
 func (c *computeCtx) Config(key string) string { return c.rs.job.Config[key] }
 
 func (c *computeCtx) SendMessage(to pregel.VertexID, m pregel.Value) {
-	t := tuple.Tuple{tuple.EncodeUint64(uint64(to)), pregel.EncodeMsgList(m)}
-	if err := c.src.Emit(portMsgs, t); err != nil && c.err == nil {
+	var vid [8]byte
+	binary.BigEndian.PutUint64(vid[:], uint64(to))
+	if err := c.src.EmitFields(portMsgs, vid[:], pregel.EncodeMsgList(m)); err != nil && c.err == nil {
 		c.err = err
 	}
 	c.vertexSent++

@@ -13,7 +13,7 @@ import (
 // selectivity threshold and probe (left outer join) strictly below it,
 // and plan hints must be honored verbatim when AutoPlan is off.
 func TestChooseJoinBoundaries(t *testing.T) {
-	const n = 1000 // NumVertices; threshold = lojSelectivityThreshold * n
+	const n = 1000                                           // NumVertices; threshold = lojSelectivityThreshold * n
 	threshold := int64(lojSelectivityThreshold * float64(n)) // 250
 
 	cases := []struct {

@@ -11,7 +11,9 @@ import (
 	"pregelix/internal/tuple"
 )
 
-// packet is the unit moved across a simulated network channel.
+// packet is the unit moved across a simulated network channel. Frame
+// ownership transfers with the packet: the receiver returns the frame to
+// the pool (tuple.PutFrame) once it has drained it.
 type packet struct {
 	frame *tuple.Frame
 	eos   bool
@@ -28,19 +30,21 @@ func sendPacket(ctx context.Context, ch chan packet, p packet) error {
 }
 
 // partitionSender is the sender endpoint of a partitioning connector: it
-// routes each tuple to the channel of its consumer partition, batching
-// into frames.
+// routes each tuple record to the pooled frame of its consumer partition
+// (one memmove per tuple, no boxing) and ships full frames downstream.
 type partitionSender struct {
 	ctx   context.Context
 	chans []chan packet
 	part  Partitioner
 	bufs  []*tuple.Frame
+	apps  []tuple.FrameAppender
 
 	// Stats shared across all sender endpoints of the connector.
 	stats *ConnStats
 }
 
-// ConnStats aggregates traffic over one connector.
+// ConnStats aggregates traffic over one connector. Tuple and byte counts
+// are taken from the frame header (Len/DataBytes) at flush time.
 type ConnStats struct {
 	mu     sync.Mutex
 	Tuples int64
@@ -61,45 +65,66 @@ func (s *ConnStats) add(tuples int, bytes int) {
 
 func (s *partitionSender) Open() error {
 	s.bufs = make([]*tuple.Frame, len(s.chans))
+	s.apps = make([]tuple.FrameAppender, len(s.chans))
 	for i := range s.bufs {
-		s.bufs[i] = tuple.NewFrame()
+		s.bufs[i] = tuple.GetFrame()
+		s.apps[i].Reset(s.bufs[i])
 	}
 	return nil
 }
 
 func (s *partitionSender) NextFrame(f *tuple.Frame) error {
 	n := len(s.chans)
-	for _, t := range f.Tuples {
+	for i := 0; i < f.Len(); i++ {
+		r := f.Tuple(i)
 		p := 0
 		if s.part != nil {
-			p = s.part(t, n)
+			p = s.part(r, n)
 		}
 		if p < 0 || p >= n {
 			return fmt.Errorf("connector: partitioner returned %d of %d", p, n)
 		}
-		if s.bufs[p].Append(t) {
-			if err := s.flush(p); err != nil {
-				return err
-			}
+		if s.apps[p].AppendRef(r) {
+			continue
+		}
+		if err := s.flush(p); err != nil {
+			return err
+		}
+		if !s.apps[p].AppendRef(r) {
+			return fmt.Errorf("connector: tuple does not fit an empty frame")
 		}
 	}
 	return nil
 }
 
+// flush hands the partition's frame to the consumer (ownership transfers
+// with the packet) and takes a fresh pooled frame for refilling.
 func (s *partitionSender) flush(p int) error {
 	f := s.bufs[p]
 	if f.Len() == 0 {
 		return nil
 	}
-	s.stats.add(f.Len(), f.Bytes())
+	s.stats.add(f.Len(), f.DataBytes())
 	if err := sendPacket(s.ctx, s.chans[p], packet{frame: f}); err != nil {
 		return err
 	}
-	s.bufs[p] = tuple.NewFrame()
+	s.bufs[p] = tuple.GetFrame()
+	s.apps[p].Reset(s.bufs[p])
 	return nil
 }
 
+// releaseBufs returns unsent frames to the pool (idempotent).
+func (s *partitionSender) releaseBufs() {
+	for i, f := range s.bufs {
+		if f != nil {
+			tuple.PutFrame(f)
+			s.bufs[i] = nil
+		}
+	}
+}
+
 func (s *partitionSender) Close() error {
+	defer s.releaseBufs()
 	for p := range s.chans {
 		if err := s.flush(p); err != nil {
 			return err
@@ -112,6 +137,7 @@ func (s *partitionSender) Close() error {
 }
 
 func (s *partitionSender) Fail(err error) {
+	s.releaseBufs()
 	for p := range s.chans {
 		// Best effort: the job context is being cancelled anyway.
 		select {
@@ -191,8 +217,10 @@ func (m *materializingWriter) pump() {
 			m.inner.Fail(err)
 			return
 		}
-		m.addIO(int64(f.Bytes()))
-		if err := m.inner.NextFrame(f); err != nil {
+		m.addIO(int64(f.DataBytes()))
+		err = m.inner.NextFrame(f)
+		tuple.PutFrame(f)
+		if err != nil {
 			m.pumpErr = err
 			m.inner.Fail(err)
 			return
@@ -201,7 +229,7 @@ func (m *materializingWriter) pump() {
 }
 
 func (m *materializingWriter) NextFrame(f *tuple.Frame) error {
-	m.addIO(int64(f.Bytes()))
+	m.addIO(int64(f.DataBytes()))
 	return m.sp.writeFrame(f)
 }
 
@@ -219,7 +247,8 @@ func (m *materializingWriter) Fail(err error) {
 }
 
 // runPlainReceiver drains a shared channel into the consumer runtime,
-// waiting for one EOS per sender.
+// waiting for one EOS per sender. Frames are returned to the pool once
+// the consumer's NextFrame (which copies anything it keeps) returns.
 func runPlainReceiver(ctx context.Context, rt PushRuntime, ch chan packet, senders int) error {
 	if err := rt.Open(); err != nil {
 		rt.Fail(err)
@@ -239,7 +268,9 @@ func runPlainReceiver(ctx context.Context, rt PushRuntime, ch chan packet, sende
 			case pkt.eos:
 				remaining--
 			default:
-				if err := rt.NextFrame(pkt.frame); err != nil {
+				err := rt.NextFrame(pkt.frame)
+				tuple.PutFrame(pkt.frame)
+				if err != nil {
 					rt.Fail(err)
 					return err
 				}
@@ -249,8 +280,10 @@ func runPlainReceiver(ctx context.Context, rt PushRuntime, ch chan packet, sende
 	return rt.Close()
 }
 
-// senderStream adapts one sender's channel into a pull iterator for the
-// merging receiver.
+// senderStream adapts one sender's channel into a pull iterator over
+// tuple refs for the merging receiver. The ref returned by advance stays
+// valid until the next advance call (the current frame is only released
+// when replaced).
 type senderStream struct {
 	ch  chan packet
 	cur *tuple.Frame
@@ -258,45 +291,55 @@ type senderStream struct {
 	eos bool
 }
 
+func (s *senderStream) release() {
+	if s.cur != nil {
+		tuple.PutFrame(s.cur)
+		s.cur = nil
+	}
+}
+
 // advance positions the stream at its next tuple; ok=false at EOS.
-func (s *senderStream) advance(ctx context.Context) (tuple.Tuple, bool, error) {
+func (s *senderStream) advance(ctx context.Context) (tuple.TupleRef, bool, error) {
 	for {
 		if s.eos {
-			return nil, false, nil
+			return tuple.TupleRef{}, false, nil
 		}
 		if s.cur != nil && s.idx < s.cur.Len() {
-			t := s.cur.Tuples[s.idx]
+			r := s.cur.Tuple(s.idx)
 			s.idx++
-			return t, true, nil
+			return r, true, nil
 		}
 		select {
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return tuple.TupleRef{}, false, ctx.Err()
 		case pkt := <-s.ch:
 			if pkt.err != nil {
-				return nil, false, pkt.err
+				s.release()
+				return tuple.TupleRef{}, false, pkt.err
 			}
 			if pkt.eos {
+				s.release()
 				s.eos = true
-				return nil, false, nil
+				return tuple.TupleRef{}, false, nil
 			}
+			s.release()
 			s.cur, s.idx = pkt.frame, 0
 		}
 	}
 }
 
 type mergeItem struct {
-	t      tuple.Tuple
+	r      tuple.TupleRef
 	stream *senderStream
 }
 
 type mergeHeap struct {
 	items []mergeItem
-	cmp   tuple.Comparator
+	cmp   tuple.RefComparator
 }
 
 func (h *mergeHeap) Len() int           { return len(h.items) }
-func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.items[i].t, h.items[j].t) < 0 }
+func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.items[i].r, h.items[j].r) < 0 }
 func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *mergeHeap) Push(x any)         { h.items = append(h.items, x.(mergeItem)) }
 func (h *mergeHeap) Pop() any {
@@ -311,42 +354,56 @@ func (h *mergeHeap) Pop() any {
 // feeds the consumer runtime a globally sorted stream. This is the
 // receiver side of the m-to-n partitioning merging connector: it waits
 // selectively on specific senders as dictated by the priority queue,
-// which is why the sender side must materialize (Section 5.3.1).
-func runMergingReceiver(ctx context.Context, rt PushRuntime, chans []chan packet, cmp tuple.Comparator) error {
+// which is why the sender side must materialize (Section 5.3.1). The
+// merge operates on frame refs: each winning record is copied into the
+// output frame with one memmove before its stream advances.
+func runMergingReceiver(ctx context.Context, rt PushRuntime, chans []chan packet, cmp tuple.RefComparator) error {
 	if err := rt.Open(); err != nil {
 		rt.Fail(err)
 		return err
 	}
+	streams := make([]*senderStream, 0, len(chans))
+	defer func() {
+		for _, s := range streams {
+			s.release()
+		}
+	}()
 	h := &mergeHeap{cmp: cmp}
 	for _, ch := range chans {
 		s := &senderStream{ch: ch}
-		t, ok, err := s.advance(ctx)
+		streams = append(streams, s)
+		r, ok, err := s.advance(ctx)
 		if err != nil {
 			rt.Fail(err)
 			return err
 		}
 		if ok {
-			h.items = append(h.items, mergeItem{t, s})
+			h.items = append(h.items, mergeItem{r, s})
 		}
 	}
 	heap.Init(h)
-	out := tuple.NewFrame()
+	out := tuple.GetFrame()
+	defer tuple.PutFrame(out)
+	app := tuple.NewFrameAppender(out)
 	for h.Len() > 0 {
 		item := h.items[0]
-		if out.Append(item.t) {
+		// Copy the winning record before advancing its stream (advance
+		// may replace the frame the ref points into).
+		if !app.AppendRef(item.r) {
 			if err := rt.NextFrame(out); err != nil {
 				rt.Fail(err)
 				return err
 			}
-			out = tuple.NewFrame()
+			out.Reset()
+			app.AppendRef(item.r)
 		}
-		t, ok, err := item.stream.advance(ctx)
+		r, ok, err := item.stream.advance(ctx)
 		if err != nil {
 			rt.Fail(err)
 			return err
 		}
 		if ok {
-			h.items[0] = mergeItem{t, item.stream}
+			h.items[0] = mergeItem{r, item.stream}
 			heap.Fix(h, 0)
 		} else {
 			heap.Pop(h)

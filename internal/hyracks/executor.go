@@ -212,7 +212,7 @@ func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition i
 		return newMaterializingWriter(ex.ctx, node,
 			node.TempPathIn(ex.spec.RunDir, fmt.Sprintf("%s-%s-p%d-merge", ex.spec.Name, cd.From, partition)), ex.spec.IOCounter, inner), nil
 	case ReduceToOne:
-		toZero := func(_ tuple.Tuple, _ int) int { return 0 }
+		toZero := func(_ tuple.TupleRef, _ int) int { return 0 }
 		return &partitionSender{ctx: ex.ctx, chans: cs.plain, part: toZero, stats: cs.stats}, nil
 	default:
 		return nil, fmt.Errorf("job %s: unknown connector type %v", ex.spec.Name, cd.Type)

@@ -119,19 +119,21 @@ func (t ConnectorType) String() string {
 	}
 }
 
-// Partitioner maps a tuple to a consumer partition in [0, n).
-type Partitioner func(t tuple.Tuple, n int) int
+// Partitioner maps a tuple (seen in place through its frame ref) to a
+// consumer partition in [0, n).
+type Partitioner func(r tuple.TupleRef, n int) int
 
 // HashPartitioner partitions by FNV-1a over the given field — the
-// default vid hash partitioning of Section 5.2.
+// default vid hash partitioning of Section 5.2. The hash reads the field
+// bytes directly out of the frame buffer.
 func HashPartitioner(field int) Partitioner {
-	return func(t tuple.Tuple, n int) int {
+	return func(r tuple.TupleRef, n int) int {
 		const (
 			offset64 = 14695981039346656037
 			prime64  = 1099511628211
 		)
 		h := uint64(offset64)
-		for _, b := range t[field] {
+		for _, b := range r.Field(field) {
 			h ^= uint64(b)
 			h *= prime64
 		}
@@ -147,8 +149,9 @@ type ConnectorDesc struct {
 	Type     ConnectorType
 	// Partitioner is required for MToN types.
 	Partitioner Partitioner
-	// Comparator is required for the merging connector.
-	Comparator tuple.Comparator
+	// Comparator is required for the merging connector; it orders
+	// tuples in place by their frame refs.
+	Comparator tuple.RefComparator
 	// Materialized forces the sender-side materializing pipelined policy
 	// on a non-merging connector (merging connectors always use it).
 	Materialized bool

@@ -2,23 +2,31 @@ package hyracks
 
 import (
 	"context"
+	"fmt"
 
 	"pregelix/internal/tuple"
 )
 
 // BaseRuntime provides output bookkeeping for PushRuntime implementations:
-// embed it and use Out/Emit/OpenOutputs/CloseOutputs/FailOutputs.
+// embed it and use Emit/EmitRef/EmitFields/OpenOutputs/CloseOutputs/
+// FailOutputs. Each output port owns one packed frame that is filled in
+// place and flushed downstream when an append no longer fits; because
+// NextFrame passes frames by borrow (the callee copies what it retains),
+// the port frame is reset and refilled with no per-flush allocation.
 type BaseRuntime struct {
 	Outs []FrameWriter
 	bufs []*tuple.Frame
+	apps []tuple.FrameAppender
 }
 
 // SetOutputs records the output writers (one per port).
 func (b *BaseRuntime) SetOutputs(outs []FrameWriter) {
 	b.Outs = outs
 	b.bufs = make([]*tuple.Frame, len(outs))
+	b.apps = make([]tuple.FrameAppender, len(outs))
 	for i := range b.bufs {
 		b.bufs[i] = tuple.NewFrame()
+		b.apps[i].Reset(b.bufs[i])
 	}
 }
 
@@ -32,18 +40,49 @@ func (b *BaseRuntime) OpenOutputs() error {
 	return nil
 }
 
-// Emit buffers a tuple on an output port, flushing full frames.
+// Emit packs a boxed tuple onto an output port, flushing full frames.
 func (b *BaseRuntime) Emit(port int, t tuple.Tuple) error {
+	return b.EmitFields(port, t...)
+}
+
+// EmitFields packs one tuple from its fields onto an output port. The
+// field slices are copied into the port frame, so callers may reuse them.
+func (b *BaseRuntime) EmitFields(port int, fields ...[]byte) error {
 	if port >= len(b.Outs) {
 		return nil // unconnected port: discard
 	}
-	if b.bufs[port].Append(t) {
-		return b.FlushPort(port)
+	if b.apps[port].Append(fields...) {
+		return nil
+	}
+	if err := b.FlushPort(port); err != nil {
+		return err
+	}
+	if !b.apps[port].Append(fields...) {
+		return fmt.Errorf("hyracks: tuple does not fit an empty frame")
 	}
 	return nil
 }
 
-// FlushPort pushes the buffered frame of one port downstream.
+// EmitRef copies one packed record onto an output port in a single
+// memmove — the zero-boxing fast path for pass-through operators.
+func (b *BaseRuntime) EmitRef(port int, r tuple.TupleRef) error {
+	if port >= len(b.Outs) {
+		return nil
+	}
+	if b.apps[port].AppendRef(r) {
+		return nil
+	}
+	if err := b.FlushPort(port); err != nil {
+		return err
+	}
+	if !b.apps[port].AppendRef(r) {
+		return fmt.Errorf("hyracks: tuple does not fit an empty frame")
+	}
+	return nil
+}
+
+// FlushPort pushes the buffered frame of one port downstream and resets
+// it for refilling (NextFrame borrows the frame; it does not keep it).
 func (b *BaseRuntime) FlushPort(port int) error {
 	f := b.bufs[port]
 	if f.Len() == 0 {
@@ -52,7 +91,7 @@ func (b *BaseRuntime) FlushPort(port int) error {
 	if err := b.Outs[port].NextFrame(f); err != nil {
 		return err
 	}
-	b.bufs[port] = tuple.NewFrame()
+	f.Reset()
 	return nil
 }
 
@@ -111,13 +150,22 @@ func (s *FuncSource) Run(ctx context.Context) error {
 }
 
 // FuncRuntime adapts callbacks to a PushRuntime; used by simple
-// per-tuple transforms and sinks.
+// per-tuple transforms and sinks. At most one of OnRef/OnTuple is
+// consulted per tuple; OnRef wins when both are set.
 type FuncRuntime struct {
 	BaseRuntime
-	OnOpen  func(b *BaseRuntime) error
+	OnOpen func(b *BaseRuntime) error
+	// OnTuple receives a borrowed, allocation-free view of each tuple:
+	// the Tuple header and its field slices are valid only until the
+	// callback returns. Callbacks that retain the tuple must Clone it.
 	OnTuple func(b *BaseRuntime, t tuple.Tuple) error
+	// OnRef receives the zero-copy frame reference of each tuple, for
+	// sinks that repack records (e.g. run-file writers).
+	OnRef   func(b *BaseRuntime, r tuple.TupleRef) error
 	OnClose func(b *BaseRuntime) error
+
 	failed  bool
+	scratch tuple.Tuple
 }
 
 // Open opens downstream and invokes OnOpen.
@@ -131,13 +179,21 @@ func (r *FuncRuntime) Open() error {
 	return nil
 }
 
-// NextFrame applies OnTuple to each tuple.
+// NextFrame applies OnRef (or the OnTuple view) to each tuple.
 func (r *FuncRuntime) NextFrame(f *tuple.Frame) error {
-	if r.OnTuple == nil {
+	if r.OnRef == nil && r.OnTuple == nil {
 		return nil
 	}
-	for _, t := range f.Tuples {
-		if err := r.OnTuple(&r.BaseRuntime, t); err != nil {
+	for i := 0; i < f.Len(); i++ {
+		ref := f.Tuple(i)
+		if r.OnRef != nil {
+			if err := r.OnRef(&r.BaseRuntime, ref); err != nil {
+				return err
+			}
+			continue
+		}
+		r.scratch = ref.AppendFieldsTo(r.scratch[:0])
+		if err := r.OnTuple(&r.BaseRuntime, r.scratch); err != nil {
 			return err
 		}
 	}

@@ -18,9 +18,10 @@ import (
 // never blocks on a receiver, merging receivers that consume their inputs
 // selectively cannot deadlock the job (Section 5.3.1).
 //
-// File format: a sequence of entries, each `u32 payloadLen` followed by
-// payloadLen bytes holding serialized tuples. `written` only advances at
-// entry boundaries, so the reader never observes a torn entry.
+// File format: a sequence of frame images as written by tuple.WriteFrame
+// (u32 payload length, u32 tuple count, payload, slot directory). Each
+// image is one spool entry; `written` only advances at entry boundaries,
+// so the reader never observes a torn entry.
 type spool struct {
 	path string
 
@@ -45,31 +46,16 @@ func newSpool(path string) (*spool, error) {
 	return s, nil
 }
 
-// writeFrame appends one frame as a spool entry and publishes it.
+// writeFrame appends one frame image as a spool entry and publishes it.
+// The frame is borrowed: its bytes are on disk when writeFrame returns.
 func (s *spool) writeFrame(f *tuple.Frame) error {
-	// Serialize payload first to learn its length.
-	var payload []byte
-	{
-		var buf writerBuf
-		for _, t := range f.Tuples {
-			if err := tuple.WriteTuple(&buf, t); err != nil {
-				return err
-			}
-		}
-		payload = buf.b
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := s.bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := s.bw.Write(payload); err != nil {
+	if err := tuple.WriteFrame(s.bw, f); err != nil {
 		return err
 	}
 	if err := s.bw.Flush(); err != nil {
 		return err
 	}
-	s.n += int64(4 + len(payload))
+	s.n += int64(f.FrameImageSize())
 	s.mu.Lock()
 	s.written = s.n
 	s.mu.Unlock()
@@ -125,64 +111,40 @@ func (s *spool) newReader() (*spoolReader, error) {
 }
 
 // next returns the next frame, or (nil, io.EOF) after the writer closes
-// and all entries are drained.
+// and all entries are drained. The caller owns the returned frame and
+// must release it with tuple.PutFrame.
 func (r *spoolReader) next() (*tuple.Frame, error) {
-	written, closed, err := r.s.waitFor(r.consumed + 4)
+	written, closed, err := r.s.waitFor(r.consumed + 8)
 	if err != nil {
 		return nil, err
 	}
-	if written < r.consumed+4 {
+	if written < r.consumed+8 {
 		if closed {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("spool: short wait")
 	}
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := r.f.ReadAt(hdr[:], r.consumed); err != nil {
 		return nil, err
 	}
-	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
-	if _, _, err := r.s.waitFor(r.consumed + 4 + plen); err != nil {
+	dataEnd := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	count := int64(binary.LittleEndian.Uint32(hdr[4:]))
+	if dataEnd > tuple.MaxFrameDataBytes || count > tuple.MaxFrameTuples {
+		return nil, fmt.Errorf("spool: corrupt entry header (%d bytes, %d tuples)", dataEnd, count)
+	}
+	entry := 8 + dataEnd + 4*count
+	if _, _, err := r.s.waitFor(r.consumed + entry); err != nil {
 		return nil, err
 	}
-	payload := make([]byte, plen)
-	if _, err := r.f.ReadAt(payload, r.consumed+4); err != nil {
-		return nil, err
+	fr := tuple.GetFrame()
+	sec := io.NewSectionReader(r.f, r.consumed, entry)
+	if err := tuple.ReadFrameInto(sec, fr); err != nil {
+		tuple.PutFrame(fr)
+		return nil, fmt.Errorf("spool: corrupt entry: %w", err)
 	}
-	r.consumed += 4 + plen
-	fr := tuple.NewFrame()
-	br := byteReader{b: payload}
-	for br.off < len(br.b) {
-		t, err := tuple.ReadTuple(&br)
-		if err != nil {
-			return nil, fmt.Errorf("spool: corrupt entry: %w", err)
-		}
-		fr.Append(t)
-	}
+	r.consumed += entry
 	return fr, nil
 }
 
 func (r *spoolReader) close() { r.f.Close() }
-
-// writerBuf is a minimal growable io.Writer.
-type writerBuf struct{ b []byte }
-
-func (w *writerBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
-}
-
-// byteReader is a minimal io.Reader over a slice.
-type byteReader struct {
-	b   []byte
-	off int
-}
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.b) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.b[r.off:])
-	r.off += n
-	return n, nil
-}

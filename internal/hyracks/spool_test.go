@@ -20,9 +20,11 @@ func TestSpoolConcurrentWriteRead(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		f := tuple.NewFrame()
+		app := tuple.NewFrameAppender(f)
 		for i := 0; i < frames; i++ {
-			f := tuple.NewFrame()
-			f.Append(tuple.Tuple{tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("payload-%d", i))})
+			f.Reset()
+			app.Append(tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("payload-%d", i)))
 			if err := sp.writeFrame(f); err != nil {
 				t.Error(err)
 				return
@@ -41,9 +43,10 @@ func TestSpoolConcurrentWriteRead(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if f.Len() != 1 || tuple.DecodeUint64(f.Tuples[0][0]) != uint64(i) {
+		if f.Len() != 1 || tuple.DecodeUint64(f.Tuple(0).Field(0)) != uint64(i) {
 			t.Fatalf("frame %d corrupted", i)
 		}
+		tuple.PutFrame(f)
 	}
 	if _, err := r.next(); err != io.EOF {
 		t.Fatalf("want EOF, got %v", err)
@@ -91,8 +94,9 @@ func TestSpoolMultiTupleFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := tuple.NewFrame()
+	app := tuple.NewFrameAppender(f)
 	for i := 0; i < 50; i++ {
-		f.Append(tuple.Tuple{tuple.EncodeUint64(uint64(i)), nil, []byte{byte(i)}})
+		app.Append(tuple.EncodeUint64(uint64(i)), nil, []byte{byte(i)})
 	}
 	if err := sp.writeFrame(f); err != nil {
 		t.Fatal(err)
@@ -107,11 +111,13 @@ func TestSpoolMultiTupleFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer tuple.PutFrame(got)
 	if got.Len() != 50 {
 		t.Fatalf("frame has %d tuples", got.Len())
 	}
-	for i, tp := range got.Tuples {
-		if tuple.DecodeUint64(tp[0]) != uint64(i) || len(tp) != 3 || tp[2][0] != byte(i) {
+	for i := 0; i < got.Len(); i++ {
+		tp := got.Tuple(i)
+		if tuple.DecodeUint64(tp.Field(0)) != uint64(i) || tp.FieldCount() != 3 || tp.Field(2)[0] != byte(i) {
 			t.Fatalf("tuple %d corrupted: %v", i, tp)
 		}
 	}

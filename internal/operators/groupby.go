@@ -7,6 +7,9 @@
 // All operators are out-of-core capable: they meter their buffers against
 // the task's operator-memory budget and spill sorted runs to node-local
 // temporary files when it is exhausted, then merge the runs on close.
+// Buffered input is held as packed frames (one pooled byte buffer per
+// frame) and sorted through zero-copy tuple refs, so the hot path
+// performs no per-tuple or per-field heap allocation.
 package operators
 
 import (
@@ -25,6 +28,12 @@ import (
 // Combiner folds tuples that share a group key (field 0) into one
 // accumulated tuple. Implementations must be insensitive to input order
 // within a group (the paper's combine UDF contract).
+//
+// Aliasing contract: First may retain (alias) the fields of its argument
+// — callers guarantee those bytes outlive the accumulator. Add must NOT
+// retain t or its field slices past the call; it may only fold t's data
+// into the accumulator, because t is typically a borrowed view into a
+// transport frame that will be recycled.
 type Combiner interface {
 	// First starts an accumulator from the first tuple of a group. The
 	// returned tuple may alias t.
@@ -88,31 +97,35 @@ type preclusteredGroupBy struct {
 	hyracks.BaseRuntime
 	combiner Combiner
 	acc      tuple.Tuple
+	scratch  tuple.Tuple
 	failed   bool
 }
 
 func (g *preclusteredGroupBy) Open() error { return g.OpenOutputs() }
 
 func (g *preclusteredGroupBy) NextFrame(f *tuple.Frame) error {
-	for _, t := range f.Tuples {
+	for i := 0; i < f.Len(); i++ {
+		r := f.Tuple(i)
 		if g.combiner == nil {
-			if err := g.Emit(0, t); err != nil {
+			if err := g.EmitRef(0, r); err != nil {
 				return err
 			}
 			continue
 		}
 		if g.acc == nil {
-			g.acc = g.combiner.First(t)
+			// The accumulator outlives this frame: own its bytes.
+			g.acc = g.combiner.First(r.Materialize())
 			continue
 		}
-		if bytes.Equal(g.acc[0], t[0]) {
-			g.acc = g.combiner.Add(g.acc, t)
+		if bytes.Equal(g.acc[0], r.Field(0)) {
+			g.scratch = r.AppendFieldsTo(g.scratch[:0])
+			g.acc = g.combiner.Add(g.acc, g.scratch)
 			continue
 		}
 		if err := g.Emit(0, g.acc); err != nil {
 			return err
 		}
-		g.acc = g.combiner.First(t)
+		g.acc = g.combiner.First(r.Materialize())
 	}
 	return nil
 }
@@ -138,8 +151,9 @@ func (g *preclusteredGroupBy) Close() error {
 
 // spillingGroupBy implements both the sort-based and HashSort group-bys
 // (and, with a nil combiner, a plain external sort). It accumulates
-// input against the task's operator-memory budget, spilling sorted
-// (combined) runs to disk, and merges runs with final combining on close.
+// input in packed frames metered whole-buffer-at-a-time against the
+// task's operator-memory budget, spilling sorted (combined) runs to
+// disk, and merges runs with final combining on close.
 type spillingGroupBy struct {
 	hyracks.BaseRuntime
 	tc       *hyracks.TaskContext
@@ -147,10 +161,16 @@ type spillingGroupBy struct {
 	hash     bool
 
 	budget *memory.Budget
-	// Sort-mode buffer.
-	buf []tuple.Tuple
-	// Hash-mode table: key -> accumulator.
+
+	// Sort-mode buffer: owned packed frames plus refs for sorting.
+	frames []*tuple.Frame
+	app    tuple.FrameAppender
+	refs   []tuple.TupleRef
+
+	// Hash-mode table: key -> boxed accumulator.
 	table map[string]tuple.Tuple
+
+	scratch tuple.Tuple
 
 	runs   []*storage.RunFile
 	failed bool
@@ -167,16 +187,76 @@ func (g *spillingGroupBy) Open() error {
 }
 
 func (g *spillingGroupBy) NextFrame(f *tuple.Frame) error {
-	for _, t := range f.Tuples {
-		if err := g.add(t); err != nil {
+	for i := 0; i < f.Len(); i++ {
+		if err := g.add(f.Tuple(i)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (g *spillingGroupBy) add(t tuple.Tuple) error {
-	sz := int64(t.Size() + 48) // payload + per-tuple bookkeeping estimate
+func (g *spillingGroupBy) add(r tuple.TupleRef) error {
+	if g.table != nil {
+		return g.addHash(r)
+	}
+	// Sort mode: copy the packed record into the operator's own frames.
+	if g.app.Frame() != nil && g.app.AppendRef(r) {
+		g.refs = append(g.refs, g.frameTail())
+		return nil
+	}
+	// Current frame full (or none yet): meter a whole new frame buffer,
+	// plus the ref-slice bookkeeping of the frame just finished (charged
+	// at frame granularity to keep the per-tuple path lock-free).
+	need := int64(tuple.DefaultFrameSize)
+	if prev := g.app.Frame(); prev != nil {
+		need += int64(prev.Len()) * refOverheadBytes
+	}
+	if !g.budget.TryAllocate(need) {
+		if err := g.spill(); err != nil {
+			return err
+		}
+		// Retry after spilling; a budget smaller than one frame admits
+		// the frame unmetered (it spills again as soon as it fills).
+		g.budget.TryAllocate(need)
+	}
+	f := tuple.GetFrame()
+	g.frames = append(g.frames, f)
+	g.app.Reset(f)
+	if !g.app.AppendRef(r) {
+		return fmt.Errorf("groupby: tuple does not fit an empty frame")
+	}
+	if grown := f.Cap() - tuple.DefaultFrameSize; grown > 0 {
+		// Oversized tuple grew the buffer; meter the growth best-effort.
+		g.budget.TryAllocate(int64(grown))
+	}
+	g.refs = append(g.refs, g.frameTail())
+	return nil
+}
+
+// refOverheadBytes estimates the in-memory bookkeeping per buffered
+// tuple (a TupleRef plus slice growth slack) for budget metering.
+const refOverheadBytes = 32
+
+// frameTail returns the ref of the record just appended.
+func (g *spillingGroupBy) frameTail() tuple.TupleRef {
+	f := g.app.Frame()
+	return f.Tuple(f.Len() - 1)
+}
+
+func (g *spillingGroupBy) addHash(r tuple.TupleRef) error {
+	k := string(r.Field(0))
+	if acc, ok := g.table[k]; ok {
+		old := acc.Size()
+		g.scratch = r.AppendFieldsTo(g.scratch[:0])
+		acc = g.combiner.Add(acc, g.scratch)
+		g.table[k] = acc
+		// Meter accumulator growth, best effort.
+		if delta := int64(acc.Size() - old); delta > 0 {
+			g.budget.TryAllocate(delta)
+		}
+		return nil
+	}
+	sz := int64(r.Size() + 48) // payload + per-entry bookkeeping estimate
 	if !g.budget.TryAllocate(sz) {
 		if err := g.spill(); err != nil {
 			return err
@@ -187,77 +267,131 @@ func (g *spillingGroupBy) add(t tuple.Tuple) error {
 			sz = 0
 		}
 	}
-	if g.table != nil {
-		k := string(t[0])
-		if acc, ok := g.table[k]; ok {
-			old := int64(acc.Size())
-			acc = g.combiner.Add(acc, t)
-			g.table[k] = acc
-			// Adjust for accumulator growth, best effort.
-			delta := int64(acc.Size()) - old - int64(t.Size())
-			if delta > 0 {
-				g.budget.TryAllocate(delta)
-			}
-			g.budget.Release(sz)
-			return nil
-		}
-		g.table[k] = g.combiner.First(t)
-		return nil
-	}
-	g.buf = append(g.buf, t)
+	g.table[k] = g.combiner.First(r.Materialize())
 	return nil
 }
 
-// sortedContents drains in-memory state into a sorted, combined slice.
-func (g *spillingGroupBy) sortedContents() []tuple.Tuple {
-	var ts []tuple.Tuple
-	if g.table != nil {
-		ts = make([]tuple.Tuple, 0, len(g.table))
-		for _, acc := range g.table {
-			ts = append(ts, acc)
-		}
-		g.table = make(map[string]tuple.Tuple)
-		sort.Slice(ts, func(i, j int) bool { return bytes.Compare(ts[i][0], ts[j][0]) < 0 })
-		return ts
+// takeSortedRefs drains the sort-mode buffer into key order. The refs
+// stay valid until releaseMem returns their frames to the pool.
+func (g *spillingGroupBy) takeSortedRefs() []tuple.TupleRef {
+	refs := g.refs
+	g.refs = nil
+	sort.SliceStable(refs, func(i, j int) bool {
+		return bytes.Compare(refs[i].Field(0), refs[j].Field(0)) < 0
+	})
+	return refs
+}
+
+// takeSortedTable drains the hash table into key order.
+func (g *spillingGroupBy) takeSortedTable() []tuple.Tuple {
+	ts := make([]tuple.Tuple, 0, len(g.table))
+	for _, acc := range g.table {
+		ts = append(ts, acc)
 	}
-	ts = g.buf
-	g.buf = nil
-	sort.SliceStable(ts, func(i, j int) bool { return bytes.Compare(ts[i][0], ts[j][0]) < 0 })
-	if g.combiner == nil {
-		return ts
+	g.table = make(map[string]tuple.Tuple)
+	sort.Slice(ts, func(i, j int) bool { return bytes.Compare(ts[i][0], ts[j][0]) < 0 })
+	return ts
+}
+
+// releaseMem returns buffered frames to the pool and the metered bytes
+// to the budget.
+func (g *spillingGroupBy) releaseMem() {
+	for _, f := range g.frames {
+		tuple.PutFrame(f)
 	}
-	// Fold adjacent duplicates.
-	out := ts[:0]
-	for _, t := range ts {
-		if len(out) > 0 && bytes.Equal(out[len(out)-1][0], t[0]) {
-			out[len(out)-1] = g.combiner.Add(out[len(out)-1], t)
-			continue
-		}
-		out = append(out, g.combiner.First(t))
+	g.frames = nil
+	g.app.Reset(nil)
+	g.refs = nil
+	if g.budget != nil {
+		g.budget.Release(g.budget.Used())
 	}
-	return out
 }
 
 func (g *spillingGroupBy) spill() error {
-	ts := g.sortedContents()
-	if len(ts) == 0 {
+	if g.table != nil {
+		ts := g.takeSortedTable()
+		if len(ts) == 0 {
+			return nil
+		}
+		rf, err := g.newRun()
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			if err := rf.Append(t); err != nil {
+				return err
+			}
+		}
+		return g.sealRun(rf)
+	}
+	refs := g.takeSortedRefs()
+	if len(refs) == 0 {
 		return nil
 	}
-	rf, err := storage.CreateRunFile(g.tc.TempPath(fmt.Sprintf("run%d", len(g.runs))))
+	rf, err := g.newRun()
 	if err != nil {
 		return err
 	}
-	for _, t := range ts {
-		if err := rf.Append(t); err != nil {
-			return err
-		}
+	if err := g.foldRefs(refs, rf.AppendRef, rf.Append); err != nil {
+		return err
 	}
+	if err := g.sealRun(rf); err != nil {
+		return err
+	}
+	g.releaseMem()
+	return nil
+}
+
+func (g *spillingGroupBy) newRun() (*storage.RunFile, error) {
+	return storage.CreateRunFile(g.tc.TempPath(fmt.Sprintf("run%d", len(g.runs))))
+}
+
+func (g *spillingGroupBy) sealRun(rf *storage.RunFile) error {
 	if err := rf.CloseWrite(); err != nil {
 		return err
 	}
 	g.tc.AddIOBytes(rf.PayloadBytes())
 	g.runs = append(g.runs, rf)
-	g.budget.Release(g.budget.Used())
+	if g.table != nil {
+		g.budget.Release(g.budget.Used())
+	}
+	return nil
+}
+
+// foldRefs walks sorted refs, folding adjacent equal keys through the
+// combiner; pass-through records go to emitRef (one memmove), combined
+// accumulators to emitTuple. With no combiner every ref passes through.
+func (g *spillingGroupBy) foldRefs(refs []tuple.TupleRef,
+	emitRef func(tuple.TupleRef) error, emitTuple func(tuple.Tuple) error) error {
+	if g.combiner == nil {
+		for _, r := range refs {
+			if err := emitRef(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var acc tuple.Tuple
+	for _, r := range refs {
+		if acc != nil && bytes.Equal(acc[0], r.Field(0)) {
+			g.scratch = r.AppendFieldsTo(g.scratch[:0])
+			acc = g.combiner.Add(acc, g.scratch)
+			continue
+		}
+		if acc != nil {
+			if err := emitTuple(acc); err != nil {
+				return err
+			}
+		}
+		// First may retain its argument, so give it a fresh header (one
+		// small allocation per group, not per tuple); the field slices
+		// alias frames that stay alive until the fold's output has been
+		// written/emitted.
+		acc = g.combiner.First(r.AppendFieldsTo(nil))
+	}
+	if acc != nil {
+		return emitTuple(acc)
+	}
 	return nil
 }
 
@@ -272,9 +406,8 @@ func (g *spillingGroupBy) cleanup() {
 		r.Delete()
 	}
 	g.runs = nil
-	if g.budget != nil {
-		g.budget.Release(g.budget.Used())
-	}
+	g.table = nil
+	g.releaseMem()
 }
 
 func (g *spillingGroupBy) Close() error {
@@ -291,14 +424,20 @@ func (g *spillingGroupBy) Close() error {
 }
 
 func (g *spillingGroupBy) finish() error {
-	mem := g.sortedContents()
 	if len(g.runs) == 0 {
-		for _, t := range mem {
-			if err := g.Emit(0, t); err != nil {
-				return err
+		// Fully in-memory: emit straight out of the packed frames.
+		if g.table != nil {
+			for _, t := range g.takeSortedTable() {
+				if err := g.Emit(0, t); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-		return nil
+		refs := g.takeSortedRefs()
+		return g.foldRefs(refs,
+			func(r tuple.TupleRef) error { return g.EmitRef(0, r) },
+			func(t tuple.Tuple) error { return g.Emit(0, t) })
 	}
 	// Merge spilled runs plus the in-memory remainder.
 	srcs := make([]TupleSource, 0, len(g.runs)+1)
@@ -310,8 +449,12 @@ func (g *spillingGroupBy) finish() error {
 		defer rr.Close()
 		srcs = append(srcs, rr)
 	}
-	if len(mem) > 0 {
-		srcs = append(srcs, NewSliceSource(mem))
+	if g.table != nil {
+		if mem := g.takeSortedTable(); len(mem) > 0 {
+			srcs = append(srcs, NewSliceSource(mem))
+		}
+	} else if refs := g.takeSortedRefs(); len(refs) > 0 {
+		srcs = append(srcs, &refSource{refs: refs})
 	}
 	return MergeSources(srcs, g.combiner, func(t tuple.Tuple) error {
 		return g.Emit(0, t)
@@ -339,6 +482,23 @@ func (s *SliceSource) Next() (tuple.Tuple, error) {
 		return nil, io.EOF
 	}
 	t := s.ts[s.i]
+	s.i++
+	return t, nil
+}
+
+// refSource adapts sorted in-memory refs to a TupleSource. Each Next
+// builds a fresh header whose fields alias the operator's frames (alive
+// until cleanup), so no payload bytes are copied.
+type refSource struct {
+	refs []tuple.TupleRef
+	i    int
+}
+
+func (s *refSource) Next() (tuple.Tuple, error) {
+	if s.i >= len(s.refs) {
+		return nil, io.EOF
+	}
+	t := s.refs[s.i].AppendFieldsTo(nil)
 	s.i++
 	return t, nil
 }

@@ -13,12 +13,19 @@ import (
 // for external-sort runs, sender-side materialized connector channels, and
 // the per-partition Msg relation between supersteps (Section 5.2: message
 // partitions are stored in temporary local files sorted by vid).
+//
+// On-disk format: a stream of packed frame images (tuple.WriteFrame), so
+// a whole frame of tuples is written and read back with bulk copies
+// instead of one syscall-sized write per field.
 type RunFile struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
 	n    int64
 	sz   int64
+
+	fr  *tuple.Frame
+	app tuple.FrameAppender
 }
 
 // CreateRunFile opens a new run file for writing at path.
@@ -27,26 +34,66 @@ func CreateRunFile(path string) (*RunFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runfile: create %s: %w", path, err)
 	}
-	return &RunFile{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	r := &RunFile{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	r.fr = tuple.GetFrame()
+	r.app.Reset(r.fr)
+	return r, nil
 }
 
-// Append writes one tuple.
-func (r *RunFile) Append(t tuple.Tuple) error {
-	if err := tuple.WriteTuple(r.w, t); err != nil {
-		return err
+// Append writes one boxed tuple.
+func (r *RunFile) Append(t tuple.Tuple) error { return r.AppendFields(t...) }
+
+// AppendFields writes one tuple given as raw fields (copied on append).
+func (r *RunFile) AppendFields(fields ...[]byte) error {
+	if !r.app.Append(fields...) {
+		if err := r.flushFrame(); err != nil {
+			return err
+		}
+		if !r.app.Append(fields...) {
+			return fmt.Errorf("runfile: tuple does not fit an empty frame")
+		}
 	}
 	r.n++
-	r.sz += int64(t.Size())
+	for _, f := range fields {
+		r.sz += int64(len(f))
+	}
+	return nil
+}
+
+// AppendRef copies one packed record from a frame in a single memmove.
+func (r *RunFile) AppendRef(ref tuple.TupleRef) error {
+	if !r.app.AppendRef(ref) {
+		if err := r.flushFrame(); err != nil {
+			return err
+		}
+		if !r.app.AppendRef(ref) {
+			return fmt.Errorf("runfile: tuple does not fit an empty frame")
+		}
+	}
+	r.n++
+	r.sz += int64(ref.Size())
 	return nil
 }
 
 // AppendFrame writes every tuple of the frame.
 func (r *RunFile) AppendFrame(f *tuple.Frame) error {
-	for _, t := range f.Tuples {
-		if err := r.Append(t); err != nil {
+	for i := 0; i < f.Len(); i++ {
+		if err := r.AppendRef(f.Tuple(i)); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// flushFrame writes the current frame image and resets it for refilling.
+func (r *RunFile) flushFrame() error {
+	if r.fr.Len() == 0 {
+		return nil
+	}
+	if err := tuple.WriteFrame(r.w, r.fr); err != nil {
+		return err
+	}
+	r.fr.Reset()
 	return nil
 }
 
@@ -62,6 +109,15 @@ func (r *RunFile) Path() string { return r.path }
 // CloseWrite flushes and closes the write handle. The file remains on
 // disk for reading.
 func (r *RunFile) CloseWrite() error {
+	if r.fr != nil {
+		if r.w != nil {
+			if err := r.flushFrame(); err != nil {
+				return err
+			}
+		}
+		tuple.PutFrame(r.fr)
+		r.fr = nil
+	}
 	if r.w != nil {
 		if err := r.w.Flush(); err != nil {
 			return err
@@ -82,10 +138,14 @@ func (r *RunFile) Delete() error {
 	return os.Remove(r.path)
 }
 
-// RunReader streams tuples back from a run file.
+// RunReader streams tuples back from a run file, loading one pooled
+// frame at a time.
 type RunReader struct {
-	f *os.File
-	r *bufio.Reader
+	f     *os.File
+	r     *bufio.Reader
+	fr    *tuple.Frame
+	idx   int
+	begun bool
 }
 
 // OpenRunReader opens path for sequential reading.
@@ -94,16 +154,43 @@ func OpenRunReader(path string) (*RunReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runfile: open %s: %w", path, err)
 	}
-	return &RunReader{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+	return &RunReader{f: f, r: bufio.NewReaderSize(f, 1<<16), fr: tuple.GetFrame()}, nil
 }
 
-// Next returns the next tuple or (nil, io.EOF) at end of file.
+// NextRef returns a zero-copy ref to the next tuple, or io.EOF at end of
+// file. The ref is valid only until the next NextRef call that crosses a
+// frame boundary; callers that hold tuples across reads must Materialize.
+func (rr *RunReader) NextRef() (tuple.TupleRef, error) {
+	for !rr.begun || rr.idx >= rr.fr.Len() {
+		if err := tuple.ReadFrameInto(rr.r, rr.fr); err != nil {
+			return tuple.TupleRef{}, err
+		}
+		rr.begun = true
+		rr.idx = 0
+	}
+	r := rr.fr.Tuple(rr.idx)
+	rr.idx++
+	return r, nil
+}
+
+// Next returns the next tuple in boxed (owned) form, or (nil, io.EOF) at
+// end of file.
 func (rr *RunReader) Next() (tuple.Tuple, error) {
-	return tuple.ReadTuple(rr.r)
+	r, err := rr.NextRef()
+	if err != nil {
+		return nil, err
+	}
+	return r.Materialize(), nil
 }
 
-// Close releases the read handle.
-func (rr *RunReader) Close() error { return rr.f.Close() }
+// Close releases the read handle and its frame buffer.
+func (rr *RunReader) Close() error {
+	if rr.fr != nil {
+		tuple.PutFrame(rr.fr)
+		rr.fr = nil
+	}
+	return rr.f.Close()
+}
 
 // ReadAll loads every tuple of a run file (test/tooling helper).
 func ReadAll(path string) ([]tuple.Tuple, error) {

@@ -3,16 +3,22 @@
 // field encodings and comparators.
 //
 // Relations in the Pregelix logical plan (Vertex, Msg, GS) are streams of
-// tuples. A Tuple is a slice of fields, each an opaque byte slice. Vertex
-// identifiers are encoded big-endian so that bytes.Compare on the encoded
-// form agrees with numeric order; this lets sort, merge and join operators
-// work directly on serialized keys.
+// tuples. On the data path, tuples live packed inside Frames — single
+// pooled byte buffers with a trailing offset-slot directory — written via
+// FrameAppender and read in place via TupleRef, so moving a tuple never
+// materializes per-field objects. The boxed Tuple ([][]byte) remains as
+// the compatibility view (TupleRef.Materialize) for call sites that
+// legitimately retain data past a frame's lifetime. Vertex identifiers
+// are encoded big-endian so that bytes.Compare on the encoded form agrees
+// with numeric order; this lets sort, merge and join operators work
+// directly on serialized keys.
 package tuple
 
 import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -107,6 +113,76 @@ func EncodeFloat64(v float64) []byte {
 // DecodeFloat64 decodes a payload float64 written by EncodeFloat64.
 func DecodeFloat64(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// WriteTuple serializes one tuple in length-prefixed form:
+// u32 fieldCount, then per field u32 length + bytes. This is the legacy
+// tuple-at-a-time stream format; the frame data path uses WriteFrame.
+func WriteTuple(w io.Writer, t Tuple) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(t)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, f := range t {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(f)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialization bounds for the length-prefixed tuple stream. A corrupt
+// or truncated stream must not be able to drive a single allocation to
+// gigabytes from a 4-byte length header.
+const (
+	// MaxTupleFields bounds the field count of one tuple.
+	MaxTupleFields = 1 << 20
+	// MaxTupleFieldBytes bounds the length of one field.
+	MaxTupleFieldBytes = 1 << 26
+	// MaxTupleBytes bounds the total payload of one tuple.
+	MaxTupleBytes = 1 << 27
+)
+
+// ReadTuple reads one tuple written by WriteTuple. It returns io.EOF when
+// the stream is exhausted at a tuple boundary.
+func ReadTuple(r io.Reader) (Tuple, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("tuple: truncated stream: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxTupleFields {
+		return nil, fmt.Errorf("tuple: implausible field count %d", n)
+	}
+	t := make(Tuple, n)
+	total := 0
+	for i := range t {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("tuple: truncated field header: %w", err)
+		}
+		fl := binary.LittleEndian.Uint32(hdr[:])
+		if fl > MaxTupleFieldBytes {
+			return nil, fmt.Errorf("tuple: implausible field length %d", fl)
+		}
+		total += int(fl)
+		if total > MaxTupleBytes {
+			return nil, fmt.Errorf("tuple: implausible tuple size %d", total)
+		}
+		f := make([]byte, fl)
+		if _, err := io.ReadFull(r, f); err != nil {
+			return nil, fmt.Errorf("tuple: truncated field body: %w", err)
+		}
+		t[i] = f
+	}
+	return t, nil
 }
 
 // Comparator orders tuples. Negative means a<b, zero equal, positive a>b.

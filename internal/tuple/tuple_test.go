@@ -106,18 +106,27 @@ func TestReadTupleTruncated(t *testing.T) {
 	}
 }
 
-func TestFrameFlushThreshold(t *testing.T) {
+func TestFrameCapacityAndGrowth(t *testing.T) {
 	f := NewFrame()
-	big := make([]byte, DefaultFrameSize)
-	if !f.Append(Tuple{big}) {
-		t.Fatal("oversized tuple should trigger flush")
+	app := NewFrameAppender(f)
+	// An oversized tuple on an empty frame grows the buffer.
+	big := make([]byte, 2*DefaultFrameSize)
+	if !app.Append(big) {
+		t.Fatal("append to empty frame must always succeed")
+	}
+	if f.Len() != 1 || f.Cap() <= DefaultFrameSize {
+		t.Fatalf("frame did not grow: len=%d cap=%d", f.Len(), f.Cap())
+	}
+	// A full frame rejects further appends until reset.
+	if app.Append([]byte("x")) {
+		t.Fatal("append to a full frame should report false")
 	}
 	f.Reset()
-	if f.Len() != 0 || f.Bytes() != 0 {
+	if f.Len() != 0 || f.DataBytes() != 0 {
 		t.Fatal("reset did not clear frame")
 	}
-	if f.Append(Tuple{[]byte("small")}) {
-		t.Fatal("small tuple should not trigger flush")
+	if !app.Append([]byte("small")) {
+		t.Fatal("small tuple should fit after reset")
 	}
 }
 
