@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pregelix/internal/graphgen"
+)
+
+// TestTwoProcessEndToEnd is the real-wire smoke test: it builds the
+// pregelix binary, starts `pregelix serve` in cluster mode plus one
+// `pregelix worker` as separate OS processes on loopback, runs a
+// PageRank job through the HTTP API, and checks the dumped output. This
+// is the acceptance path for the multi-process worker mode — the whole
+// stack (control-plane handshake, wire-transport shuffle, distributed
+// superstep loop, dump) crosses real process boundaries.
+func TestTwoProcessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning e2e test in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "pregelix")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pregelix: %v\n%s", err, out)
+	}
+
+	httpAddr := freeAddr(t)
+	ccAddr := freeAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+
+	var serveLog, workerLog bytes.Buffer
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-listen", httpAddr, "-workers", "1", "-cluster-listen", ccAddr)
+	serve.Stderr = &serveLog
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serve.Process.Kill()
+		serve.Wait()
+		if t.Failed() {
+			t.Logf("serve log:\n%s", serveLog.String())
+		}
+	}()
+
+	// Wait for the control plane to be listening before the worker dials.
+	waitTCP(t, ccAddr)
+	worker := exec.CommandContext(ctx, bin, "worker", "-cc", ccAddr, "-nodes", "2")
+	worker.Stderr = &workerLog
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		worker.Process.Kill()
+		worker.Wait()
+		if t.Failed() {
+			t.Logf("worker log:\n%s", workerLog.String())
+		}
+	}()
+
+	base := "http://" + httpAddr
+	waitHealthy(t, base+"/healthz")
+
+	// Upload the graph.
+	g := graphgen.Webmap(80, 3, 7)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		t.Fatal(err)
+	}
+	put, err := http.NewRequest(http.MethodPut, base+"/files/in/graph", bytes.NewReader(graph.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	// Submit PageRank and poll to completion.
+	body := `{"algorithm":"pagerank","name":"pr-e2e","input":"/in/graph","output":"/out/ranks","iterations":3}`
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	var status struct {
+		State      string `json:"state"`
+		Error      string `json:"error"`
+		Supersteps int64  `json:"supersteps"`
+		Vertices   int64  `json:"vertices"`
+	}
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", status.State)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, submitted.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == "done" || status.State == "failed" {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if status.State != "done" {
+		t.Fatalf("job state %q (error %q)", status.State, status.Error)
+	}
+	if status.Supersteps != 3 {
+		t.Fatalf("ran %d supersteps, want 3", status.Supersteps)
+	}
+	if status.Vertices != int64(g.NumVertices()) {
+		t.Fatalf("job saw %d vertices, graph has %d", status.Vertices, g.NumVertices())
+	}
+
+	// Fetch the output and check every vertex produced a rank.
+	resp, err = http.Get(base + "/files/out/ranks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != g.NumVertices() {
+		t.Fatalf("output has %d lines, want %d", len(lines), g.NumVertices())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "\t") {
+			t.Fatalf("malformed output line %q", line)
+		}
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// freeAddr reserves a loopback port and releases it for the subprocess.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitTCP polls until something is listening at addr.
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening at %s", addr)
+}
+
+// waitHealthy polls the health endpoint until the cluster reports ready.
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("cluster never became healthy at %s", url)
+}

@@ -11,10 +11,20 @@
 //
 //	pregelix serve -listen 127.0.0.1:8080 -nodes 4 -max-concurrent 2
 //
+//	pregelix serve -listen 127.0.0.1:8080 -workers 2 -cluster-listen 127.0.0.1:9090
+//	pregelix worker -cc 127.0.0.1:9090 -nodes 2
+//
 // In serve mode, clients upload graphs with PUT /files/<dfs-path>,
 // submit jobs with POST /jobs, poll GET /jobs and GET /jobs/<id>,
 // cancel with DELETE /jobs/<id>, and read cluster/scheduler metrics
 // from GET /stats.
+//
+// With -workers N, serve becomes a cluster controller: it waits for N
+// `pregelix worker` processes to register over the control plane, then
+// schedules every job across them. Each worker hosts its share of the
+// node controllers as a separate OS process, and connector shuffles
+// move packed frame images between workers over the wire transport
+// (internal/wire) instead of in-process channels.
 package main
 
 import (
@@ -30,9 +40,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "worker":
+			workerMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		algorithm  = flag.String("algorithm", "pagerank", "pagerank | sssp | cc | reachability | bfs | triangles | cliques | sample | pathmerge")

@@ -33,8 +33,25 @@ func serveMain(args []string) {
 		maxConcurrent = fs.Int("max-concurrent", 2, "jobs allowed in flight at once")
 		maxQueued     = fs.Int("max-queued", 64, "queued-job bound (0 = unlimited)")
 		baseDir       = fs.String("dir", "", "cluster state directory (default: a temp dir)")
+		workers       = fs.Int("workers", 0, "cluster mode: number of pregelix worker processes to wait for (0 = single-process simulation)")
+		clusterListen = fs.String("cluster-listen", "127.0.0.1:9090", "cluster mode: control-plane address workers register at")
 	)
 	fs.Parse(args)
+
+	if *workers > 0 {
+		// Cluster mode: machines come from the registered workers, jobs
+		// run one at a time across the whole cluster, and files live in
+		// controller memory — flags that configure the in-process
+		// simulation have no effect.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes", "dir", "max-concurrent":
+				fmt.Fprintf(os.Stderr, "pregelix serve: -%s is ignored in cluster mode\n", f.Name)
+			}
+		})
+		serveCluster(*listen, *workers, *partitions, *ram, *clusterListen, *maxQueued)
+		return
+	}
 
 	dir := *baseDir
 	if dir == "" {

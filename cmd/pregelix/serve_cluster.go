@@ -1,0 +1,378 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/pregel"
+)
+
+// serveCluster is the cluster-mode serving path: instead of simulating
+// machines in-process, the server is a cluster controller that waits for
+// `pregelix worker` processes to register and schedules every submitted
+// job across them. The HTTP API is the same shape as single-process
+// serve: PUT /files, POST /jobs, GET /jobs[/<id>], DELETE /jobs/<id>,
+// GET /stats.
+func serveCluster(listen string, workers, partitions int, ram int64, clusterListen string, maxQueued int) {
+	coord, err := core.NewCoordinator(core.CoordinatorConfig{
+		ListenAddr:        clusterListen,
+		Workers:           workers,
+		PartitionsPerNode: partitions,
+		RAMBytes:          ram,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	s := newClusterServer(coord)
+	s.maxQueued = maxQueued
+	srv := &http.Server{Addr: listen, Handler: s}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "pregelix serve: draining")
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "pregelix serve: cluster mode — waiting for %d workers on %s, HTTP on %s\n",
+		workers, coord.Addr(), listen)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// clusterJob tracks one submission through the distributed cluster.
+type clusterJob struct {
+	id     int64
+	name   string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    string // queued | running | done | failed
+	errText  string
+	stats    *core.JobStats
+	started  time.Time
+	finished time.Time
+}
+
+func (j *clusterJob) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	if state == "running" {
+		j.started = time.Now()
+	}
+}
+
+func (j *clusterJob) finish(stats *core.JobStats, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.stats = stats
+	switch {
+	case err == nil:
+		j.state = "done"
+	case errors.Is(err, context.Canceled):
+		// DELETE /jobs/{id} cancels the submission context; report it
+		// the way single-process serve does.
+		j.state = "canceled"
+		j.errText = err.Error()
+	default:
+		j.state = "failed"
+		j.errText = err.Error()
+	}
+}
+
+// clusterServer is the HTTP face of the coordinator. Uploaded files live
+// in the controller's memory until a job ships them to the workers; job
+// outputs land back here for download.
+type clusterServer struct {
+	coord *core.Coordinator
+	mux   *http.ServeMux
+	// maxQueued bounds jobs admitted but not yet finished (0 = unbounded).
+	maxQueued int
+	// runMu serializes job execution (one distributed job at a time, the
+	// coordinator's own constraint) so job states report queued vs
+	// running truthfully.
+	runMu sync.Mutex
+
+	mu     sync.Mutex
+	files  map[string][]byte
+	jobs   map[int64]*clusterJob
+	order  []int64
+	nextID int64
+}
+
+func newClusterServer(coord *core.Coordinator) *clusterServer {
+	s := &clusterServer{
+		coord: coord,
+		mux:   http.NewServeMux(),
+		files: make(map[string][]byte),
+		jobs:  make(map[int64]*clusterJob),
+	}
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/files/", s.handleFiles)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+func (s *clusterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *clusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.coord.Ready() {
+		httpError(w, http.StatusServiceUnavailable, "waiting for workers")
+		return
+	}
+	// A lost worker is permanent (no re-registration path); report the
+	// cluster degraded rather than serving 200 for a cluster whose jobs
+	// can only fail.
+	if err := s.coord.Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "cluster degraded: %v", err)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *clusterServer) view(j *clusterJob) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:    j.id,
+		Name:  j.name,
+		State: j.state,
+		Error: j.errText,
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunTimeMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if j.stats != nil {
+		v.Supersteps = j.stats.Supersteps
+		v.Messages = j.stats.TotalMessages
+		v.Vertices = j.stats.FinalState.NumVertices
+	}
+	return v
+}
+
+func (s *clusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := []jobView{}
+		s.mu.Lock()
+		jobs := make([]*clusterJob, 0, len(s.order))
+		for _, id := range s.order {
+			jobs = append(jobs, s.jobs[id])
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			out = append(out, s.view(j))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var req jobRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		// Validate on the controller with the same mapping the workers use.
+		job, err := buildServeJob(&req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		input, ok := s.files[req.Input]
+		if !ok {
+			s.mu.Unlock()
+			httpError(w, http.StatusBadRequest, "input %q not uploaded (PUT /files%s first)", req.Input, req.Input)
+			return
+		}
+		if s.maxQueued > 0 {
+			live := 0
+			for _, j := range s.jobs {
+				j.mu.Lock()
+				if j.state == "queued" || j.state == "running" {
+					live++
+				}
+				j.mu.Unlock()
+			}
+			if live >= s.maxQueued {
+				s.mu.Unlock()
+				httpError(w, http.StatusServiceUnavailable, "job queue full: %d jobs in flight", live)
+				return
+			}
+		}
+		s.nextID++
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &clusterJob{
+			id:     s.nextID,
+			name:   fmt.Sprintf("%s@j%d", job.Name, s.nextID),
+			cancel: cancel,
+			done:   make(chan struct{}),
+			state:  "queued",
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+
+		go s.runJob(ctx, j, body, job, req, input)
+		writeJSON(w, http.StatusAccepted, s.view(j))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST /jobs")
+	}
+}
+
+func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, job *pregel.Job, req jobRequest, input []byte) {
+	defer close(j.done)
+	defer j.cancel()
+	// Stay "queued" until this job actually holds the execution slot; a
+	// DELETE while waiting cancels the submission context and RunJob
+	// returns immediately.
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if ctx.Err() != nil {
+		j.finish(nil, ctx.Err())
+		return
+	}
+	j.setState("running")
+	stats, output, err := s.coord.RunJob(ctx, core.DistSubmission{
+		Name:       j.name,
+		Spec:       spec,
+		Job:        job,
+		InputPath:  req.Input,
+		InputData:  input,
+		WantOutput: req.Output != "",
+	})
+	if err == nil && req.Output != "" {
+		s.mu.Lock()
+		s.files[req.Output] = output
+		s.mu.Unlock()
+	}
+	j.finish(stats, err)
+}
+
+func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.view(j))
+	case http.MethodDelete:
+		j.cancel()
+		writeJSON(w, http.StatusOK, s.view(j))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE /jobs/{id}")
+	}
+}
+
+func (s *clusterServer) handleFiles(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/files")
+	if path == "" || path == "/" {
+		httpError(w, http.StatusBadRequest, "missing file path")
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		s.files[path] = data
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, map[string]string{"path": path})
+	case http.MethodGet:
+		s.mu.Lock()
+		data, ok := s.files[path]
+		s.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, "no file %s", path)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write(data)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET, PUT or POST /files/{path}")
+	}
+}
+
+// clusterStatsView is the cluster-mode GET /stats payload.
+type clusterStatsView struct {
+	Workers int      `json:"workers"`
+	Nodes   []string `json:"nodes"`
+	Jobs    struct {
+		Total    int `json:"total"`
+		Queued   int `json:"queued"`
+		Running  int `json:"running"`
+		Done     int `json:"done"`
+		Failed   int `json:"failed"`
+		Canceled int `json:"canceled"`
+	} `json:"jobs"`
+}
+
+func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := clusterStatsView{Workers: s.coord.Workers(), Nodes: []string{}}
+	for _, id := range s.coord.Nodes() {
+		out.Nodes = append(out.Nodes, string(id))
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		out.Jobs.Total++
+		j.mu.Lock()
+		switch j.state {
+		case "queued":
+			out.Jobs.Queued++
+		case "running":
+			out.Jobs.Running++
+		case "done":
+			out.Jobs.Done++
+		case "failed":
+			out.Jobs.Failed++
+		case "canceled":
+			out.Jobs.Canceled++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pregelix/internal/core"
+	"pregelix/pregel"
+)
+
+// workerMain runs one node-controller process of a distributed cluster:
+// it registers with the cluster controller (`pregelix serve` in cluster
+// mode), hosts its share of the cluster's nodes, and exchanges shuffle
+// frames with its peers over the wire transport.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("pregelix worker", flag.ExitOnError)
+	var (
+		cc     = fs.String("cc", "127.0.0.1:9090", "cluster controller control-plane address")
+		listen = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
+		nodes  = fs.Int("nodes", 2, "node controllers this worker contributes")
+		dir    = fs.String("dir", "", "storage directory (default: a temp dir)")
+	)
+	fs.Parse(args)
+
+	baseDir := *dir
+	if baseDir == "" {
+		var err error
+		baseDir, err = os.MkdirTemp("", "pregelix-worker-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(baseDir)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "pregelix worker: shutting down")
+		cancel()
+	}()
+
+	err := core.RunWorker(ctx, core.WorkerConfig{
+		CCAddr:     *cc,
+		DataListen: *listen,
+		BaseDir:    baseDir,
+		Nodes:      *nodes,
+		BuildJob:   buildJobFromSpec,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
+		},
+	})
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+}
+
+// buildJobFromSpec resolves the serve API's job descriptor to a job.
+// The cluster controller and every worker run this same mapping, so a
+// descriptor shipped over the control plane means the same logical job
+// everywhere.
+func buildJobFromSpec(raw json.RawMessage) (*pregel.Job, error) {
+	var req jobRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, err
+	}
+	return buildServeJob(&req)
+}

@@ -45,12 +45,19 @@
 //   - internal/hyracks  — the shared-nothing dataflow engine substrate,
 //     including the multi-tenant admission scheduler (JobScheduler:
 //     FIFO queue, bounded in-flight jobs, per-job operator-memory
-//     carves, cancellation)
+//     carves, cancellation) and the connector Transport abstraction
+//     (in-process channels or the real wire)
+//   - internal/wire     — the network transport: per-stream multiplexed
+//     frame images over one TCP connection per process pair with
+//     credit-based backpressure, plus the cluster control plane
+//     (worker registration handshake and job-phase RPCs)
 //   - internal/storage  — B-tree, LSM B-tree, buffer cache, run files
 //   - internal/operators— external sort, three group-bys, index joins
 //   - internal/core     — the Pregelix runtime (plan generator,
-//     superstep loop, checkpoint/recovery, job pipelining) and the
-//     JobManager that runs many concurrent jobs on one shared cluster
+//     superstep loop, checkpoint/recovery, job pipelining), the
+//     JobManager that runs many concurrent jobs on one shared cluster,
+//     and the cluster Coordinator/worker pair that runs jobs across
+//     separate node-controller OS processes
 //   - internal/dfs      — a small replicated distributed file system
 //   - internal/baselines— simulations of Giraph/Hama/GraphLab/GraphX
 //   - internal/bench    — the Section 7 experiment harness plus the
@@ -64,6 +71,12 @@
 // against one shared simulated cluster):
 //
 //	go run ./cmd/pregelix serve -listen 127.0.0.1:8080 -max-concurrent 2
+//
+// Multi-process cluster mode (separate worker processes, frame shuffle
+// over TCP):
+//
+//	go run ./cmd/pregelix serve -listen 127.0.0.1:8080 -workers 2 -cluster-listen 127.0.0.1:9090
+//	go run ./cmd/pregelix worker -cc 127.0.0.1:9090 -nodes 2   # twice
 //
 // Programmatically, submit concurrent jobs through core.JobManager:
 //

@@ -37,6 +37,15 @@ const (
 // group-by, frame-packing sink — and returns the tuple count seen by the
 // sink.
 func RunPackedMessagePath(ctx context.Context, cluster *hyracks.Cluster, n int) (int64, error) {
+	seen, _, err := RunMessagePathOver(ctx, cluster, n, hyracks.ExecOptions{})
+	return seen, err
+}
+
+// RunMessagePathOver is RunPackedMessagePath with an explicit transport
+// selection (the wire-path experiment runs it over loopback TCP); it
+// additionally returns the bytes shipped over the partitioning
+// connector.
+func RunMessagePathOver(ctx context.Context, cluster *hyracks.Cluster, n int, opts hyracks.ExecOptions) (int64, int64, error) {
 	payload := make([]byte, msgPathPayload)
 	var seen int64
 	perSender := n / msgPathSenders
@@ -104,10 +113,15 @@ func RunPackedMessagePath(ctx context.Context, cluster *hyracks.Cluster, n int) 
 	})
 	spec.Connect(&hyracks.ConnectorDesc{From: "gb", To: "sink", Type: hyracks.OneToOne})
 
-	if _, err := hyracks.RunJob(ctx, cluster, spec); err != nil {
-		return 0, err
+	res, err := hyracks.RunJobWith(ctx, cluster, spec, opts)
+	if err != nil {
+		return 0, 0, err
 	}
-	return atomic.LoadInt64(&seen), nil
+	var bytes int64
+	for _, cs := range res.ConnStats {
+		bytes += cs.Bytes()
+	}
+	return atomic.LoadInt64(&seen), bytes, nil
 }
 
 // boxedFrame is the seed's frame: a slice of boxed tuples with a soft

@@ -33,6 +33,11 @@ type RunMetric struct {
 	NsPerTuple float64 `json:"nsPerTuple,omitempty"`
 	// QueueWaitSeconds is the mean admission wait (scheduler runs).
 	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
+	// NetworkBytes is connector traffic shipped during the run
+	// (wire-path runs).
+	NetworkBytes int64 `json:"networkBytes,omitempty"`
+	// ShuffleMBPerSec is connector throughput in MB/s (wire-path runs).
+	ShuffleMBPerSec float64 `json:"shuffleMBPerSec,omitempty"`
 	// Failed marks runs that did not complete.
 	Failed bool `json:"failed,omitempty"`
 }

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"pregelix/internal/core"
+	"pregelix/internal/graphgen"
+	"pregelix/internal/hyracks"
+	"pregelix/internal/wire"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// The wire-path experiment prices PR3's real transport: the same
+// workloads once over in-process channels and once over loopback TCP
+// (ForceWire — every stream crosses a real socket, paying the
+// length-prefixed framing, the credit protocol, and a kernel round
+// trip). Two measurements: the message-path microbench (allocs and ns
+// per tuple through source → m-to-n shuffle → group-by → sink) and a
+// full PageRank (shuffle MB/s and wall time), so the JSON report tracks
+// both per-tuple overhead and end-to-end throughput of the wire.
+
+// wireCluster builds a cluster plus a loopback ForceWire transport.
+func wireCluster(dir string, nodes int) (*hyracks.Cluster, *wire.TCPTransport, hyracks.ExecOptions, error) {
+	cluster, err := hyracks.NewCluster(dir, nodes, hyracks.NodeConfig{})
+	if err != nil {
+		return nil, nil, hyracks.ExecOptions{}, err
+	}
+	tr, err := wire.NewTCPTransport(wire.Config{ListenAddr: "127.0.0.1:0", ForceWire: true})
+	if err != nil {
+		return nil, nil, hyracks.ExecOptions{}, err
+	}
+	local := make(map[hyracks.NodeID]bool)
+	peers := make(map[hyracks.NodeID]string)
+	for _, n := range cluster.Nodes() {
+		local[n.ID] = true
+		peers[n.ID] = tr.Addr()
+	}
+	tr.SetPeers(peers, local)
+	return cluster, tr, hyracks.ExecOptions{Transport: tr, LocalNodes: local}, nil
+}
+
+// RunWirePath benchmarks the shuffle over both transports and prints
+// the per-tuple and end-to-end comparison (the PR3 bench artifact).
+func RunWirePath(ctx context.Context, o Options) error {
+	o.defaults()
+	dir := o.WorkDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "wirepath")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	// Message-path microbench over both transports.
+	chanCluster, err := hyracks.NewCluster(dir+"/chan", msgPathSenders, hyracks.NodeConfig{})
+	if err != nil {
+		return err
+	}
+	tcpCluster, tcpTransport, tcpOpts, err := wireCluster(dir+"/tcp", msgPathSenders)
+	if err != nil {
+		return err
+	}
+	defer tcpTransport.Close()
+
+	measure := func(cluster *hyracks.Cluster, opts hyracks.ExecOptions) (testing.BenchmarkResult, int64) {
+		var netBytes int64
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seen, bytes, err := RunMessagePathOver(ctx, cluster, msgPathTuples, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if seen != msgPathTuples {
+					b.Fatalf("saw %d tuples, want %d", seen, msgPathTuples)
+				}
+				netBytes = bytes
+			}
+		})
+		return res, netBytes
+	}
+	chanRes, chanBytes := measure(chanCluster, hyracks.ExecOptions{})
+	tcpRes, tcpBytes := measure(tcpCluster, tcpOpts)
+
+	mbps := func(bytes int64, nsPerOp int64) float64 {
+		if nsPerOp == 0 {
+			return 0
+		}
+		return float64(bytes) / (float64(nsPerOp) / 1e9) / (1 << 20)
+	}
+	o.printf("%-24s %14s %14s %12s\n", "message path", "allocs/tuple", "ns/tuple", "MB/s")
+	o.printf("%-24s %14.3f %14.1f %12.1f\n", "channels (in-proc)",
+		float64(chanRes.AllocsPerOp())/msgPathTuples, float64(chanRes.NsPerOp())/msgPathTuples,
+		mbps(chanBytes, chanRes.NsPerOp()))
+	o.printf("%-24s %14.3f %14.1f %12.1f\n", "tcp loopback (wire)",
+		float64(tcpRes.AllocsPerOp())/msgPathTuples, float64(tcpRes.NsPerOp())/msgPathTuples,
+		mbps(tcpBytes, tcpRes.NsPerOp()))
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "wirepath-chan",
+		AllocsPerTuple: float64(chanRes.AllocsPerOp()) / msgPathTuples,
+		NsPerTuple:     float64(chanRes.NsPerOp()) / msgPathTuples,
+		NetworkBytes:   chanBytes, ShuffleMBPerSec: mbps(chanBytes, chanRes.NsPerOp())})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "wirepath-tcp",
+		AllocsPerTuple: float64(tcpRes.AllocsPerOp()) / msgPathTuples,
+		NsPerTuple:     float64(tcpRes.NsPerOp()) / msgPathTuples,
+		NetworkBytes:   tcpBytes, ShuffleMBPerSec: mbps(tcpBytes, tcpRes.NsPerOp())})
+
+	// Full PageRank over both transports.
+	g, ratio := o.buildDataset(WebmapData, 0.10, 31)
+	o.printf("\nPageRank (%d machines, ratio %.3f, %d iterations): chan vs wire shuffle\n",
+		o.Nodes, ratio, o.PageRankIterations)
+	o.printf("%-24s %12s %12s %14s %12s\n", "transport", "overall", "avg iter", "shuffle bytes", "MB/s")
+	for _, mode := range []string{"chan", "wire"} {
+		job := algorithms.NewPageRankJob("wirepath-pr-"+mode, "/in/wp", "", o.PageRankIterations)
+		res, netBytes, err := o.runPageRankOver(ctx, job, g, mode == "wire")
+		if err != nil {
+			return err
+		}
+		rate := 0.0
+		if res.RunDuration > 0 {
+			rate = float64(netBytes) / res.RunDuration.Seconds() / (1 << 20)
+		}
+		o.printf("%-24s %12.2fs %12.3fs %14d %12.1f\n", mode,
+			(res.LoadDuration + res.RunDuration).Seconds(), res.AvgIterationTime().Seconds(), netBytes, rate)
+		o.Metrics.Record(RunMetric{System: "pregelix", Job: "wirepath-pagerank-" + mode,
+			Ratio:           ratio,
+			WallSeconds:     (res.LoadDuration + res.RunDuration).Seconds(),
+			AvgIterSeconds:  res.AvgIterationTime().Seconds(),
+			Supersteps:      res.Supersteps,
+			NetworkBytes:    netBytes,
+			ShuffleMBPerSec: rate})
+	}
+	return nil
+}
+
+// runPageRankOver runs one PageRank job with the selected transport and
+// returns its stats plus total connector traffic.
+func (o *Options) runPageRankOver(ctx context.Context, job *pregel.Job, g *graphgen.Graph, overWire bool) (*core.JobStats, int64, error) {
+	baseDir, err := os.MkdirTemp(o.WorkDir, "wirepath-pr-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(baseDir)
+
+	opts := core.Options{
+		BaseDir:    baseDir,
+		Nodes:      o.Nodes,
+		NodeConfig: hyracks.NodeConfig{RAMBytes: o.RAMPerNode, PageSize: 4096},
+	}
+	if overWire {
+		tr, err := wire.NewTCPTransport(wire.Config{ListenAddr: "127.0.0.1:0", ForceWire: true})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer tr.Close()
+		local := make(map[hyracks.NodeID]bool)
+		peers := make(map[hyracks.NodeID]string)
+		for i := 1; i <= o.Nodes; i++ {
+			id := hyracks.NodeID(fmt.Sprintf("nc%d", i))
+			local[id] = true
+			peers[id] = tr.Addr()
+		}
+		tr.SetPeers(peers, local)
+		opts.Exec = hyracks.ExecOptions{Transport: tr, LocalNodes: local}
+	}
+	rt, err := core.NewRuntime(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rt.Close()
+
+	var buf bytes.Buffer
+	if _, err := graphgen.WriteText(&buf, g); err != nil {
+		return nil, 0, err
+	}
+	if err := rt.DFS.WriteFile(job.InputPath, buf.Bytes()); err != nil {
+		return nil, 0, err
+	}
+	stats, err := rt.Run(ctx, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	var netBytes int64
+	for _, ss := range stats.SuperstepStats {
+		netBytes += ss.NetworkBytes
+	}
+	return stats, netBytes, nil
+}

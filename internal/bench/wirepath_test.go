@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"pregelix/internal/hyracks"
+)
+
+// TestMessagePathOverWire checks the wire-path shuffle delivers the same
+// tuple and byte totals over loopback TCP as over channels — the
+// microbench's correctness precondition.
+func TestMessagePathOverWire(t *testing.T) {
+	ctx := context.Background()
+	chanCluster, err := hyracks.NewCluster(t.TempDir(), msgPathSenders, hyracks.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	chanSeen, chanBytes, err := RunMessagePathOver(ctx, chanCluster, n, hyracks.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcpCluster, tr, opts, err := wireCluster(t.TempDir(), msgPathSenders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tcpSeen, tcpBytes, err := RunMessagePathOver(ctx, tcpCluster, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if chanSeen != n || tcpSeen != n {
+		t.Fatalf("saw chan=%d tcp=%d tuples, want %d", chanSeen, tcpSeen, n)
+	}
+	if chanBytes != tcpBytes {
+		t.Fatalf("connector shipped %d bytes over chan, %d over tcp", chanBytes, tcpBytes)
+	}
+	if chanBytes == 0 {
+		t.Fatal("connector reported zero traffic")
+	}
+}
+
+// BenchmarkShuffleWire measures the wire shuffle end to end (loopback
+// TCP, credit flow control, frame image framing) for the CI bench smoke.
+func BenchmarkShuffleWire(b *testing.B) {
+	ctx := context.Background()
+	dir := b.TempDir()
+	cluster, tr, opts, err := wireCluster(dir, msgPathSenders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen, _, err := RunMessagePathOver(ctx, cluster, msgPathTuples, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seen != msgPathTuples {
+			b.Fatalf("saw %d tuples, want %d", seen, msgPathTuples)
+		}
+	}
+}

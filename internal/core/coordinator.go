@@ -1,0 +1,534 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/wire"
+	"pregelix/pregel"
+)
+
+// CoordinatorConfig configures the cluster controller of a distributed
+// (multi-process) cluster.
+type CoordinatorConfig struct {
+	// ListenAddr is the control-plane listen address workers dial.
+	ListenAddr string
+	// Workers is the number of worker processes the cluster waits for.
+	Workers int
+	// PartitionsPerNode / RAMBytes / PageSize are dictated to every
+	// worker so all runtimes agree.
+	PartitionsPerNode int
+	RAMBytes          int64
+	PageSize          int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// ccWorker is the controller's handle on one registered worker.
+type ccWorker struct {
+	ctrl     *wire.ControlConn
+	caller   *wire.Caller
+	dataAddr string
+	owned    []string
+	regID    int64
+}
+
+// Coordinator is the cluster controller of a multi-process cluster: it
+// assembles the node registry from worker handshakes, hands every
+// process the agreed topology, and drives jobs phase by phase — each
+// phase one hyracks job that all workers execute simultaneously, with
+// the shuffle crossing the wire transport. The coordinator itself hosts
+// no node controllers; it owns the global state and the plan choices.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	pending  []*ccWorker
+	workers  []*ccWorker
+	nodes    []hyracks.NodeID
+	readyErr error
+	closed   bool
+
+	ready chan struct{}
+	jobMu sync.Mutex // one distributed job runs at a time
+	// shipped caches the content hash of files already replicated to the
+	// workers, so resubmitting jobs over the same uploaded input does not
+	// re-ship the graph every time. Guarded by jobMu (only RunJob uses it).
+	shipped map[string]uint64
+}
+
+// NewCoordinator starts the control-plane listener and begins accepting
+// worker registrations. WaitReady blocks until the expected number of
+// workers has joined.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("core: CoordinatorConfig.Workers must be positive")
+	}
+	if cfg.PartitionsPerNode <= 0 {
+		cfg.PartitionsPerNode = 1
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, ln: ln, ready: make(chan struct{}), shipped: make(map[string]uint64)}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound control-plane address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// WaitReady blocks until every expected worker has registered and the
+// cluster topology has been broadcast.
+func (c *Coordinator) WaitReady(ctx context.Context) error {
+	// Check readiness first: with an already-expired ctx both select
+	// cases would be runnable and the choice random.
+	select {
+	case <-c.ready:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.readyErr
+	default:
+	}
+	select {
+	case <-c.ready:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.readyErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Ready reports (without blocking) whether the cluster has assembled
+// successfully.
+func (c *Coordinator) Ready() bool {
+	select {
+	case <-c.ready:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.readyErr == nil
+	default:
+		return false
+	}
+}
+
+// Err reports why the cluster cannot run jobs: an assembly failure, or
+// a worker whose control connection has died (the cluster has no
+// re-registration path, so a lost worker is permanent). nil while the
+// cluster is still assembling or fully healthy.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readyErr != nil {
+		return c.readyErr
+	}
+	for _, w := range c.workers {
+		if w.caller != nil {
+			if err := w.caller.Err(); err != nil {
+				return fmt.Errorf("core: worker %s lost: %w", w.ctrl.RemoteAddr(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// Nodes returns a copy of the agreed cluster node list (empty until the
+// cluster has assembled).
+func (c *Coordinator) Nodes() []hyracks.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]hyracks.NodeID(nil), c.nodes...)
+}
+
+// Workers returns the registered worker count (after WaitReady).
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Close shuts the control plane down; worker processes observe their
+// control connection dropping and exit.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := append([]*ccWorker(nil), c.pending...)
+	conns = append(conns, c.workers...)
+	c.mu.Unlock()
+	c.ln.Close()
+	for _, w := range conns {
+		w.ctrl.Close()
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.register(conn)
+	}
+}
+
+// register consumes one worker's handshake request. When the expected
+// count is reached the topology is assembled and broadcast.
+func (c *Coordinator) register(conn net.Conn) {
+	ctrl, err := wire.AcceptControl(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	env, err := ctrl.Read()
+	if err != nil || env.Method != "register" {
+		ctrl.Close()
+		return
+	}
+	var reg registerMsg
+	if err := json.Unmarshal(env.Data, &reg); err != nil || reg.Nodes <= 0 || reg.DataAddr == "" {
+		ctrl.Send(wire.Envelope{ID: env.ID, Error: "bad registration"})
+		ctrl.Close()
+		return
+	}
+
+	c.mu.Lock()
+	if c.closed || len(c.pending)+len(c.workers) >= c.cfg.Workers {
+		c.mu.Unlock()
+		ctrl.Send(wire.Envelope{ID: env.ID, Error: "cluster already assembled"})
+		ctrl.Close()
+		return
+	}
+	w := &ccWorker{ctrl: ctrl, dataAddr: reg.DataAddr, regID: env.ID}
+	for i := 0; i < reg.Nodes; i++ {
+		w.owned = append(w.owned, "") // node IDs assigned at finalize
+	}
+	c.pending = append(c.pending, w)
+	complete := len(c.pending) == c.cfg.Workers
+	c.mu.Unlock()
+	c.cfg.logf("coordinator: worker %s registered (%d nodes)", ctrl.RemoteAddr(), reg.Nodes)
+	if complete {
+		c.finalize()
+	}
+}
+
+// finalize assigns node IDs (nc1..ncN in registration order), broadcasts
+// the start message, and opens the RPC callers.
+func (c *Coordinator) finalize() {
+	c.mu.Lock()
+	workers := c.pending
+	c.pending = nil
+	idx := 1
+	peers := make(map[string]string)
+	for _, w := range workers {
+		for i := range w.owned {
+			id := fmt.Sprintf("nc%d", idx)
+			idx++
+			w.owned[i] = id
+			peers[id] = w.dataAddr
+			c.nodes = append(c.nodes, hyracks.NodeID(id))
+		}
+	}
+	total := idx - 1
+	c.workers = workers
+	c.mu.Unlock()
+
+	for _, w := range workers {
+		data, err := json.Marshal(startMsg{
+			TotalNodes:        total,
+			Owned:             w.owned,
+			Peers:             peers,
+			PartitionsPerNode: c.cfg.PartitionsPerNode,
+			RAMBytes:          c.cfg.RAMBytes,
+			PageSize:          c.cfg.PageSize,
+		})
+		if err == nil {
+			err = w.ctrl.Send(wire.Envelope{ID: w.regID, Data: data})
+		}
+		if err != nil {
+			c.mu.Lock()
+			c.readyErr = fmt.Errorf("core: starting worker %s: %w", w.ctrl.RemoteAddr(), err)
+			c.mu.Unlock()
+		}
+		w.caller = wire.NewCaller(w.ctrl)
+		w.caller.Start()
+	}
+	c.cfg.logf("coordinator: cluster assembled — %d workers, %d nodes", len(workers), total)
+	close(c.ready)
+}
+
+// phaseCall issues one RPC to every worker in parallel and collects the
+// typed replies. The first failure cancels the job on all workers (so
+// peers blocked in the same phase unwind) and is returned once every
+// call has come back.
+func phaseCall[T any](ctx context.Context, c *Coordinator, jobName, method string, params any) ([]T, error) {
+	c.mu.Lock()
+	workers := c.workers
+	c.mu.Unlock()
+	results := make([]T, len(workers))
+	errs := make([]error, len(workers))
+	var once sync.Once
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *ccWorker) {
+			defer wg.Done()
+			errs[i] = w.caller.Call(ctx, method, params, &results[i])
+			if errs[i] != nil && jobName != "" {
+				once.Do(func() { go c.cancelJob(jobName) })
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// cancelJob aborts a job on every worker (best effort).
+func (c *Coordinator) cancelJob(name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	phaseCall[struct{}](ctx, c, "", rpcJobCancel, jobNameMsg{Name: name})
+}
+
+// Ping round-trips every worker's control connection.
+func (c *Coordinator) Ping(ctx context.Context) error {
+	_, err := phaseCall[map[string]string](ctx, c, "", rpcPing, struct{}{})
+	return err
+}
+
+// PutFile replicates a DFS file onto every worker (inputs are uploaded
+// to the controller and shipped to the cluster before the load phase).
+func (c *Coordinator) PutFile(ctx context.Context, path string, data []byte) error {
+	_, err := phaseCall[struct{}](ctx, c, "", rpcPutFile, putFileMsg{Path: path, Data: data})
+	return err
+}
+
+// DistSubmission is one job for the distributed cluster.
+type DistSubmission struct {
+	// Name is the unique (tenant-qualified) execution name.
+	Name string
+	// Spec is the opaque job descriptor shipped verbatim to every
+	// worker's JobBuilder.
+	Spec json.RawMessage
+	// Job is the controller's own build of the same descriptor, used for
+	// plan decisions (join advisor, superstep cap) and validation.
+	Job *pregel.Job
+	// InputPath/InputData: when data is non-nil it is replicated to the
+	// workers' file systems at InputPath before loading.
+	InputPath string
+	InputData []byte
+	// WantOutput requests the dumped result rows back.
+	WantOutput bool
+}
+
+// RunJob executes one Pregel job across the registered workers and
+// blocks until it finishes: load, the superstep loop (the controller
+// owns the global state, chooses each superstep's join plan centrally,
+// merges the workers' partition counters, and decides the halt), and
+// optionally the dump, whose rows come back from the worker that hosted
+// the write task. Sticky vertex-partition placement holds across
+// processes because every worker compiles the same deterministic
+// schedule for every phase.
+func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats, []byte, error) {
+	if err := c.WaitReady(ctx); err != nil {
+		return nil, nil, err
+	}
+	if err := sub.Job.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if sub.Job.CheckpointEvery > 0 {
+		return nil, nil, fmt.Errorf("core: checkpointing is not supported in cluster mode")
+	}
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+
+	start := time.Now()
+	stats := &JobStats{Job: sub.Name}
+	if sub.InputData != nil {
+		// Workers keep replicated files in their file systems for the
+		// process lifetime, so an input already shipped (same path, same
+		// content) need not cross the control plane again.
+		h := fnv.New64a()
+		h.Write(sub.InputData)
+		sum := h.Sum64()
+		if c.shipped[sub.InputPath] != sum {
+			if err := c.PutFile(ctx, sub.InputPath, sub.InputData); err != nil {
+				return stats, nil, err
+			}
+			c.shipped[sub.InputPath] = sum
+		}
+	}
+
+	runDir := "jobs/" + strings.ReplaceAll(sub.Name, "/", "_")
+	begin := jobBeginMsg{
+		Name:     sub.Name,
+		Spec:     sub.Spec,
+		ScanNode: string(c.nodes[0]),
+		RunDir:   runDir,
+	}
+	if _, err := phaseCall[struct{}](ctx, c, sub.Name, rpcJobBegin, begin); err != nil {
+		return stats, nil, err
+	}
+	defer func() {
+		endCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		phaseCall[struct{}](endCtx, c, "", rpcJobEnd, jobNameMsg{Name: sub.Name})
+	}()
+
+	// Load phase: every worker bulk-loads its partitions; the merged
+	// counters seed the global state.
+	loadStart := time.Now()
+	loads, err := phaseCall[loadReply](ctx, c, sub.Name, rpcJobLoad, jobNameMsg{Name: sub.Name})
+	if err != nil {
+		return stats, nil, fmt.Errorf("core: distributed load %s: %w", sub.Name, err)
+	}
+	gs := globalState{}
+	for _, rep := range loads {
+		for _, p := range rep.Parts {
+			gs.NumVertices += p.Vertices
+			gs.NumEdges += p.Edges
+		}
+	}
+	gs.LiveVertices = gs.NumVertices
+	stats.LoadDuration = time.Since(loadStart)
+	c.cfg.logf("coordinator: %s loaded — %d vertices, %d edges", sub.Name, gs.NumVertices, gs.NumEdges)
+
+	// Superstep loop: the controller is the statistics collector and the
+	// plan advisor; workers execute.
+	runStart := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			c.cancelJob(sub.Name)
+			return stats, nil, err
+		}
+		ss := gs.Superstep + 1
+		if sub.Job.MaxSupersteps > 0 && ss > int64(sub.Job.MaxSupersteps) {
+			break
+		}
+		join := chooseJoinFor(sub.Job, &gs, ss)
+		stats.recordPlan(ss, join)
+		stepStart := time.Now()
+		reps, err := phaseCall[superstepReply](ctx, c, sub.Name, rpcSuperstep,
+			superstepMsg{Name: sub.Name, SS: ss, GS: gs, Join: join})
+		if err != nil {
+			return stats, nil, fmt.Errorf("core: superstep %d of %s: %w", ss, sub.Name, err)
+		}
+
+		var msgs, live, nv, ne, netTuples, netBytes, ioBytes int64
+		var haltAll, sawOwner bool
+		gs.Aggregate = nil
+		for _, rep := range reps {
+			for _, p := range rep.Parts {
+				msgs += p.Msgs
+				live += p.Live
+				nv += p.Vertices
+				ne += p.Edges
+			}
+			netTuples += rep.NetTuples
+			netBytes += rep.NetBytes
+			ioBytes += rep.IOBytes
+			if rep.GSOwner {
+				if sawOwner {
+					return stats, nil, fmt.Errorf("core: superstep %d of %s: two workers claim the global-state task", ss, sub.Name)
+				}
+				sawOwner = true
+				haltAll = rep.HaltAll
+				if rep.HasAgg {
+					gs.Aggregate = rep.Aggregate
+				}
+			}
+		}
+		if !sawOwner {
+			return stats, nil, fmt.Errorf("core: superstep %d of %s: no worker reported the global state", ss, sub.Name)
+		}
+		gs.Superstep = ss
+		gs.Messages = msgs
+		gs.LiveVertices = live
+		gs.NumVertices = nv
+		gs.NumEdges = ne
+		gs.Halt = haltAll && msgs == 0
+
+		stats.Supersteps = ss
+		stats.TotalMessages += msgs
+		stats.SuperstepStats = append(stats.SuperstepStats, SuperstepStat{
+			Superstep:     ss,
+			Duration:      time.Since(stepStart),
+			Messages:      msgs,
+			LiveVertices:  live,
+			NumVertices:   nv,
+			NumEdges:      ne,
+			IOBytes:       ioBytes,
+			NetworkTuples: netTuples,
+			NetworkBytes:  netBytes,
+			Plan:          stats.pendingPlan,
+		})
+		if gs.Halt {
+			break
+		}
+	}
+	stats.RunDuration = time.Since(runStart)
+
+	// Dump phase: the write task's host returns the ordered rows.
+	var output []byte
+	if sub.WantOutput {
+		dumpStart := time.Now()
+		dumps, err := phaseCall[dumpReply](ctx, c, sub.Name, rpcJobDump, jobNameMsg{Name: sub.Name})
+		if err != nil {
+			return stats, nil, fmt.Errorf("core: distributed dump %s: %w", sub.Name, err)
+		}
+		var sb strings.Builder
+		found := false
+		for _, rep := range dumps {
+			if !rep.Owner {
+				continue
+			}
+			if found {
+				return stats, nil, fmt.Errorf("core: dump of %s: two workers claim the write task", sub.Name)
+			}
+			found = true
+			for _, line := range rep.Lines {
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+		if !found {
+			return stats, nil, fmt.Errorf("core: dump of %s: no worker returned rows", sub.Name)
+		}
+		output = []byte(sb.String())
+		stats.DumpDuration = time.Since(dumpStart)
+	}
+
+	stats.TotalDuration = time.Since(start)
+	stats.FinalState = GlobalStateView{
+		Superstep:    gs.Superstep,
+		NumVertices:  gs.NumVertices,
+		NumEdges:     gs.NumEdges,
+		LiveVertices: gs.LiveVertices,
+		Aggregate:    gs.Aggregate,
+	}
+	return stats, output, nil
+}

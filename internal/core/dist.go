@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+
+	"pregelix/pregel"
+)
+
+// Control-plane RPC methods driven by the cluster controller against its
+// registered workers. One Pregel job is a session of phases: begin →
+// load → superstep* → dump? → end, each phase one hyracks job executed
+// by every worker simultaneously (each instantiates its own nodes'
+// tasks; the shuffle meets on the wire transport).
+const (
+	rpcPing      = "ping"
+	rpcPutFile   = "dfs.put"
+	rpcJobBegin  = "job.begin"
+	rpcJobLoad   = "job.load"
+	rpcSuperstep = "job.superstep"
+	rpcJobDump   = "job.dump"
+	rpcJobCancel = "job.cancel"
+	rpcJobEnd    = "job.end"
+)
+
+// registerMsg is a worker's handshake request.
+type registerMsg struct {
+	// DataAddr is the worker's wire-transport listen address.
+	DataAddr string `json:"dataAddr"`
+	// Nodes is the number of node controllers the worker contributes.
+	Nodes int `json:"nodes"`
+}
+
+// startMsg completes the handshake once the expected workers have
+// registered: the agreed cluster topology every process constructs
+// identically, the routing table, and the run parameters the controller
+// dictates.
+type startMsg struct {
+	// TotalNodes is the cluster size; node IDs are nc1..ncN everywhere.
+	TotalNodes int `json:"totalNodes"`
+	// Owned names this worker's node controllers.
+	Owned []string `json:"owned"`
+	// Peers maps every node ID to the data address of its host process.
+	Peers map[string]string `json:"peers"`
+	// PartitionsPerNode / RAMBytes / PageSize mirror core.Options so all
+	// workers build equivalent runtimes.
+	PartitionsPerNode int   `json:"partitionsPerNode"`
+	RAMBytes          int64 `json:"ramBytes"`
+	PageSize          int   `json:"pageSize"`
+}
+
+// putFileMsg ships a DFS file (typically the input graph) to a worker.
+type putFileMsg struct {
+	Path string `json:"path"`
+	Data []byte `json:"data"`
+}
+
+// jobBeginMsg opens a job session on a worker.
+type jobBeginMsg struct {
+	// Name is the tenant-qualified job name; it keys the session and the
+	// wire streams of every phase.
+	Name string `json:"name"`
+	// Spec is the opaque job descriptor; the worker's configured
+	// JobBuilder turns it into a pregel.Job (every worker must build the
+	// same logical job — the controller ships the bytes verbatim).
+	Spec json.RawMessage `json:"spec"`
+	// ScanNode pins the load scan so all schedules agree.
+	ScanNode string `json:"scanNode"`
+	// RunDir isolates the job's node-local scratch files.
+	RunDir string `json:"runDir"`
+}
+
+// partCount is one partition's share of a phase result. Only the
+// partitions a worker owns appear in its replies.
+type partCount struct {
+	Part     int   `json:"part"`
+	Vertices int64 `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	Msgs     int64 `json:"msgs"`
+	Live     int64 `json:"live"`
+}
+
+// loadReply reports the loaded partitions of one worker.
+type loadReply struct {
+	Parts []partCount `json:"parts"`
+}
+
+// superstepMsg runs one superstep. The controller owns the global state:
+// workers receive the merged GS of the previous superstep and the
+// centrally chosen join plan so every compiled spec is identical.
+type superstepMsg struct {
+	Name string          `json:"name"`
+	SS   int64           `json:"ss"`
+	GS   globalState     `json:"gs"`
+	Join pregel.JoinKind `json:"join"`
+}
+
+// superstepReply reports one worker's share of a superstep.
+type superstepReply struct {
+	Parts []partCount `json:"parts"`
+	// GSOwner marks the worker that hosted the global-state aggregation
+	// task; only its halt/aggregate fields are meaningful.
+	GSOwner   bool   `json:"gsOwner"`
+	HaltAll   bool   `json:"haltAll"`
+	HasAgg    bool   `json:"hasAgg"`
+	Aggregate []byte `json:"aggregate,omitempty"`
+	// Traffic and I/O attributed to this worker's tasks.
+	NetTuples int64 `json:"netTuples"`
+	NetBytes  int64 `json:"netBytes"`
+	IOBytes   int64 `json:"ioBytes"`
+}
+
+// jobNameMsg addresses a phase at an open job session.
+type jobNameMsg struct {
+	Name string `json:"name"`
+}
+
+// dumpReply carries the output rows from the worker that hosted the
+// single write task.
+type dumpReply struct {
+	Owner bool     `json:"owner"`
+	Lines []string `json:"lines,omitempty"`
+}

@@ -70,7 +70,7 @@ func (rs *runState) load(ctx context.Context) error {
 	})
 	spec.Connect(&hyracks.ConnectorDesc{From: "sort", To: "bulkload", Type: hyracks.OneToOne})
 
-	if _, err := hyracks.RunJob(ctx, rs.rt.Cluster, spec); err != nil {
+	if _, err := rs.runHyracks(ctx, spec); err != nil {
 		return err
 	}
 
@@ -228,16 +228,45 @@ func u32At(b []byte, off int) uint32 {
 
 func mkdir(dir string) error { return os.MkdirAll(dir, 0o755) }
 
+// dumpRow is one formatted output line keyed by vid for ordering.
+type dumpRow struct {
+	vid  uint64
+	line string
+}
+
 // dump scans every partition's vertex index, formats the rows as text,
 // and writes the result back to the DFS (Section 5.2).
 func (rs *runState) dump(ctx context.Context) error {
+	rows, owner, err := rs.dumpRows(ctx)
+	if err != nil {
+		return err
+	}
+	if !owner {
+		// Only the process hosting the write task has the rows; writing
+		// here would silently produce an empty output file. Partial
+		// executions dump through the distributed driver's phase RPCs.
+		return fmt.Errorf("core: dump %s: this process does not host the write task (partial execution must dump via the cluster coordinator)", rs.job.Name)
+	}
+	w, err := rs.rt.DFS.Create(rs.job.OutputPath)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r.line); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// dumpRows runs the dump plan and returns the vid-sorted rows collected
+// by the single write task, plus whether this process hosted that task
+// (on a distributed run only the owner's row set is populated; the other
+// participants feed it over the wire and return owner=false).
+func (rs *runState) dumpRows(ctx context.Context) ([]dumpRow, bool, error) {
 	p := len(rs.parts)
 	var mu sync.Mutex
-	type row struct {
-		vid  uint64
-		line string
-	}
-	rows := make([]row, 0, 1024)
+	rows := make([]dumpRow, 0, 1024)
 
 	spec := rs.newSpec(rs.job.Name + "-dump")
 	spec.AddOp(&hyracks.OperatorDesc{
@@ -275,7 +304,7 @@ func (rs *runState) dump(ctx context.Context) error {
 						return err
 					}
 					mu.Lock()
-					rows = append(rows, row{uint64(v.ID), pregel.FormatVertexLine(v)})
+					rows = append(rows, dumpRow{uint64(v.ID), pregel.FormatVertexLine(v)})
 					mu.Unlock()
 					return nil
 				},
@@ -284,19 +313,11 @@ func (rs *runState) dump(ctx context.Context) error {
 	})
 	spec.Connect(&hyracks.ConnectorDesc{From: "scan-vertex", To: "write", Type: hyracks.ReduceToOne})
 
-	if _, err := hyracks.RunJob(ctx, rs.rt.Cluster, spec); err != nil {
-		return err
-	}
-
-	sort.Slice(rows, func(i, j int) bool { return rows[i].vid < rows[j].vid })
-	w, err := rs.rt.DFS.Create(rs.job.OutputPath)
+	res, err := rs.runHyracks(ctx, spec)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
-	for _, r := range rows {
-		if _, err := fmt.Fprintln(w, r.line); err != nil {
-			return err
-		}
-	}
-	return w.Close()
+	owner := rs.exec.Local(res.Assignment["write"][0])
+	sort.Slice(rows, func(i, j int) bool { return rows[i].vid < rows[j].vid })
+	return rows, owner, nil
 }

@@ -38,6 +38,11 @@ type Options struct {
 	DFSReplication int
 	// DFSBlockSize is the simulated HDFS block size.
 	DFSBlockSize int64
+	// Exec selects the connector transport and this process's share of
+	// the cluster's nodes. The zero value (in-process channels, all
+	// nodes local) is the single-process mode; distributed workers run
+	// with a wire transport and their owned node subset.
+	Exec hyracks.ExecOptions
 }
 
 // Runtime is a Pregelix instance bound to a simulated cluster plus a
@@ -141,6 +146,17 @@ type runState struct {
 	// runDir is the node-relative scratch subdirectory isolating this
 	// job's local files from concurrent tenants ("" = node root).
 	runDir string
+	// exec is the transport / local-node selection every hyracks job of
+	// this run executes with.
+	exec hyracks.ExecOptions
+	// pinScan pins the load scan to one node. Distributed runs set it so
+	// every participant compiles the same schedule; "" lets the runtime
+	// pick by DFS block locality.
+	pinScan hyracks.NodeID
+	// joinOverride, when non-nil, forces the superstep join plan. The
+	// cluster controller of a distributed run decides the plan centrally
+	// and ships it to every worker so they compile identical specs.
+	joinOverride *pregel.JoinKind
 
 	// pendingGS accumulates the superstep's global aggregation results
 	// (written by the single-partition gs operator).
@@ -299,6 +315,7 @@ func (r *Runtime) run(ctx context.Context, job *pregel.Job, carried []*partition
 		codec:  &job.Codec,
 		opMem:  ten.opMem,
 		runDir: ten.runDir,
+		exec:   r.opts.Exec,
 		stats:  &JobStats{Job: job.Name},
 	}
 
@@ -389,7 +406,7 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		jobRes, err := hyracks.RunJob(ctx, rs.rt.Cluster, spec)
+		jobRes, err := rs.runHyracks(ctx, spec)
 		if err != nil {
 			if nf, ok := failureOf(err); ok {
 				if rerr := rs.recover(ctx, nf); rerr != nil {
@@ -416,8 +433,8 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 		if jobRes != nil {
 			st := &rs.stats.SuperstepStats[len(rs.stats.SuperstepStats)-1]
 			for _, cs := range jobRes.ConnStats {
-				st.NetworkTuples += cs.Tuples
-				st.NetworkBytes += cs.Bytes
+				st.NetworkTuples += cs.Tuples()
+				st.NetworkBytes += cs.Bytes()
 			}
 		}
 		if err := rs.writeGS(); err != nil {
@@ -528,6 +545,12 @@ func (rs *runState) newSpec(name string) *hyracks.JobSpec {
 		RunDir:           rs.runDir,
 		IOCounter:        &rs.ioBytes,
 	}
+}
+
+// runHyracks executes one compiled physical job with the run's
+// transport and local-node selection.
+func (rs *runState) runHyracks(ctx context.Context, spec *hyracks.JobSpec) (*hyracks.JobResult, error) {
+	return hyracks.RunJobWith(ctx, rs.rt.Cluster, spec, rs.exec)
 }
 
 // tempPath returns a job-scoped temp file path on the given node, under

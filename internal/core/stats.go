@@ -77,7 +77,12 @@ func (cs ClusterStats) String() string {
 // scanLocation picks the node holding the most blocks of the input file,
 // exploiting DFS data locality for the loading scan (the scheduler
 // behaviour of Section 5.7). It returns "" when locality is unknown.
+// Distributed runs pin the scan instead: every participant must compile
+// the same schedule, and per-process DFS locality would diverge.
 func (rs *runState) scanLocation() hyracks.NodeID {
+	if rs.pinScan != "" {
+		return rs.pinScan
+	}
 	locs, err := rs.rt.DFS.BlockLocations(rs.job.InputPath)
 	if err != nil {
 		return ""

@@ -45,18 +45,29 @@ const lojSelectivityThreshold = 0.25
 // chooseJoin is the cost-based plan advisor: it estimates next
 // superstep's compute input cardinality (distinct message receivers plus
 // live vertices, both known exactly from the previous superstep) and
-// picks the cheaper join plan.
+// picks the cheaper join plan. A distributed worker runs with the plan
+// its cluster controller decided (joinOverride) so every participant
+// compiles the same spec.
 func (rs *runState) chooseJoin(ss int64) pregel.JoinKind {
-	if !rs.job.AutoPlan {
-		return rs.job.Join
+	if rs.joinOverride != nil {
+		return *rs.joinOverride
+	}
+	return chooseJoinFor(rs.job, &rs.gs, ss)
+}
+
+// chooseJoinFor is the advisor itself, shared by the in-process runtime
+// and the distributed cluster controller.
+func chooseJoinFor(job *pregel.Job, gs *globalState, ss int64) pregel.JoinKind {
+	if !job.AutoPlan {
+		return job.Join
 	}
 	if ss == 1 {
 		// Every vertex is live in superstep 1: scan wins.
 		return pregel.FullOuterJoin
 	}
-	touched := rs.gs.Messages + rs.gs.LiveVertices // upper bound on probes
-	if rs.gs.NumVertices > 0 &&
-		float64(touched) < lojSelectivityThreshold*float64(rs.gs.NumVertices) {
+	touched := gs.Messages + gs.LiveVertices // upper bound on probes
+	if gs.NumVertices > 0 &&
+		float64(touched) < lojSelectivityThreshold*float64(gs.NumVertices) {
 		return pregel.LeftOuterJoin
 	}
 	return pregel.FullOuterJoin

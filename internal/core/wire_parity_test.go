@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pregelix/internal/graphgen"
+	"pregelix/internal/hyracks"
+	"pregelix/internal/wire"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// newWireRuntime builds a runtime whose every connector stream crosses a
+// real loopback TCP socket (ForceWire), in one process.
+func newWireRuntime(t *testing.T, nodes int) *Runtime {
+	t.Helper()
+	tr, err := wire.NewTCPTransport(wire.Config{ListenAddr: "127.0.0.1:0", ForceWire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	local := make(map[hyracks.NodeID]bool, nodes)
+	peers := make(map[hyracks.NodeID]string, nodes)
+	for i := 1; i <= nodes; i++ {
+		id := hyracks.NodeID(fmt.Sprintf("nc%d", i))
+		local[id] = true
+		peers[id] = tr.Addr()
+	}
+	tr.SetPeers(peers, local)
+	rt, err := NewRuntime(Options{
+		BaseDir:           t.TempDir(),
+		Nodes:             nodes,
+		PartitionsPerNode: 2,
+		Exec:              hyracks.ExecOptions{Transport: tr, LocalNodes: local},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestPageRankWireParity is the PR3 acceptance check: full PageRank jobs
+// — load, supersteps, dump — run with every frame shipped over loopback
+// TCP (length-prefixed frame images, credit flow control) must produce
+// results identical to the channel transport, for both connector
+// policies. Run under -race by CI, it also exercises the socket
+// goroutines against the frame pool.
+func TestPageRankWireParity(t *testing.T) {
+	g := graphgen.Webmap(260, 4, 13)
+	const iterations = 4
+
+	for _, conn := range []pregel.ConnectorKind{pregel.UnmergeConnector, pregel.MergeConnector} {
+		name := fmt.Sprintf("%v", conn)
+		t.Run(name, func(t *testing.T) {
+			chanRT := newTestRuntime(t, 3)
+			defer chanRT.Close()
+			putGraph(t, chanRT, "/in/g", g)
+			chanJob := algorithms.NewPageRankJob("pr-chan", "/in/g", "/out/chan", iterations)
+			chanJob.Connector = conn
+			chanStats, err := chanRT.Run(context.Background(), chanJob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := readOutputValues(t, chanRT, "/out/chan")
+
+			wireRT := newWireRuntime(t, 3)
+			defer wireRT.Close()
+			putGraph(t, wireRT, "/in/g", g)
+			wireJob := algorithms.NewPageRankJob("pr-wire", "/in/g", "/out/wire", iterations)
+			wireJob.Connector = conn
+			wireStats, err := wireRT.Run(context.Background(), wireJob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := readOutputValues(t, wireRT, "/out/wire")
+
+			compareValues(t, got, want, "wire-vs-chan-"+name)
+			if wireStats.Supersteps != chanStats.Supersteps {
+				t.Fatalf("wire ran %d supersteps, chan ran %d", wireStats.Supersteps, chanStats.Supersteps)
+			}
+			if wireStats.TotalMessages != chanStats.TotalMessages {
+				t.Fatalf("wire shipped %d messages, chan shipped %d",
+					wireStats.TotalMessages, chanStats.TotalMessages)
+			}
+			// ConnStats must agree transport-for-transport: the connector
+			// layer counts flushed frames identically on both paths.
+			for i, ss := range wireStats.SuperstepStats {
+				cs := chanStats.SuperstepStats[i]
+				if ss.NetworkTuples != cs.NetworkTuples {
+					t.Fatalf("superstep %d: wire counted %d network tuples, chan %d",
+						ss.Superstep, ss.NetworkTuples, cs.NetworkTuples)
+				}
+			}
+		})
+	}
+}
+
+// TestSSSPWireParity covers the left-outer-join plan (Vid index, merge
+// sources) over the wire.
+func TestSSSPWireParity(t *testing.T) {
+	g := graphgen.BTC(220, 3, 17)
+
+	chanRT := newTestRuntime(t, 3)
+	defer chanRT.Close()
+	putGraph(t, chanRT, "/in/g", g)
+	chanJob := algorithms.NewSSSPJob("sssp-chan", "/in/g", "/out/chan", 1)
+	if _, err := chanRT.Run(context.Background(), chanJob); err != nil {
+		t.Fatal(err)
+	}
+	want := readOutputValues(t, chanRT, "/out/chan")
+
+	wireRT := newWireRuntime(t, 3)
+	defer wireRT.Close()
+	putGraph(t, wireRT, "/in/g", g)
+	wireJob := algorithms.NewSSSPJob("sssp-wire", "/in/g", "/out/wire", 1)
+	if _, err := wireRT.Run(context.Background(), wireJob); err != nil {
+		t.Fatal(err)
+	}
+	got := readOutputValues(t, wireRT, "/out/wire")
+	compareValues(t, got, want, "sssp-wire-vs-chan")
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"pregelix/internal/hyracks"
+	"pregelix/internal/wire"
+	"pregelix/pregel"
+)
+
+// WorkerConfig configures one worker process of a distributed cluster.
+type WorkerConfig struct {
+	// CCAddr is the cluster controller's control-plane address.
+	CCAddr string
+	// DataListen is the wire-transport listen address (host:0 picks a
+	// port; default 127.0.0.1:0).
+	DataListen string
+	// BaseDir roots the worker's node storage and DFS.
+	BaseDir string
+	// Nodes is the number of node controllers this worker contributes.
+	Nodes int
+	// BuildJob turns an opaque job descriptor into a pregel.Job. Every
+	// worker of a cluster must resolve the same descriptor to the same
+	// logical job (the CLI registers its algorithm catalog here).
+	BuildJob func(spec json.RawMessage) (*pregel.Job, error)
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunWorker runs a node-controller process: it announces itself to the
+// cluster controller, hosts its share of the cluster's nodes, executes
+// its tasks of every phase job, and ships shuffle frames to its peers
+// over the wire transport. It blocks until ctx is cancelled or the
+// control connection is lost.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.DataListen == "" {
+		cfg.DataListen = "127.0.0.1:0"
+	}
+	if cfg.BuildJob == nil {
+		return fmt.Errorf("core: WorkerConfig.BuildJob is required")
+	}
+
+	transport, err := wire.NewTCPTransport(wire.Config{ListenAddr: cfg.DataListen})
+	if err != nil {
+		return err
+	}
+	defer transport.Close()
+
+	ctrl, err := wire.DialControl(cfg.CCAddr)
+	if err != nil {
+		return err
+	}
+	defer ctrl.Close()
+	stop := context.AfterFunc(ctx, func() { ctrl.Close() })
+	defer stop()
+
+	// Handshake: register, then wait for the assembled-cluster response.
+	reg, err := json.Marshal(registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes})
+	if err != nil {
+		return err
+	}
+	if err := ctrl.Send(wire.Envelope{ID: 1, Method: "register", Data: reg}); err != nil {
+		return err
+	}
+	cfg.logf("worker: registered with %s (%d nodes, data %s), waiting for cluster", cfg.CCAddr, cfg.Nodes, transport.Addr())
+	env, err := ctrl.Read()
+	if err != nil {
+		return fmt.Errorf("core: handshake: %w", err)
+	}
+	if env.Error != "" {
+		return fmt.Errorf("core: controller rejected registration: %s", env.Error)
+	}
+	var start startMsg
+	if err := json.Unmarshal(env.Data, &start); err != nil {
+		return err
+	}
+
+	// Every process constructs the same full cluster topology locally;
+	// only the owned nodes' storage is ever touched.
+	rt, err := NewRuntime(Options{
+		BaseDir:           cfg.BaseDir,
+		Nodes:             start.TotalNodes,
+		PartitionsPerNode: start.PartitionsPerNode,
+		NodeConfig:        hyracks.NodeConfig{RAMBytes: start.RAMBytes, PageSize: start.PageSize},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	local := make(map[hyracks.NodeID]bool, len(start.Owned))
+	for _, id := range start.Owned {
+		local[hyracks.NodeID(id)] = true
+	}
+	peers := make(map[hyracks.NodeID]string, len(start.Peers))
+	for id, addr := range start.Peers {
+		peers[hyracks.NodeID(id)] = addr
+	}
+	transport.SetPeers(peers, local)
+
+	w := &distWorker{
+		cfg:       cfg,
+		rt:        rt,
+		transport: transport,
+		exec:      hyracks.ExecOptions{Transport: transport, LocalNodes: local},
+		ctx:       ctx,
+		jobs:      make(map[string]*distJob),
+	}
+	cfg.logf("worker: cluster up — %d nodes total, hosting %v", start.TotalNodes, start.Owned)
+	err = wire.ServeControl(ctrl, w.handle)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// distWorker is the worker-side session state.
+type distWorker struct {
+	cfg       WorkerConfig
+	rt        *Runtime
+	transport *wire.TCPTransport
+	exec      hyracks.ExecOptions
+	ctx       context.Context
+
+	mu   sync.Mutex
+	jobs map[string]*distJob
+}
+
+// distJob is one open job session: the worker's runState whose partition
+// state (vertex indexes, message run files) persists across phase RPCs.
+type distJob struct {
+	rs     *runState
+	ctx    context.Context
+	cancel context.CancelFunc
+	runDir string
+}
+
+func (w *distWorker) job(name string) (*distJob, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dj := w.jobs[name]
+	if dj == nil {
+		return nil, fmt.Errorf("core: no open job session %q", name)
+	}
+	return dj, nil
+}
+
+// handle dispatches one controller RPC.
+func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
+	switch method {
+	case rpcPing:
+		return map[string]string{"status": "ok"}, nil
+
+	case rpcPutFile:
+		var msg putFileMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		return nil, w.rt.DFS.WriteFile(msg.Path, msg.Data)
+
+	case rpcJobBegin:
+		var msg jobBeginMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		return nil, w.beginJob(&msg)
+
+	case rpcJobLoad:
+		var msg jobNameMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return dj.load()
+
+	case rpcSuperstep:
+		var msg superstepMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return dj.superstep(&msg)
+
+	case rpcJobDump:
+		var msg jobNameMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return dj.dump()
+
+	case rpcJobCancel:
+		var msg jobNameMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		if dj, err := w.job(msg.Name); err == nil {
+			dj.cancel()
+		}
+		return nil, nil
+
+	case rpcJobEnd:
+		var msg jobNameMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		w.endJob(msg.Name)
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown control method %q", method)
+	}
+}
+
+func (w *distWorker) beginJob(msg *jobBeginMsg) error {
+	job, err := w.cfg.BuildJob(msg.Spec)
+	if err != nil {
+		return err
+	}
+	job.Name = msg.Name
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	jctx, cancel := context.WithCancel(w.ctx)
+	dj := &distJob{
+		rs: &runState{
+			rt:      w.rt,
+			job:     job,
+			codec:   &job.Codec,
+			runDir:  msg.RunDir,
+			exec:    w.exec,
+			pinScan: hyracks.NodeID(msg.ScanNode),
+			stats:   &JobStats{Job: job.Name},
+		},
+		ctx:    jctx,
+		cancel: cancel,
+		runDir: msg.RunDir,
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.jobs[msg.Name]; dup {
+		cancel()
+		return fmt.Errorf("core: job session %q already open", msg.Name)
+	}
+	w.jobs[msg.Name] = dj
+	w.cfg.logf("worker: job %s opened", msg.Name)
+	return nil
+}
+
+func (w *distWorker) endJob(name string) {
+	w.mu.Lock()
+	dj := w.jobs[name]
+	delete(w.jobs, name)
+	w.mu.Unlock()
+	if dj == nil {
+		return
+	}
+	dj.cancel()
+	dj.rs.cleanup()
+	// Reset any wire streams still parked for this job's phases and
+	// reclaim the job's scratch directories on owned nodes.
+	w.transport.PurgeJob(name)
+	for _, n := range w.rt.Cluster.Nodes() {
+		if w.exec.Local(n.ID) {
+			n.RemoveJobDir(dj.runDir)
+		}
+	}
+	w.cfg.logf("worker: job %s closed", name)
+}
+
+// ownedParts lists the session partitions hosted by this worker.
+func (dj *distJob) ownedParts() []*partitionState {
+	var out []*partitionState
+	for _, ps := range dj.rs.parts {
+		if dj.rs.exec.Local(ps.node.ID) {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+func (dj *distJob) load() (*loadReply, error) {
+	if err := dj.rs.load(dj.ctx); err != nil {
+		return nil, err
+	}
+	reply := &loadReply{Parts: []partCount{}}
+	for _, ps := range dj.ownedParts() {
+		reply.Parts = append(reply.Parts, partCount{
+			Part: ps.idx, Vertices: ps.numVertices, Edges: ps.numEdges,
+		})
+	}
+	return reply, nil
+}
+
+func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
+	rs := dj.rs
+	rs.gs = msg.GS
+	join := msg.Join
+	rs.joinOverride = &join
+
+	ioBefore := rs.ioBytes.Load()
+	spec, err := rs.buildSuperstepJob(msg.SS)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rs.runHyracks(dj.ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	reply := &superstepReply{Parts: []partCount{}}
+	// The process hosting the single global-state aggregation task holds
+	// the superstep's halt vote and aggregate; report it before
+	// commitSuperstep clears the pending state.
+	if gsNodes := res.Assignment["gs"]; len(gsNodes) == 1 && rs.exec.Local(gsNodes[0]) {
+		reply.GSOwner = true
+		reply.HaltAll = rs.pendingGS.haltAll
+		reply.HasAgg = rs.pendingGS.hasAgg
+		reply.Aggregate = rs.pendingGS.aggregate
+	}
+	rs.commitSuperstep(msg.SS)
+
+	for _, ps := range dj.ownedParts() {
+		reply.Parts = append(reply.Parts, partCount{
+			Part: ps.idx, Vertices: ps.numVertices, Edges: ps.numEdges,
+			Msgs: ps.msgs, Live: ps.liveVertices,
+		})
+	}
+	for _, cs := range res.ConnStats {
+		reply.NetTuples += cs.Tuples()
+		reply.NetBytes += cs.Bytes()
+	}
+	reply.IOBytes = rs.ioBytes.Load() - ioBefore
+	return reply, nil
+}
+
+func (dj *distJob) dump() (*dumpReply, error) {
+	rows, owner, err := dj.rs.dumpRows(dj.ctx)
+	if err != nil {
+		return nil, err
+	}
+	reply := &dumpReply{Owner: owner}
+	if owner {
+		reply.Lines = make([]string, len(rows))
+		for i, r := range rows {
+			reply.Lines[i] = r.line
+		}
+	}
+	return reply, nil
+}

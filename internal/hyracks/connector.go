@@ -5,36 +5,18 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 
 	"pregelix/internal/tuple"
 )
 
-// packet is the unit moved across a simulated network channel. Frame
-// ownership transfers with the packet: the receiver returns the frame to
-// the pool (tuple.PutFrame) once it has drained it.
-type packet struct {
-	frame *tuple.Frame
-	eos   bool
-	err   error
-}
-
-func sendPacket(ctx context.Context, ch chan packet, p packet) error {
-	select {
-	case ch <- p:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
 // partitionSender is the sender endpoint of a partitioning connector: it
 // routes each tuple record to the pooled frame of its consumer partition
-// (one memmove per tuple, no boxing) and ships full frames downstream.
+// (one memmove per tuple, no boxing) and ships full frames downstream
+// through the transport's send ports.
 type partitionSender struct {
 	ctx   context.Context
-	chans []chan packet
+	ports []SendPort
 	part  Partitioner
 	bufs  []*tuple.Frame
 	apps  []tuple.FrameAppender
@@ -44,28 +26,37 @@ type partitionSender struct {
 }
 
 // ConnStats aggregates traffic over one connector. Tuple and byte counts
-// are taken from the frame header (Len/DataBytes) at flush time.
+// are taken from the frame header (Len/DataBytes) at flush time. The
+// counters are atomics: they sit on the per-flush hot path of every
+// sender endpoint and are also read by socket goroutines on wire
+// transports.
 type ConnStats struct {
-	mu     sync.Mutex
-	Tuples int64
-	Bytes  int64
-	Frames int64
+	tuples atomic.Int64
+	bytes  atomic.Int64
+	frames atomic.Int64
 }
 
 func (s *ConnStats) add(tuples int, bytes int) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.Tuples += int64(tuples)
-	s.Bytes += int64(bytes)
-	s.Frames++
-	s.mu.Unlock()
+	s.tuples.Add(int64(tuples))
+	s.bytes.Add(int64(bytes))
+	s.frames.Add(1)
 }
 
+// Tuples returns the tuple count shipped over the connector so far.
+func (s *ConnStats) Tuples() int64 { return s.tuples.Load() }
+
+// Bytes returns the payload bytes shipped over the connector so far.
+func (s *ConnStats) Bytes() int64 { return s.bytes.Load() }
+
+// Frames returns the frame count shipped over the connector so far.
+func (s *ConnStats) Frames() int64 { return s.frames.Load() }
+
 func (s *partitionSender) Open() error {
-	s.bufs = make([]*tuple.Frame, len(s.chans))
-	s.apps = make([]tuple.FrameAppender, len(s.chans))
+	s.bufs = make([]*tuple.Frame, len(s.ports))
+	s.apps = make([]tuple.FrameAppender, len(s.ports))
 	for i := range s.bufs {
 		s.bufs[i] = tuple.GetFrame()
 		s.apps[i].Reset(s.bufs[i])
@@ -74,7 +65,7 @@ func (s *partitionSender) Open() error {
 }
 
 func (s *partitionSender) NextFrame(f *tuple.Frame) error {
-	n := len(s.chans)
+	n := len(s.ports)
 	for i := 0; i < f.Len(); i++ {
 		r := f.Tuple(i)
 		p := 0
@@ -105,7 +96,7 @@ func (s *partitionSender) flush(p int) error {
 		return nil
 	}
 	s.stats.add(f.Len(), f.DataBytes())
-	if err := sendPacket(s.ctx, s.chans[p], packet{frame: f}); err != nil {
+	if err := s.ports[p].Send(s.ctx, Packet{Frame: f}); err != nil {
 		return err
 	}
 	s.bufs[p] = tuple.GetFrame()
@@ -125,11 +116,11 @@ func (s *partitionSender) releaseBufs() {
 
 func (s *partitionSender) Close() error {
 	defer s.releaseBufs()
-	for p := range s.chans {
+	for p := range s.ports {
 		if err := s.flush(p); err != nil {
 			return err
 		}
-		if err := sendPacket(s.ctx, s.chans[p], packet{eos: true}); err != nil {
+		if err := s.ports[p].Send(s.ctx, Packet{EOS: true}); err != nil {
 			return err
 		}
 	}
@@ -138,13 +129,9 @@ func (s *partitionSender) Close() error {
 
 func (s *partitionSender) Fail(err error) {
 	s.releaseBufs()
-	for p := range s.chans {
+	for p := range s.ports {
 		// Best effort: the job context is being cancelled anyway.
-		select {
-		case s.chans[p] <- packet{err: err}:
-		case <-s.ctx.Done():
-		default:
-		}
+		s.ports[p].TrySendErr(err)
 	}
 }
 
@@ -246,49 +233,49 @@ func (m *materializingWriter) Fail(err error) {
 	m.sp.remove()
 }
 
-// runPlainReceiver drains a shared channel into the consumer runtime,
-// waiting for one EOS per sender. Frames are returned to the pool once
-// the consumer's NextFrame (which copies anything it keeps) returns.
-func runPlainReceiver(ctx context.Context, rt PushRuntime, ch chan packet, senders int) error {
+// runPlainReceiver drains the receiver partition's shared port into the
+// consumer runtime, waiting for one EOS per sender. Frames are returned
+// to the pool once the consumer's NextFrame (which copies anything it
+// keeps) returns.
+func runPlainReceiver(ctx context.Context, rt PushRuntime, port RecvPort, senders int) error {
 	if err := rt.Open(); err != nil {
 		rt.Fail(err)
 		return err
 	}
 	remaining := senders
 	for remaining > 0 {
-		select {
-		case <-ctx.Done():
-			rt.Fail(ctx.Err())
-			return ctx.Err()
-		case pkt := <-ch:
-			switch {
-			case pkt.err != nil:
-				rt.Fail(pkt.err)
-				return pkt.err
-			case pkt.eos:
-				remaining--
-			default:
-				err := rt.NextFrame(pkt.frame)
-				tuple.PutFrame(pkt.frame)
-				if err != nil {
-					rt.Fail(err)
-					return err
-				}
+		pkt, err := port.Recv(ctx)
+		if err != nil {
+			rt.Fail(err)
+			return err
+		}
+		switch {
+		case pkt.Err != nil:
+			rt.Fail(pkt.Err)
+			return pkt.Err
+		case pkt.EOS:
+			remaining--
+		default:
+			err := rt.NextFrame(pkt.Frame)
+			tuple.PutFrame(pkt.Frame)
+			if err != nil {
+				rt.Fail(err)
+				return err
 			}
 		}
 	}
 	return rt.Close()
 }
 
-// senderStream adapts one sender's channel into a pull iterator over
+// senderStream adapts one sender's receive port into a pull iterator over
 // tuple refs for the merging receiver. The ref returned by advance stays
 // valid until the next advance call (the current frame is only released
 // when replaced).
 type senderStream struct {
-	ch  chan packet
-	cur *tuple.Frame
-	idx int
-	eos bool
+	port RecvPort
+	cur  *tuple.Frame
+	idx  int
+	eos  bool
 }
 
 func (s *senderStream) release() {
@@ -309,22 +296,21 @@ func (s *senderStream) advance(ctx context.Context) (tuple.TupleRef, bool, error
 			s.idx++
 			return r, true, nil
 		}
-		select {
-		case <-ctx.Done():
-			return tuple.TupleRef{}, false, ctx.Err()
-		case pkt := <-s.ch:
-			if pkt.err != nil {
-				s.release()
-				return tuple.TupleRef{}, false, pkt.err
-			}
-			if pkt.eos {
-				s.release()
-				s.eos = true
-				return tuple.TupleRef{}, false, nil
-			}
-			s.release()
-			s.cur, s.idx = pkt.frame, 0
+		pkt, err := s.port.Recv(ctx)
+		if err != nil {
+			return tuple.TupleRef{}, false, err
 		}
+		if pkt.Err != nil {
+			s.release()
+			return tuple.TupleRef{}, false, pkt.Err
+		}
+		if pkt.EOS {
+			s.release()
+			s.eos = true
+			return tuple.TupleRef{}, false, nil
+		}
+		s.release()
+		s.cur, s.idx = pkt.Frame, 0
 	}
 }
 
@@ -357,20 +343,20 @@ func (h *mergeHeap) Pop() any {
 // which is why the sender side must materialize (Section 5.3.1). The
 // merge operates on frame refs: each winning record is copied into the
 // output frame with one memmove before its stream advances.
-func runMergingReceiver(ctx context.Context, rt PushRuntime, chans []chan packet, cmp tuple.RefComparator) error {
+func runMergingReceiver(ctx context.Context, rt PushRuntime, ports []RecvPort, cmp tuple.RefComparator) error {
 	if err := rt.Open(); err != nil {
 		rt.Fail(err)
 		return err
 	}
-	streams := make([]*senderStream, 0, len(chans))
+	streams := make([]*senderStream, 0, len(ports))
 	defer func() {
 		for _, s := range streams {
 			s.release()
 		}
 	}()
 	h := &mergeHeap{cmp: cmp}
-	for _, ch := range chans {
-		s := &senderStream{ch: ch}
+	for _, port := range ports {
+		s := &senderStream{port: port}
 		streams = append(streams, s)
 		r, ok, err := s.advance(ctx)
 		if err != nil {

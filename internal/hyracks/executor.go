@@ -11,12 +11,31 @@ import (
 // JobResult carries post-run information for the statistics collector.
 type JobResult struct {
 	// ConnStats maps "from->to" connector labels to traffic statistics.
+	// Each process counts the frames its own sender tasks flushed, so on
+	// a multi-process run the cluster-wide totals are the sum over
+	// participants.
 	ConnStats map[string]*ConnStats
+	// Assignment is the schedule the job ran with: operator ID to the
+	// node of each partition. Identical on every participant of a
+	// multi-process execution (the schedule is deterministic).
+	Assignment map[string][]NodeID
 }
 
-// RunJob executes the job DAG on the cluster and blocks until completion.
-// The first task error cancels the whole job and is returned.
+// RunJob executes the job DAG on the cluster in-process and blocks until
+// completion: every task runs in this process and connector streams are
+// Go channels. The first task error cancels the whole job and is
+// returned.
 func RunJob(ctx context.Context, cluster *Cluster, spec *JobSpec) (*JobResult, error) {
+	return RunJobWith(ctx, cluster, spec, ExecOptions{})
+}
+
+// RunJobWith executes the local share of the job DAG: tasks whose
+// assigned node is in opts.LocalNodes run here; connector streams are
+// carried by opts.Transport, which routes frames to tasks hosted by
+// other processes. Multi-process execution runs RunJobWith with the same
+// spec on every participant — the schedule is deterministic, so they
+// agree on placement — and returns when the local tasks are done.
+func RunJobWith(ctx context.Context, cluster *Cluster, spec *JobSpec, opts ExecOptions) (*JobResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,10 +49,19 @@ func RunJob(ctx context.Context, cluster *Cluster, spec *JobSpec) (*JobResult, e
 	ex := &executor{
 		spec:    spec,
 		assign:  assign,
+		opts:    opts,
 		ctx:     jctx,
 		cancel:  cancel,
 		result:  &JobResult{ConnStats: make(map[string]*ConnStats)},
 		inbound: make(map[string]*connState),
+	}
+	ex.result.Assignment = make(map[string][]NodeID, len(assign))
+	for op, nodes := range assign {
+		ids := make([]NodeID, len(nodes))
+		for i, n := range nodes {
+			ids[i] = n.ID
+		}
+		ex.result.Assignment[op] = ids
 	}
 
 	// Index connectors.
@@ -63,12 +91,24 @@ func RunJob(ctx context.Context, cluster *Cluster, spec *JobSpec) (*JobResult, e
 	}
 	ex.outbound = outbound
 
-	// Allocate channels for non-fused connectors.
+	// Allocate transport streams for non-fused connectors. The cleanup
+	// is registered first so a failure partway through the loop still
+	// releases the connectors already opened (wire transports keep
+	// per-connector registrations until closed).
+	defer func() {
+		for _, cs := range ex.inbound {
+			if cs.trans != nil {
+				cs.trans.Close()
+			}
+		}
+	}()
 	for _, cs := range ex.inbound {
-		cs.allocate(spec)
+		if err := cs.allocate(spec, assign, opts.transport()); err != nil {
+			return nil, err
+		}
 	}
 
-	// Launch receiver tasks, then source tasks.
+	// Launch receiver tasks, then source tasks (local nodes only).
 	for _, op := range spec.Ops {
 		if cs, ok := ex.inbound[op.ID]; ok {
 			ex.launchReceivers(op, cs)
@@ -88,16 +128,13 @@ func RunJob(ctx context.Context, cluster *Cluster, spec *JobSpec) (*JobResult, e
 }
 
 type connState struct {
-	desc  *ConnectorDesc
-	stats *ConnStats
-	// plain: one channel per consumer partition.
-	plain []chan packet
-	// merge: [sender][consumer] channels.
-	merge   [][]chan packet
+	desc    *ConnectorDesc
+	stats   *ConnStats
+	trans   ConnTransport
 	senders int
 }
 
-func (cs *connState) allocate(spec *JobSpec) {
+func (cs *connState) allocate(spec *JobSpec, assign map[string][]*NodeController, t Transport) error {
 	from := spec.op(cs.desc.From)
 	to := spec.op(cs.desc.To)
 	buf := cs.desc.BufferFrames
@@ -105,26 +142,33 @@ func (cs *connState) allocate(spec *JobSpec) {
 		buf = 8
 	}
 	cs.senders = from.Partitions
-	switch cs.desc.Type {
-	case MToNPartitioningMerging:
-		cs.merge = make([][]chan packet, from.Partitions)
-		for s := range cs.merge {
-			cs.merge[s] = make([]chan packet, to.Partitions)
-			for r := range cs.merge[s] {
-				cs.merge[s][r] = make(chan packet, buf)
-			}
+	nodeIDs := func(nodes []*NodeController) []NodeID {
+		ids := make([]NodeID, len(nodes))
+		for i, n := range nodes {
+			ids[i] = n.ID
 		}
-	default:
-		cs.plain = make([]chan packet, to.Partitions)
-		for r := range cs.plain {
-			cs.plain[r] = make(chan packet, buf)
-		}
+		return ids
 	}
+	ct, err := t.OpenConn(ConnPlacement{
+		ID:            ConnID{Job: spec.Name, Conn: cs.desc.From + "->" + cs.desc.To},
+		Senders:       from.Partitions,
+		Receivers:     to.Partitions,
+		BufferFrames:  buf,
+		Merging:       cs.desc.Type == MToNPartitioningMerging,
+		SenderNodes:   nodeIDs(assign[from.ID]),
+		ReceiverNodes: nodeIDs(assign[to.ID]),
+	})
+	if err != nil {
+		return err
+	}
+	cs.trans = ct
+	return nil
 }
 
 type executor struct {
 	spec     *JobSpec
 	assign   map[string][]*NodeController
+	opts     ExecOptions
 	ctx      context.Context
 	cancel   context.CancelFunc
 	result   *JobResult
@@ -189,6 +233,16 @@ func (ex *executor) buildOutputs(op *OperatorDesc, partition int, node *NodeCont
 	return outs, nil
 }
 
+// sendPorts returns the sender endpoints of one producer partition, one
+// per consumer partition.
+func (ex *executor) sendPorts(cs *connState, sender, receivers int) []SendPort {
+	ports := make([]SendPort, receivers)
+	for r := range ports {
+		ports[r] = cs.trans.SendPort(sender, r)
+	}
+	return ports
+}
+
 // buildWriter creates the sender endpoint of a connector for one producer
 // task, fusing OneToOne consumers in-process.
 func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition int, node *NodeController) (FrameWriter, error) {
@@ -199,21 +253,21 @@ func (ex *executor) buildWriter(cs *connState, fromOp *OperatorDesc, partition i
 		// Fuse: instantiate the consumer runtime in this task.
 		return ex.buildRuntime(toOp, partition, node)
 	case MToNPartitioning:
-		var w FrameWriter = &partitionSender{ctx: ex.ctx, chans: cs.plain, part: cd.Partitioner, stats: cs.stats}
+		var w FrameWriter = &partitionSender{ctx: ex.ctx, ports: ex.sendPorts(cs, partition, toOp.Partitions), part: cd.Partitioner, stats: cs.stats}
 		if cd.Materialized {
 			w = newMaterializingWriter(ex.ctx, node,
 				node.TempPathIn(ex.spec.RunDir, fmt.Sprintf("%s-%s-p%d-mat", ex.spec.Name, cd.From, partition)), ex.spec.IOCounter, w)
 		}
 		return w, nil
 	case MToNPartitioningMerging:
-		inner := &partitionSender{ctx: ex.ctx, chans: cs.merge[partition], part: cd.Partitioner, stats: cs.stats}
+		inner := &partitionSender{ctx: ex.ctx, ports: ex.sendPorts(cs, partition, toOp.Partitions), part: cd.Partitioner, stats: cs.stats}
 		// Merging connectors always use the sender-side materializing
 		// pipelined policy to avoid deadlock (Section 5.3.1).
 		return newMaterializingWriter(ex.ctx, node,
 			node.TempPathIn(ex.spec.RunDir, fmt.Sprintf("%s-%s-p%d-merge", ex.spec.Name, cd.From, partition)), ex.spec.IOCounter, inner), nil
 	case ReduceToOne:
 		toZero := func(_ tuple.TupleRef, _ int) int { return 0 }
-		return &partitionSender{ctx: ex.ctx, chans: cs.plain, part: toZero, stats: cs.stats}, nil
+		return &partitionSender{ctx: ex.ctx, ports: ex.sendPorts(cs, partition, 1), part: toZero, stats: cs.stats}, nil
 	default:
 		return nil, fmt.Errorf("job %s: unknown connector type %v", ex.spec.Name, cd.Type)
 	}
@@ -242,6 +296,9 @@ func (ex *executor) launchReceivers(op *OperatorDesc, cs *connState) {
 	nodes := ex.assign[op.ID]
 	for p := 0; p < op.Partitions; p++ {
 		p, node := p, nodes[p]
+		if !ex.opts.Local(node.ID) {
+			continue // hosted by another process
+		}
 		ex.wg.Add(1)
 		go func() {
 			defer ex.wg.Done()
@@ -256,15 +313,15 @@ func (ex *executor) launchReceivers(op *OperatorDesc, cs *connState) {
 			}
 			switch cs.desc.Type {
 			case MToNPartitioningMerging:
-				chans := make([]chan packet, cs.senders)
+				ports := make([]RecvPort, cs.senders)
 				for s := 0; s < cs.senders; s++ {
-					chans[s] = cs.merge[s][p]
+					ports[s] = cs.trans.RecvMerge(s, p)
 				}
-				if err := runMergingReceiver(ex.ctx, rt, chans, cs.desc.Comparator); err != nil {
+				if err := runMergingReceiver(ex.ctx, rt, ports, cs.desc.Comparator); err != nil {
 					ex.fail(err)
 				}
 			default:
-				if err := runPlainReceiver(ex.ctx, rt, cs.plain[p], cs.senders); err != nil {
+				if err := runPlainReceiver(ex.ctx, rt, cs.trans.RecvPlain(p), cs.senders); err != nil {
 					ex.fail(err)
 				}
 			}
@@ -276,6 +333,9 @@ func (ex *executor) launchSources(op *OperatorDesc) {
 	nodes := ex.assign[op.ID]
 	for p := 0; p < op.Partitions; p++ {
 		p, node := p, nodes[p]
+		if !ex.opts.Local(node.ID) {
+			continue // hosted by another process
+		}
 		ex.wg.Add(1)
 		go func() {
 			defer ex.wg.Done()

@@ -377,7 +377,7 @@ func TestConnStatsRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := res.ConnStats["src->sink"]
-	if st == nil || st.Tuples != 200 {
-		t.Fatalf("conn stats: %+v", st)
+	if st == nil || st.Tuples() != 200 {
+		t.Fatal("conn stats missing or wrong tuple count")
 	}
 }

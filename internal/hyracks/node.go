@@ -10,12 +10,17 @@
 // constraints Pregelix uses for sticky iterative dataflows (vertex
 // partitions never move between supersteps).
 //
-// The "cluster" is simulated: each node controller is backed by its own
-// storage directory and metered memory budget, and connectors move frames
-// over Go channels standing in for the network. Every behaviour the paper
-// relies on — out-of-core operators, connector materialization policies,
-// sticky scheduling, node blacklisting — is real; only the wire protocol
-// is elided.
+// Each node controller is backed by its own storage directory and
+// metered memory budget. Connectors move frames through a pluggable
+// Transport: in one process the transport is bounded Go channels
+// (ChanTransport, the default fast path); across OS processes it is the
+// real wire protocol of internal/wire — length-prefixed frame images
+// multiplexed over one TCP connection per process pair with
+// credit-based backpressure. Every behaviour the paper relies on —
+// out-of-core operators, connector materialization policies, sticky
+// scheduling, node blacklisting, and the binary frame transport between
+// node controllers — is real; RunJobWith executes one process's share
+// of a job and meets its peers on the wire.
 package hyracks
 
 import (

@@ -19,14 +19,26 @@ type BaseRuntime struct {
 	apps []tuple.FrameAppender
 }
 
-// SetOutputs records the output writers (one per port).
+// SetOutputs records the output writers (one per port). Port frames come
+// from the shared pool and are returned by CloseOutputs/FailOutputs, so
+// a task leaves no frame leased behind on either path.
 func (b *BaseRuntime) SetOutputs(outs []FrameWriter) {
 	b.Outs = outs
 	b.bufs = make([]*tuple.Frame, len(outs))
 	b.apps = make([]tuple.FrameAppender, len(outs))
 	for i := range b.bufs {
-		b.bufs[i] = tuple.NewFrame()
+		b.bufs[i] = tuple.GetFrame()
 		b.apps[i].Reset(b.bufs[i])
+	}
+}
+
+// releaseFrames returns the port frames to the pool (idempotent).
+func (b *BaseRuntime) releaseFrames() {
+	for i, f := range b.bufs {
+		if f != nil {
+			tuple.PutFrame(f)
+			b.bufs[i] = nil
+		}
 	}
 }
 
@@ -85,7 +97,7 @@ func (b *BaseRuntime) EmitRef(port int, r tuple.TupleRef) error {
 // it for refilling (NextFrame borrows the frame; it does not keep it).
 func (b *BaseRuntime) FlushPort(port int) error {
 	f := b.bufs[port]
-	if f.Len() == 0 {
+	if f == nil || f.Len() == 0 {
 		return nil
 	}
 	if err := b.Outs[port].NextFrame(f); err != nil {
@@ -108,6 +120,7 @@ func (b *BaseRuntime) CloseOutputs() error {
 			firstErr = err
 		}
 	}
+	b.releaseFrames()
 	return firstErr
 }
 
@@ -116,6 +129,7 @@ func (b *BaseRuntime) FailOutputs(err error) {
 	for _, o := range b.Outs {
 		o.Fail(err)
 	}
+	b.releaseFrames()
 }
 
 // BaseSource provides the same helpers for SourceRuntime implementations.

@@ -222,10 +222,14 @@ func (g *spillingGroupBy) add(r tuple.TupleRef) error {
 	f := tuple.GetFrame()
 	g.frames = append(g.frames, f)
 	g.app.Reset(f)
+	// Pooled frames may arrive pre-grown (up to 4x) from an earlier
+	// oversized tuple; meter only growth this append causes, not the
+	// frame's history.
+	capBefore := f.Cap()
 	if !g.app.AppendRef(r) {
 		return fmt.Errorf("groupby: tuple does not fit an empty frame")
 	}
-	if grown := f.Cap() - tuple.DefaultFrameSize; grown > 0 {
+	if grown := f.Cap() - capBefore; grown > 0 {
 		// Oversized tuple grew the buffer; meter the growth best-effort.
 		g.budget.TryAllocate(int64(grown))
 	}
@@ -319,10 +323,15 @@ func (g *spillingGroupBy) spill() error {
 		}
 		for _, t := range ts {
 			if err := rf.Append(t); err != nil {
+				rf.Delete() // not yet in g.runs; reclaim fd+frame+file now
 				return err
 			}
 		}
-		return g.sealRun(rf)
+		if err := g.sealRun(rf); err != nil {
+			rf.Delete()
+			return err
+		}
+		return nil
 	}
 	refs := g.takeSortedRefs()
 	if len(refs) == 0 {
@@ -333,9 +342,11 @@ func (g *spillingGroupBy) spill() error {
 		return err
 	}
 	if err := g.foldRefs(refs, rf.AppendRef, rf.Append); err != nil {
+		rf.Delete() // not yet in g.runs; reclaim fd+frame+file now
 		return err
 	}
 	if err := g.sealRun(rf); err != nil {
+		rf.Delete()
 		return err
 	}
 	g.releaseMem()

@@ -107,29 +107,34 @@ func (r *RunFile) PayloadBytes() int64 { return r.sz }
 func (r *RunFile) Path() string { return r.path }
 
 // CloseWrite flushes and closes the write handle. The file remains on
-// disk for reading.
+// disk for reading. The pooled frame and the file descriptor are
+// released even when a flush fails (the first error is reported), so a
+// failed spill cannot strand a frame lease or leak an fd.
 func (r *RunFile) CloseWrite() error {
+	var firstErr error
 	if r.fr != nil {
 		if r.w != nil {
 			if err := r.flushFrame(); err != nil {
-				return err
+				firstErr = err
 			}
 		}
 		tuple.PutFrame(r.fr)
 		r.fr = nil
 	}
 	if r.w != nil {
-		if err := r.w.Flush(); err != nil {
-			return err
+		if err := r.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 		r.w = nil
 	}
 	if r.f != nil {
 		err := r.f.Close()
 		r.f = nil
-		return err
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // Delete removes the file from disk.

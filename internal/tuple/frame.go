@@ -70,6 +70,7 @@ type Frame struct {
 func NewFrame() *Frame {
 	f := newFrameCap(DefaultFrameSize)
 	f.leased.Store(true)
+	leasedFrames.Add(1)
 	return f
 }
 
@@ -303,6 +304,17 @@ func (f *Frame) commit(newEnd int) {
 // steady-state data path performs no allocation per frame.
 var framePool = sync.Pool{New: func() any { return newFrameCap(DefaultFrameSize) }}
 
+// leasedFrames counts frames currently held by some owner (taken via
+// GetFrame or created leased via NewFrame, not yet returned through
+// PutFrame). Tests use it to assert that failure paths strand no frames
+// outside the pool.
+var leasedFrames atomic.Int64
+
+// LeasedFrames returns the number of frames currently leased. A
+// steady-state delta of zero around a run means every frame that left
+// the pool went back.
+func LeasedFrames() int64 { return leasedFrames.Load() }
+
 // GetFrame takes an empty frame from the pool. The caller owns it until
 // it hands ownership downstream (connector channel) or returns it with
 // PutFrame.
@@ -311,6 +323,7 @@ func GetFrame() *Frame {
 	if !f.leased.CompareAndSwap(false, true) {
 		panic("tuple: pooled frame is already leased (frame reused while a consumer holds it)")
 	}
+	leasedFrames.Add(1)
 	f.Reset()
 	return f
 }
@@ -325,6 +338,7 @@ func PutFrame(f *Frame) {
 	if !f.leased.CompareAndSwap(true, false) {
 		panic("tuple: frame released twice")
 	}
+	leasedFrames.Add(-1)
 	if len(f.buf) > maxPooledFrameBytes {
 		return // oversized: let the GC take it
 	}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The control plane connects each worker to the cluster controller with
+// one long-lived TCP connection carrying newline-delimited JSON
+// envelopes. The worker dials and sends a single registration request;
+// once the controller has assembled the cluster it responds, and the
+// connection flips direction: the controller issues RPCs (load this
+// file, run this phase, cancel this job) and the worker answers. An
+// envelope with a non-empty Method is a request; anything else is the
+// response to the request with the same ID.
+
+// Envelope is one control-plane message.
+type Envelope struct {
+	ID     int64           `json:"id"`
+	Method string          `json:"method,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+}
+
+// ControlConn frames envelopes over one connection. Reads are owned by
+// a single goroutine; writes are serialized internally.
+type ControlConn struct {
+	conn net.Conn
+	dec  *json.Decoder
+	wmu  sync.Mutex
+	enc  *json.Encoder
+}
+
+// DialControl opens a control connection to the cluster controller.
+func DialControl(addr string) (*ControlConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial control %s: %w", addr, err)
+	}
+	if _, err := conn.Write([]byte(ctrlMagic)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return newControlConn(conn), nil
+}
+
+// AcceptControl wraps an accepted connection after verifying the
+// control-plane preamble.
+func AcceptControl(conn net.Conn) (*ControlConn, error) {
+	magic := make([]byte, len(ctrlMagic))
+	if _, err := io.ReadFull(conn, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != ctrlMagic {
+		return nil, errors.New("wire: not a control connection")
+	}
+	return newControlConn(conn), nil
+}
+
+func newControlConn(conn net.Conn) *ControlConn {
+	return &ControlConn{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+}
+
+// Send writes one envelope.
+func (c *ControlConn) Send(env Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(&env)
+}
+
+// Read blocks for the next envelope.
+func (c *ControlConn) Read() (Envelope, error) {
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}
+
+// Close closes the underlying connection (unblocking Read).
+func (c *ControlConn) Close() error { return c.conn.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *ControlConn) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// ---------------------------------------------------------------------------
+// Caller: the controller's side of an established worker connection.
+// ---------------------------------------------------------------------------
+
+// Caller issues RPCs over a control connection and matches responses to
+// waiting calls. Start the read loop once the handshake is done.
+type Caller struct {
+	c *ControlConn
+
+	mu      sync.Mutex
+	next    int64
+	pending map[int64]chan Envelope
+	err     error
+}
+
+// NewCaller wraps an established connection.
+func NewCaller(c *ControlConn) *Caller {
+	return &Caller{c: c, pending: make(map[int64]chan Envelope)}
+}
+
+// Start launches the response-matching read loop. It returns when the
+// connection dies, failing every outstanding and future call.
+func (k *Caller) Start() {
+	go func() {
+		for {
+			env, err := k.c.Read()
+			if err != nil {
+				k.fail(fmt.Errorf("wire: control connection lost: %w", err))
+				return
+			}
+			k.mu.Lock()
+			ch := k.pending[env.ID]
+			delete(k.pending, env.ID)
+			k.mu.Unlock()
+			if ch != nil {
+				ch <- env
+			}
+		}
+	}()
+}
+
+func (k *Caller) fail(err error) {
+	k.mu.Lock()
+	if k.err == nil {
+		k.err = err
+	}
+	pend := k.pending
+	k.pending = make(map[int64]chan Envelope)
+	k.mu.Unlock()
+	for _, ch := range pend {
+		ch <- Envelope{Error: err.Error()}
+	}
+}
+
+// Err returns the terminal connection error, if any.
+func (k *Caller) Err() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.err
+}
+
+// Call issues one request and blocks for its response (or ctx expiry —
+// note an abandoned response is dropped by the read loop, not cancelled
+// remotely; pair Call with an explicit cancel RPC for long phases).
+func (k *Caller) Call(ctx context.Context, method string, params, result any) error {
+	data, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	ch := make(chan Envelope, 1)
+	k.mu.Lock()
+	if k.err != nil {
+		err := k.err
+		k.mu.Unlock()
+		return err
+	}
+	k.next++
+	id := k.next
+	k.pending[id] = ch
+	k.mu.Unlock()
+
+	if err := k.c.Send(Envelope{ID: id, Method: method, Data: data}); err != nil {
+		k.mu.Lock()
+		delete(k.pending, id)
+		k.mu.Unlock()
+		return err
+	}
+	select {
+	case env := <-ch:
+		if env.Error != "" {
+			return errors.New(env.Error)
+		}
+		if result != nil && len(env.Data) > 0 {
+			return json.Unmarshal(env.Data, result)
+		}
+		return nil
+	case <-ctx.Done():
+		k.mu.Lock()
+		delete(k.pending, id)
+		k.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// ServeControl runs the worker's side of an established connection:
+// each incoming request is dispatched to handler on its own goroutine
+// and the return value (or error) is sent back under the request ID. It
+// returns when the connection dies.
+func ServeControl(c *ControlConn, handler func(method string, data json.RawMessage) (any, error)) error {
+	for {
+		env, err := c.Read()
+		if err != nil {
+			return err
+		}
+		if env.Method == "" {
+			continue // stray response; nothing to match it to
+		}
+		go func(env Envelope) {
+			resp := Envelope{ID: env.ID}
+			out, err := handler(env.Method, env.Data)
+			if err != nil {
+				resp.Error = err.Error()
+			} else if out != nil {
+				data, merr := json.Marshal(out)
+				if merr != nil {
+					resp.Error = merr.Error()
+				} else {
+					resp.Data = data
+				}
+			}
+			c.Send(resp)
+		}(env)
+	}
+}

@@ -1,0 +1,157 @@
+// Package wire is the network transport of the engine: the real
+// counterpart of the in-process channel transport, carrying packed frame
+// images between node controllers running in different OS processes.
+//
+// Data plane. Each process listens on one TCP address; a process with
+// frames to ship dials one connection per destination process and
+// multiplexes every (connector, sender partition → receiver partition)
+// stream of every running job over it. Messages are length-prefixed:
+//
+//	+------+-----------+-----------+====================+
+//	| type | stream id | length    | payload            |
+//	| u8   | u32 LE    | u32 LE    | length bytes       |
+//	+------+-----------+-----------+====================+
+//
+//	OPEN   sender → receiver  JSON stream identity (job, connector,
+//	                          sender, receiver, buffer frames)
+//	DATA   sender → receiver  one frame image (tuple.WriteFrame bytes,
+//	                          written straight from the pooled frame —
+//	                          no re-serialization)
+//	EOS    sender → receiver  end of stream
+//	ERR    sender → receiver  producer failure, error text as payload
+//	CREDIT receiver → sender  u32 LE grant of DATA frames
+//	RESET  receiver → sender  receiver gone; sender aborts the stream
+//
+// Flow control is credit-based: a sender may have at most as many
+// unacknowledged DATA frames in flight as the receiver has granted. The
+// receiver grants the connector's buffer window when it claims a stream
+// and one more credit each time it dequeues a frame, so the wire
+// replaces channel blocking with an equivalent bounded window and the
+// demultiplexer never blocks on a slow consumer. EOS, ERR and RESET are
+// carried in-band and consume no credit.
+//
+// Control plane. The cluster controller and its workers exchange
+// newline-delimited JSON envelopes (registration handshake, then
+// request/response RPC) over a separate connection; see control.go.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pregelix/internal/tuple"
+)
+
+// Data-plane message types.
+const (
+	msgOpen byte = iota + 1
+	msgData
+	msgEOS
+	msgErr
+	msgCredit
+	msgReset
+)
+
+// dataMagic is the preamble a dialer writes on a fresh data connection.
+const dataMagic = "PGXW1\n"
+
+// ctrlMagic is the preamble of control-plane connections.
+const ctrlMagic = "PGXC1\n"
+
+// maxCtrlPayload bounds non-frame payloads (OPEN JSON, error text) so a
+// corrupt header cannot drive a huge allocation.
+const maxCtrlPayload = 1 << 20
+
+// openInfo identifies one stream: the payload of an OPEN message.
+type openInfo struct {
+	Job      string `json:"job"`
+	Conn     string `json:"conn"`
+	Sender   int    `json:"sender"`
+	Receiver int    `json:"receiver"`
+	// Buffer is the connector's frame window; the receiver grants it as
+	// the stream's initial credit.
+	Buffer int `json:"buffer"`
+}
+
+// msgHeader is the fixed 9-byte message prefix.
+type msgHeader struct {
+	typ    byte
+	stream uint32
+	length uint32
+}
+
+func writeHeader(w io.Writer, h msgHeader) error {
+	var buf [9]byte
+	buf[0] = h.typ
+	binary.LittleEndian.PutUint32(buf[1:], h.stream)
+	binary.LittleEndian.PutUint32(buf[5:], h.length)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(r io.Reader) (msgHeader, error) {
+	var buf [9]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return msgHeader{}, err
+	}
+	return msgHeader{
+		typ:    buf[0],
+		stream: binary.LittleEndian.Uint32(buf[1:]),
+		length: binary.LittleEndian.Uint32(buf[5:]),
+	}, nil
+}
+
+// writeMsg writes one non-frame message and flushes.
+func writeMsg(w *bufio.Writer, typ byte, stream uint32, payload []byte) error {
+	if err := writeHeader(w, msgHeader{typ: typ, stream: stream, length: uint32(len(payload))}); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// writeFrameMsg writes one DATA message: the header followed by the
+// frame image streamed straight out of the frame buffer.
+func writeFrameMsg(w *bufio.Writer, stream uint32, f *tuple.Frame) error {
+	if err := writeHeader(w, msgHeader{typ: msgData, stream: stream, length: uint32(f.FrameImageSize())}); err != nil {
+		return err
+	}
+	if err := tuple.WriteFrame(w, f); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one DATA payload into a pooled frame, validating that
+// the image consumed exactly the advertised length.
+func readFrame(r *bufio.Reader, length uint32) (*tuple.Frame, error) {
+	lr := &io.LimitedReader{R: r, N: int64(length)}
+	f := tuple.GetFrame()
+	if err := tuple.ReadFrameInto(lr, f); err != nil {
+		tuple.PutFrame(f)
+		return nil, err
+	}
+	if lr.N != 0 {
+		tuple.PutFrame(f)
+		return nil, fmt.Errorf("wire: frame image shorter than header length (%d bytes left)", lr.N)
+	}
+	return f, nil
+}
+
+// readPayload reads a bounded non-frame payload.
+func readPayload(r *bufio.Reader, length uint32) ([]byte, error) {
+	if length > maxCtrlPayload {
+		return nil, fmt.Errorf("wire: implausible %d-byte control payload", length)
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
