@@ -5,11 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -161,6 +163,260 @@ func TestTwoProcessEndToEnd(t *testing.T) {
 	for _, line := range lines {
 		if !strings.Contains(line, "\t") {
 			t.Fatalf("malformed output line %q", line)
+		}
+	}
+}
+
+// TestWorkerKillRecoveryEndToEnd is the fault-injection acceptance test
+// for cluster-mode fault tolerance, entirely across real OS processes:
+// it runs a checkpointed PageRank on a 2-worker cluster, runs it again
+// and SIGKILLs one worker mid-superstep, attaches a replacement
+// `pregelix worker`, and requires the recovered job to finish with
+// results identical to the failure-free run (value-identical: PageRank
+// float sums jitter in the last ulps with message order even between
+// two healthy runs; the in-process suite asserts byte-identity on
+// integer-valued connected components).
+func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning e2e test in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "pregelix")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pregelix: %v\n%s", err, out)
+	}
+
+	httpAddr := freeAddr(t)
+	ccAddr := freeAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+
+	var serveLog bytes.Buffer
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-listen", httpAddr, "-workers", "2", "-cluster-listen", ccAddr,
+		"-replace-wait", "60s")
+	serve.Stderr = &serveLog
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serve.Process.Kill()
+		serve.Wait()
+		if t.Failed() {
+			t.Logf("serve log:\n%s", serveLog.String())
+		}
+	}()
+	waitTCP(t, ccAddr)
+
+	startWorker := func(name string) *exec.Cmd {
+		log := &bytes.Buffer{}
+		w := exec.CommandContext(ctx, bin, "worker", "-cc", ccAddr, "-nodes", "2")
+		w.Stderr = log
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			w.Process.Kill()
+			w.Wait()
+			if t.Failed() {
+				t.Logf("%s log:\n%s", name, log.String())
+			}
+		})
+		return w
+	}
+	startWorker("worker1")
+	victim := startWorker("worker2")
+
+	base := "http://" + httpAddr
+	waitHealthy(t, base+"/healthz")
+
+	// A graph big enough that supersteps take observable wall time, so
+	// the kill lands mid-run.
+	g := graphgen.Webmap(30000, 5, 7)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		t.Fatal(err)
+	}
+	putFile(t, base, "/in/graph", graph.Bytes())
+
+	submit := func(name, output string) int64 {
+		body := fmt.Sprintf(`{"algorithm":"pagerank","name":%q,"input":"/in/graph","output":%q,"iterations":8,"checkpointEvery":2}`, name, output)
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var submitted struct {
+			ID int64 `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&submitted)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+		}
+		return submitted.ID
+	}
+
+	type jobStatus struct {
+		State      string `json:"state"`
+		Error      string `json:"error"`
+		Supersteps int64  `json:"supersteps"`
+		Recoveries int    `json:"recoveries"`
+		Ckpts      int    `json:"checkpoints"`
+	}
+	poll := func(id int64) jobStatus {
+		var st jobStatus
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	waitDone := func(id int64) jobStatus {
+		deadline := time.Now().Add(180 * time.Second)
+		for time.Now().Before(deadline) {
+			st := poll(id)
+			if st.State == "done" || st.State == "failed" {
+				return st
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("job %d never finished", id)
+		return jobStatus{}
+	}
+
+	// Failure-free baseline run.
+	cleanID := submit("pr-clean", "/out/clean")
+	if st := waitDone(cleanID); st.State != "done" {
+		t.Fatalf("baseline job state %q (error %q)", st.State, st.Error)
+	}
+	cleanOut := getFile(t, base, "/out/clean")
+
+	// Faulty run: SIGKILL worker2 once the superstep-2 checkpoint is
+	// committed and superstep 3+ is in flight.
+	killID := submit("pr-kill", "/out/kill")
+	killed := false
+	killDeadline := time.Now().Add(120 * time.Second)
+	for !killed {
+		if time.Now().After(killDeadline) {
+			t.Fatal("job never reached superstep 3; cannot inject fault")
+		}
+		st := poll(killID)
+		if st.State == "done" || st.State == "failed" {
+			t.Fatalf("job finished (state %q) before the fault was injected — enlarge the graph", st.State)
+		}
+		if st.Supersteps >= 3 {
+			if err := victim.Process.Kill(); err != nil { // SIGKILL
+				t.Fatal(err)
+			}
+			killed = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Attach the replacement worker the recovery is waiting for.
+	startWorker("worker3")
+
+	st := waitDone(killID)
+	if st.State != "done" {
+		t.Fatalf("killed job state %q (error %q)", st.State, st.Error)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("job finished without recording a recovery")
+	}
+	if st.Ckpts == 0 {
+		t.Fatal("job finished without recording checkpoints")
+	}
+	killOut := getFile(t, base, "/out/kill")
+
+	compareRanks(t, cleanOut, killOut)
+
+	// The coordinator's event log must show the loss and the adoption.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"worker-lost", "replaced"} {
+		if !strings.Contains(string(stats), kind) {
+			t.Fatalf("/stats missing %q event: %s", kind, stats)
+		}
+	}
+}
+
+// putFile uploads a file through the serve API.
+func putFile(t *testing.T, base, path string, data []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/files"+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload %s: status %d", path, resp.StatusCode)
+	}
+}
+
+// getFile downloads a file through the serve API.
+func getFile(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/files" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download %s: status %d", path, resp.StatusCode)
+	}
+	return data
+}
+
+// compareRanks requires two dumped PageRank outputs to agree per vertex
+// within float tolerance.
+func compareRanks(t *testing.T, a, b []byte) {
+	t.Helper()
+	parse := func(out []byte) map[string]float64 {
+		m := map[string]float64{}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			fields := strings.SplitN(line, "\t", 3)
+			if len(fields) < 2 {
+				t.Fatalf("malformed output line %q", line)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("bad rank in %q: %v", line, err)
+			}
+			m[fields[0]] = v
+		}
+		return m
+	}
+	am, bm := parse(a), parse(b)
+	if len(am) != len(bm) {
+		t.Fatalf("vertex counts differ: %d vs %d", len(am), len(bm))
+	}
+	for id, av := range am {
+		bv, ok := bm[id]
+		if !ok {
+			t.Fatalf("vertex %s missing from recovered output", id)
+		}
+		diff := math.Abs(av - bv)
+		if tol := 1e-6 * math.Max(math.Abs(av), math.Abs(bv)); diff > tol && diff > 1e-300 {
+			t.Fatalf("vertex %s: rank %v vs %v", id, av, bv)
 		}
 	}
 }

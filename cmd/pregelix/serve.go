@@ -35,6 +35,7 @@ func serveMain(args []string) {
 		baseDir       = fs.String("dir", "", "cluster state directory (default: a temp dir)")
 		workers       = fs.Int("workers", 0, "cluster mode: number of pregelix worker processes to wait for (0 = single-process simulation)")
 		clusterListen = fs.String("cluster-listen", "127.0.0.1:9090", "cluster mode: control-plane address workers register at")
+		replaceWait   = fs.Duration("replace-wait", 0, "cluster mode: how long failure recovery waits for a standby worker before redistributing the dead worker's nodes over survivors")
 	)
 	fs.Parse(args)
 
@@ -49,7 +50,7 @@ func serveMain(args []string) {
 				fmt.Fprintf(os.Stderr, "pregelix serve: -%s is ignored in cluster mode\n", f.Name)
 			}
 		})
-		serveCluster(*listen, *workers, *partitions, *ram, *clusterListen, *maxQueued)
+		serveCluster(*listen, *workers, *partitions, *ram, *clusterListen, *maxQueued, *replaceWait)
 		return
 	}
 
@@ -137,6 +138,11 @@ type jobRequest struct {
 	GroupBy   string `json:"groupby"`
 	Connector string `json:"connector"`
 	Storage   string `json:"storage"`
+	// CheckpointEvery snapshots the Vertex and Msg relations every N
+	// supersteps (Section 5.5); 0 disables checkpointing. In cluster
+	// mode this is what makes a job survive a worker crash: recovery
+	// rewinds to the last committed checkpoint instead of failing.
+	CheckpointEvery int `json:"checkpointEvery"`
 }
 
 // jobView is the status representation returned by the job endpoints.
@@ -151,6 +157,11 @@ type jobView struct {
 	Supersteps  int64   `json:"supersteps,omitempty"`
 	Messages    int64   `json:"messages,omitempty"`
 	Vertices    int64   `json:"vertices,omitempty"`
+	// Checkpoints/Recoveries report the job's fault-tolerance activity:
+	// committed checkpoints and completed checkpoint-rollback recoveries
+	// (cluster mode reports supersteps live while the job runs).
+	Checkpoints int `json:"checkpoints,omitempty"`
+	Recoveries  int `json:"recoveries,omitempty"`
 }
 
 func (s *server) view(h *core.JobHandle) jobView {
@@ -168,6 +179,8 @@ func (s *server) view(h *core.JobHandle) jobView {
 		v.Supersteps = stats.Supersteps
 		v.Messages = stats.TotalMessages
 		v.Vertices = stats.FinalState.NumVertices
+		v.Checkpoints = stats.Checkpoints
+		v.Recoveries = stats.Recoveries
 	} else if err != nil && v.Error == "" {
 		v.Error = err.Error()
 	}
@@ -341,6 +354,10 @@ func buildServeJob(req *jobRequest) (*pregel.Job, error) {
 	}); err != nil {
 		return nil, err
 	}
+	if req.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("checkpointEvery must be >= 0")
+	}
+	job.CheckpointEvery = req.CheckpointEvery
 	return job, nil
 }
 

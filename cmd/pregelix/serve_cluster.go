@@ -25,12 +25,13 @@ import (
 // job across them. The HTTP API is the same shape as single-process
 // serve: PUT /files, POST /jobs, GET /jobs[/<id>], DELETE /jobs/<id>,
 // GET /stats.
-func serveCluster(listen string, workers, partitions int, ram int64, clusterListen string, maxQueued int) {
+func serveCluster(listen string, workers, partitions int, ram int64, clusterListen string, maxQueued int, replaceWait time.Duration) {
 	coord, err := core.NewCoordinator(core.CoordinatorConfig{
 		ListenAddr:        clusterListen,
 		Workers:           workers,
 		PartitionsPerNode: partitions,
 		RAMBytes:          ram,
+		ReplaceWait:       replaceWait,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},
@@ -71,6 +72,17 @@ type clusterJob struct {
 	stats    *core.JobStats
 	started  time.Time
 	finished time.Time
+	// liveSupersteps tracks progress while the job runs (fed by the
+	// coordinator's per-superstep callback), so pollers — and the
+	// fault-injection harness timing its kills — see movement before the
+	// final stats land.
+	liveSupersteps int64
+}
+
+func (j *clusterJob) progress(ss int64) {
+	j.mu.Lock()
+	j.liveSupersteps = ss
+	j.mu.Unlock()
 }
 
 func (j *clusterJob) setState(state string) {
@@ -143,11 +155,14 @@ func (s *clusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "waiting for workers")
 		return
 	}
-	// A lost worker is permanent (no re-registration path); report the
-	// cluster degraded rather than serving 200 for a cluster whose jobs
-	// can only fail.
+	// A lost worker is recoverable — the next job submission repairs the
+	// topology (standby adoption or redistribution over survivors), and
+	// a running checkpointed job rolls back and resumes on its own — so
+	// only a cluster that cannot run anything (every worker gone, no
+	// standby parked) reports unhealthy. GET /stats carries the
+	// recovery-event log for the partial-failure picture.
 	if err := s.coord.Err(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "cluster degraded: %v", err)
+		httpError(w, http.StatusServiceUnavailable, "cluster down: %v", err)
 		return
 	}
 	fmt.Fprintln(w, "ok")
@@ -173,6 +188,10 @@ func (s *clusterServer) view(j *clusterJob) jobView {
 		v.Supersteps = j.stats.Supersteps
 		v.Messages = j.stats.TotalMessages
 		v.Vertices = j.stats.FinalState.NumVertices
+		v.Checkpoints = j.stats.Checkpoints
+		v.Recoveries = j.stats.Recoveries
+	} else {
+		v.Supersteps = j.liveSupersteps
 	}
 	return v
 }
@@ -270,6 +289,7 @@ func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, 
 		InputPath:  req.Input,
 		InputData:  input,
 		WantOutput: req.Output != "",
+		Progress:   j.progress,
 	})
 	if err == nil && req.Output != "" {
 		s.mu.Lock()
@@ -338,9 +358,11 @@ func (s *clusterServer) handleFiles(w http.ResponseWriter, r *http.Request) {
 
 // clusterStatsView is the cluster-mode GET /stats payload.
 type clusterStatsView struct {
-	Workers int      `json:"workers"`
-	Nodes   []string `json:"nodes"`
-	Jobs    struct {
+	Workers int `json:"workers"`
+	// Standbys counts parked replacement workers awaiting adoption.
+	Standbys int      `json:"standbys"`
+	Nodes    []string `json:"nodes"`
+	Jobs     struct {
 		Total    int `json:"total"`
 		Queued   int `json:"queued"`
 		Running  int `json:"running"`
@@ -348,10 +370,22 @@ type clusterStatsView struct {
 		Failed   int `json:"failed"`
 		Canceled int `json:"canceled"`
 	} `json:"jobs"`
+	// Recovery is the coordinator's failure-handling log: worker losses
+	// and the repairs (standby adoption, node redistribution) that
+	// followed.
+	Recovery []core.RecoveryEvent `json:"recovery"`
 }
 
 func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	out := clusterStatsView{Workers: s.coord.Workers(), Nodes: []string{}}
+	out := clusterStatsView{
+		Workers:  s.coord.Workers(),
+		Standbys: s.coord.Standbys(),
+		Nodes:    []string{},
+		Recovery: s.coord.RecoveryEvents(),
+	}
+	if out.Recovery == nil {
+		out.Recovery = []core.RecoveryEvent{}
+	}
 	for _, id := range s.coord.Nodes() {
 		out.Nodes = append(out.Nodes, string(id))
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pregelix/internal/core"
 	"pregelix/pregel"
@@ -24,6 +25,8 @@ func workerMain(args []string) {
 		listen = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
 		nodes  = fs.Int("nodes", 2, "node controllers this worker contributes")
 		dir    = fs.String("dir", "", "storage directory (default: a temp dir)")
+		rejoin = fs.Bool("rejoin", false, "re-register with the controller whenever the connection is lost (run as a resilient standby)")
+		wait   = fs.Duration("rejoin-wait", 2*time.Second, "pause between rejoin attempts")
 	)
 	fs.Parse(args)
 
@@ -47,7 +50,7 @@ func workerMain(args []string) {
 		cancel()
 	}()
 
-	err := core.RunWorker(ctx, core.WorkerConfig{
+	cfg := core.WorkerConfig{
 		CCAddr:     *cc,
 		DataListen: *listen,
 		BaseDir:    baseDir,
@@ -56,9 +59,28 @@ func workerMain(args []string) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},
-	})
-	if err != nil && ctx.Err() == nil {
-		fatal(err)
+	}
+	// A worker joining an already-running cluster parks as a standby and
+	// is adopted by the next failure recovery; with -rejoin it also
+	// re-registers whenever its controller connection drops, so one
+	// long-lived process can serve as a permanent hot spare.
+	for {
+		err := core.RunWorker(ctx, cfg)
+		if ctx.Err() != nil {
+			return
+		}
+		if !*rejoin {
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "pregelix worker: connection lost (%v), rejoining in %s\n", err, *wait)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(*wait):
+		}
 	}
 }
 

@@ -35,6 +35,33 @@
 // the pool with tuple.PutFrame once drained; the pool asserts that no
 // frame is released twice or recycled while still leased.
 //
+// # Fault tolerance
+//
+// Because every superstep is a deterministic dataflow job over
+// B-tree/DFS state, failure handling is checkpoint-and-replay rather
+// than in-memory state replication (Section 5.5). At user-selected
+// superstep boundaries (Job.CheckpointEvery) the Vertex relation and
+// the pending combined-message files are snapshotted per partition as
+// packed frame images into a replicated file system, and a manifest —
+// superstep, global state, partition→file map — is committed atomically
+// (staged, then renamed) only once every partition image is durable.
+// Recovery finds the highest committed manifest, rebuilds the vertex
+// indexes (and the derivable Vid index) from the snapshots, and re-runs
+// from the checkpointed superstep; application errors are forwarded to
+// the user, never retried.
+//
+// Both execution shapes implement this. In a single process the failure
+// manager blacklists the failed simulated machine and reloads onto the
+// survivors. In the multi-process cluster the coordinator detects a
+// dead worker (broken control connection, or missed heartbeats for a
+// hung one), aborts the in-flight superstep on the survivors, repairs
+// the topology — a standby `pregelix worker` adopts the dead worker's
+// node IDs, or they are redistributed over the survivors — restores
+// every partition from its own replicated checkpoint store, and resumes
+// the loop; recovered results are identical to a failure-free run. See
+// ARCHITECTURE.md for the recovery state machine and the manifest
+// format, and internal/core/checkpoint.go for the commit protocol.
+//
 // Layout:
 //
 //   - pregel            — the user-facing Pregel API (Program, Combiner,
@@ -50,7 +77,8 @@
 //   - internal/wire     — the network transport: per-stream multiplexed
 //     frame images over one TCP connection per process pair with
 //     credit-based backpressure, plus the cluster control plane
-//     (worker registration handshake and job-phase RPCs)
+//     (worker registration handshake, job-phase RPCs, heartbeats and
+//     the checkpoint/restore/reconfigure failure-recovery verbs)
 //   - internal/storage  — B-tree, LSM B-tree, buffer cache, run files
 //   - internal/operators— external sort, three group-bys, index joins
 //   - internal/core     — the Pregelix runtime (plan generator,

@@ -22,6 +22,39 @@ import (
 // GS need not be checkpointed — its primary copy is already in the DFS.
 // The Vid index is not checkpointed either: it is derivable from the
 // halt flags in the Vertex snapshot and is rebuilt during recovery.
+//
+// # Checkpoint layout and manifest format
+//
+// A checkpoint of job J at superstep N is a DFS directory
+//
+//	/pregelix/J/ckpt/ssN/
+//	    vertex-p0 … vertex-p(P-1)   vertex partition snapshots
+//	    msg-p0    … msg-p(P-1)      pending combined-message snapshots
+//	    manifest.json               the commit record (written last)
+//
+// Every data file is a stream of packed frame images (tuple.WriteFrame
+// bytes), the same format the wire transport ships and run files store,
+// so snapshots are produced and consumed with zero re-serialization.
+// The vertex snapshot is vid-sorted (it is written from an in-order
+// index scan), which lets recovery bulk-load the rebuilt index.
+//
+// The manifest is the unit of atomicity. It records the superstep, the
+// partition count, the global state, and per partition: the restored
+// statistics counters plus the DFS paths of its vertex/msg images (the
+// partition→file map). In cluster mode the same manifest format lives
+// in the coordinator's replicated checkpoint store.
+//
+// # Commit protocol
+//
+// A checkpoint is committed by writing every partition image first and
+// the manifest last — staged as manifest.json.tmp and renamed into
+// place only when all data is durable (in cluster mode: only after
+// every worker has acked its snapshot RPC). Recovery scans for the
+// manifest with the highest superstep; data files without a manifest
+// are invisible garbage, so a crash anywhere before the rename leaves
+// the previous committed checkpoint (and therefore recoverability)
+// fully intact. dfs.Rename swaps only namespace metadata, making the
+// commit a single atomic step.
 
 type checkpointManifest struct {
 	Superstep  int64 `json:"superstep"`
@@ -35,60 +68,98 @@ type partStat struct {
 	NumEdges     int64 `json:"numEdges"`
 	LiveVertices int64 `json:"liveVertices"`
 	Msgs         int64 `json:"msgs"`
+	// VertexFile/MsgFile are the checkpoint-store paths of this
+	// partition's snapshot images (the manifest's partition→file map).
+	VertexFile string `json:"vertexFile,omitempty"`
+	MsgFile    string `json:"msgFile,omitempty"`
+}
+
+// partStatOf snapshots one partition's restorable counters.
+func partStatOf(ps *partitionState) partStat {
+	return partStat{
+		NumVertices:  ps.numVertices,
+		NumEdges:     ps.numEdges,
+		LiveVertices: ps.liveVertices,
+		Msgs:         ps.msgs,
+	}
 }
 
 func (rs *runState) ckptDir(ss int64) string {
 	return fmt.Sprintf("/pregelix/%s/ckpt/ss%d", rs.job.Name, ss)
 }
 
-// checkpoint writes the superstep's Vertex and Msg state to the DFS as
-// packed frame images: the vertex scan is packed through a frame
-// appender (one bulk write per frame), and the Msg run file — already a
-// stream of frame images on local disk — is copied byte-for-byte.
-func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
-	dir := rs.ckptDir(ss)
+// writeVertexSnapshot streams one partition's vertex relation to w as
+// packed frame images: the index is scanned in key order and each
+// record is appended through a frame appender, one bulk write per frame.
+func writeVertexSnapshot(w io.Writer, ps *partitionState) error {
 	fr := tuple.GetFrame()
 	defer tuple.PutFrame(fr)
 	app := tuple.NewFrameAppender(fr)
+	cur, err := ps.vertexIdx.ScanFrom(nil)
+	if err != nil {
+		return err
+	}
+	for {
+		k, v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if !app.Append(k, v) {
+			if err := tuple.WriteFrame(w, fr); err != nil {
+				cur.Close()
+				return err
+			}
+			fr.Reset()
+			app.Append(k, v)
+		}
+	}
+	err = cur.Err()
+	cur.Close()
+	if err != nil {
+		return err
+	}
+	if fr.Len() > 0 {
+		return tuple.WriteFrame(w, fr)
+	}
+	return nil
+}
+
+// writeMsgSnapshot copies the partition's combined-message run file to w
+// byte-for-byte (it is already a stream of frame images on local disk).
+// An empty partition writes nothing.
+func writeMsgSnapshot(w io.Writer, ps *partitionState) error {
+	if ps.msgPath == "" {
+		return nil
+	}
+	mf, err := os.Open(ps.msgPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	_, err = io.Copy(w, mf)
+	return err
+}
+
+// checkpoint writes the superstep's Vertex and Msg state to the DFS and
+// commits the manifest (see the commit protocol above).
+func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
+	dir := rs.ckptDir(ss)
+	m := checkpointManifest{Superstep: ss, Partitions: len(rs.parts), GS: rs.gs}
 	for _, ps := range rs.parts {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Vertex partition: scan the index in key order.
-		w, err := rs.rt.DFS.Create(fmt.Sprintf("%s/vertex-p%d", dir, ps.idx))
+		st := partStatOf(ps)
+		st.VertexFile = fmt.Sprintf("%s/vertex-p%d", dir, ps.idx)
+		st.MsgFile = fmt.Sprintf("%s/msg-p%d", dir, ps.idx)
+
+		w, err := rs.rt.DFS.Create(st.VertexFile)
 		if err != nil {
 			return err
 		}
 		bw := bufio.NewWriterSize(w, 1<<16)
-		cur, err := ps.vertexIdx.ScanFrom(nil)
-		if err != nil {
+		if err := writeVertexSnapshot(bw, ps); err != nil {
 			return err
-		}
-		fr.Reset()
-		for {
-			k, v, ok := cur.Next()
-			if !ok {
-				break
-			}
-			if !app.Append(k, v) {
-				if err := tuple.WriteFrame(bw, fr); err != nil {
-					cur.Close()
-					return err
-				}
-				fr.Reset()
-				app.Append(k, v)
-			}
-		}
-		err = cur.Err()
-		cur.Close()
-		if err != nil {
-			return err
-		}
-		if fr.Len() > 0 {
-			if err := tuple.WriteFrame(bw, fr); err != nil {
-				return err
-			}
-			fr.Reset()
 		}
 		if err := bw.Flush(); err != nil {
 			return err
@@ -97,53 +168,69 @@ func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 			return err
 		}
 
-		// Msg partition: copy the run file bytes (same frame-image
-		// format on local disk and in the DFS).
-		mw, err := rs.rt.DFS.Create(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
+		mw, err := rs.rt.DFS.Create(st.MsgFile)
 		if err != nil {
 			return err
 		}
-		if ps.msgPath != "" {
-			mf, err := os.Open(ps.msgPath)
-			if err != nil {
-				return err
-			}
-			if _, err := io.Copy(mw, mf); err != nil {
-				mf.Close()
-				return err
-			}
-			mf.Close()
+		if err := writeMsgSnapshot(mw, ps); err != nil {
+			return err
 		}
 		if err := mw.Close(); err != nil {
 			return err
 		}
+		m.PartStats = append(m.PartStats, st)
 	}
+	return commitManifest(rs.rt.DFS, dir, &m)
+}
 
-	m := checkpointManifest{Superstep: ss, Partitions: len(rs.parts), GS: rs.gs}
-	for _, ps := range rs.parts {
-		m.PartStats = append(m.PartStats, partStat{
-			NumVertices:  ps.numVertices,
-			NumEdges:     ps.numEdges,
-			LiveVertices: ps.liveVertices,
-			Msgs:         ps.msgs,
-		})
-	}
-	data, err := json.Marshal(&m)
+// manifestWriter is the slice of dfs.FileSystem the commit needs; the
+// coordinator's checkpoint store satisfies it too.
+type manifestWriter interface {
+	WriteFile(path string, data []byte) error
+	Rename(oldPath, newPath string) error
+}
+
+// commitManifest atomically publishes a checkpoint: the manifest is
+// staged under a temporary name and renamed into place, so a crash
+// before the rename leaves the previous checkpoint untouched.
+func commitManifest(fs manifestWriter, dir string, m *checkpointManifest) error {
+	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	return rs.rt.DFS.WriteFile(dir+"/manifest.json", data)
+	staged := dir + "/manifest.json.tmp"
+	if err := fs.WriteFile(staged, data); err != nil {
+		return err
+	}
+	return fs.Rename(staged, dir+"/manifest.json")
 }
 
-// latestCheckpoint finds the most recent manifest in the DFS.
+// latestCheckpoint finds the most recent committed manifest in the DFS.
 func (rs *runState) latestCheckpoint() (*checkpointManifest, error) {
-	prefix := fmt.Sprintf("/pregelix/%s/ckpt/", rs.job.Name)
+	m := latestManifest(rs.rt.DFS, "/pregelix/"+rs.job.Name+"/ckpt/")
+	if m == nil {
+		return nil, fmt.Errorf("core: no usable checkpoint for job %s", rs.job.Name)
+	}
+	return m, nil
+}
+
+// manifestReader is the slice of dfs.FileSystem manifest discovery
+// needs.
+type manifestReader interface {
+	List(prefix string) []string
+	ReadFile(path string) ([]byte, error)
+}
+
+// latestManifest scans a checkpoint tree for the committed manifest with
+// the highest superstep (nil if none is readable). Staged .tmp files —
+// checkpoints that never committed — are not manifests and are skipped.
+func latestManifest(fs manifestReader, prefix string) *checkpointManifest {
 	var best *checkpointManifest
-	for _, path := range rs.rt.DFS.List(prefix) {
+	for _, path := range fs.List(prefix) {
 		if filepath.Base(path) != "manifest.json" {
 			continue
 		}
-		data, err := rs.rt.DFS.ReadFile(path)
+		data, err := fs.ReadFile(path)
 		if err != nil {
 			continue // replicas may be gone; skip unreadable checkpoints
 		}
@@ -155,10 +242,7 @@ func (rs *runState) latestCheckpoint() (*checkpointManifest, error) {
 			best = &m
 		}
 	}
-	if best == nil {
-		return nil, fmt.Errorf("core: no usable checkpoint for job %s", rs.job.Name)
-	}
-	return best, nil
+	return best
 }
 
 // recover handles a node failure (Section 5.5): blacklist the machine,
@@ -178,23 +262,7 @@ func (rs *runState) recover(ctx context.Context, nf *hyracks.NodeFailure) error 
 
 	// Drop current partition state (files on the failed machine are
 	// unreachable; files on live machines are stale).
-	for _, ps := range rs.parts {
-		if ps.node.Failed() || rs.isBlacklisted(ps.node.ID) {
-			// Unreachable; just forget the handles.
-			ps.vertexIdx, ps.vid, ps.nextVid = nil, nil, nil
-			ps.msgPath, ps.nextMsgPath = "", ""
-			continue
-		}
-		if ps.vertexIdx != nil {
-			ps.vertexIdx.Drop()
-		}
-		if ps.vid != nil {
-			ps.vid.Drop()
-		}
-		if ps.nextVid != nil {
-			ps.nextVid.Drop()
-		}
-	}
+	rs.dropPartitionState()
 
 	// Reassign all partitions over the surviving machines and reload.
 	nodes := rs.assignPartitions(len(rs.parts))
@@ -203,13 +271,9 @@ func (rs *runState) recover(ctx context.Context, nf *hyracks.NodeFailure) error 
 			return err
 		}
 		ps.node = nodes[i]
-		st := m.PartStats[i]
-		ps.numVertices, ps.numEdges, ps.liveVertices = st.NumVertices, st.NumEdges, st.LiveVertices
-		ps.nextMsgPath, ps.nextMsgs, ps.nextVid = "", 0, nil
-		if err := rs.reloadPartition(ps, m.Superstep); err != nil {
+		if err := rs.reloadPartition(ps, m); err != nil {
 			return err
 		}
-		ps.msgs = st.Msgs
 	}
 	rs.gs = m.GS
 	rs.gs.Halt = false
@@ -221,6 +285,41 @@ func (rs *runState) recover(ctx context.Context, nf *hyracks.NodeFailure) error 
 	return rs.writeGS()
 }
 
+// dropPartitionState forgets every partition's live state ahead of a
+// checkpoint reload: indexes on reachable machines are dropped, handles
+// on unreachable ones simply forgotten, and pending next-superstep
+// state from the failed attempt is discarded.
+func (rs *runState) dropPartitionState() {
+	for _, ps := range rs.parts {
+		if ps.node.Failed() || rs.isBlacklisted(ps.node.ID) {
+			// Unreachable; just forget the handles.
+			ps.vertexIdx, ps.vid, ps.nextVid = nil, nil, nil
+			ps.msgPath, ps.nextMsgPath = "", ""
+			continue
+		}
+		if ps.vertexIdx != nil {
+			ps.vertexIdx.Drop()
+			ps.vertexIdx = nil
+		}
+		if ps.vid != nil {
+			ps.vid.Drop()
+			ps.vid = nil
+		}
+		if ps.nextVid != nil {
+			ps.nextVid.Drop()
+			ps.nextVid = nil
+		}
+		if ps.msgPath != "" {
+			os.Remove(ps.msgPath)
+			ps.msgPath = ""
+		}
+		if ps.nextMsgPath != "" {
+			os.Remove(ps.nextMsgPath)
+			ps.nextMsgPath = ""
+		}
+	}
+}
+
 func (rs *runState) isBlacklisted(id hyracks.NodeID) bool {
 	for _, n := range rs.rt.Cluster.LiveNodes() {
 		if n.ID == id {
@@ -230,21 +329,45 @@ func (rs *runState) isBlacklisted(id hyracks.NodeID) bool {
 	return true
 }
 
-// reloadPartition rebuilds one partition's Vertex index, Msg file and
-// Vid index on its (possibly new) node from checkpoint data.
-func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
-	dir := rs.ckptDir(ss)
-	node := ps.node
-
-	// Vertex index: checkpoint tuples are already vid-sorted.
-	vr, err := rs.rt.DFS.Open(fmt.Sprintf("%s/vertex-p%d", dir, ps.idx))
+// reloadPartition rebuilds one partition from the manifest's snapshot
+// files in the local DFS (the single-process recovery path; cluster
+// workers receive the images over the control plane instead and call
+// reloadPartitionFrom directly).
+func (rs *runState) reloadPartition(ps *partitionState, m *checkpointManifest) error {
+	if ps.idx >= len(m.PartStats) {
+		return fmt.Errorf("core: manifest has no partition %d", ps.idx)
+	}
+	st := m.PartStats[ps.idx]
+	vertexFile, msgFile := st.VertexFile, st.MsgFile
+	if vertexFile == "" { // manifests predating the file map
+		dir := rs.ckptDir(m.Superstep)
+		vertexFile = fmt.Sprintf("%s/vertex-p%d", dir, ps.idx)
+		msgFile = fmt.Sprintf("%s/msg-p%d", dir, ps.idx)
+	}
+	vr, err := rs.rt.DFS.Open(vertexFile)
 	if err != nil {
 		return err
 	}
-	br := bufio.NewReaderSize(vr, 1<<16)
+	mr, err := rs.rt.DFS.Open(msgFile)
+	if err != nil {
+		return err
+	}
+	return rs.reloadPartitionFrom(ps, st,
+		bufio.NewReaderSize(vr, 1<<16), bufio.NewReaderSize(mr, 1<<16))
+}
+
+// reloadPartitionFrom rebuilds one partition's Vertex index, Msg file
+// and Vid index on its (possibly new) node from checkpoint snapshot
+// streams. The partition counters are restored from the manifest's
+// partStat.
+func (rs *runState) reloadPartitionFrom(ps *partitionState, st partStat, vertexR, msgR io.Reader) error {
+	node := ps.node
+	ps.numVertices, ps.numEdges, ps.liveVertices = st.NumVertices, st.NumEdges, st.LiveVertices
+	ps.nextMsgPath, ps.nextMsgs, ps.nextVid = "", 0, nil
 
 	var vidLoader *storage.BulkLoader
 	var vidTree *storage.BTree
+	var err error
 	if rs.needVid() {
 		vidTree, err = storage.CreateBTree(node.BufferCache,
 			rs.tempPath(node, fmt.Sprintf("vid-rec-p%d", ps.idx)))
@@ -288,7 +411,7 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 	fr := tuple.GetFrame()
 	defer tuple.PutFrame(fr)
 	for {
-		if err := tuple.ReadFrameInto(br, fr); err == io.EOF {
+		if err := tuple.ReadFrameInto(vertexR, fr); err == io.EOF {
 			break
 		} else if err != nil {
 			return err
@@ -319,17 +442,12 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 	}
 
 	// Msg run file: same frame-image format; repack frame by frame.
-	mr, err := rs.rt.DFS.Open(fmt.Sprintf("%s/msg-p%d", dir, ps.idx))
-	if err != nil {
-		return err
-	}
-	mbr := bufio.NewReaderSize(mr, 1<<16)
 	rf, err := storage.CreateRunFile(rs.tempPath(node, "msg-rec-p"+strconv.Itoa(ps.idx)))
 	if err != nil {
 		return err
 	}
 	for {
-		if err := tuple.ReadFrameInto(mbr, fr); err == io.EOF {
+		if err := tuple.ReadFrameInto(msgR, fr); err == io.EOF {
 			break
 		} else if err != nil {
 			return err
@@ -347,6 +465,7 @@ func (rs *runState) reloadPartition(ps *partitionState, ss int64) error {
 		ps.msgPath = ""
 		rf.Delete()
 	}
+	ps.msgs = st.Msgs
 	return nil
 }
 

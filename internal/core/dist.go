@@ -8,18 +8,29 @@ import (
 
 // Control-plane RPC methods driven by the cluster controller against its
 // registered workers. One Pregel job is a session of phases: begin →
-// load → superstep* → dump? → end, each phase one hyracks job executed
-// by every worker simultaneously (each instantiates its own nodes'
-// tasks; the shuffle meets on the wire transport).
+// load → (superstep → checkpoint?)* → dump? → end, each phase one
+// hyracks job executed by every worker simultaneously (each
+// instantiates its own nodes' tasks; the shuffle meets on the wire
+// transport). The fault-tolerance verbs ride the same connection:
+// heartbeat probes liveness, job.abort cancels an in-flight phase
+// without tearing the session down, job.checkpoint/job.restore move
+// partition snapshots between the workers and the controller's
+// replicated checkpoint store, and cluster.reconfigure reassigns node
+// ownership after a worker failure.
 const (
-	rpcPing      = "ping"
-	rpcPutFile   = "dfs.put"
-	rpcJobBegin  = "job.begin"
-	rpcJobLoad   = "job.load"
-	rpcSuperstep = "job.superstep"
-	rpcJobDump   = "job.dump"
-	rpcJobCancel = "job.cancel"
-	rpcJobEnd    = "job.end"
+	rpcPing        = "ping"
+	rpcHeartbeat   = "heartbeat"
+	rpcPutFile     = "dfs.put"
+	rpcJobBegin    = "job.begin"
+	rpcJobLoad     = "job.load"
+	rpcSuperstep   = "job.superstep"
+	rpcJobDump     = "job.dump"
+	rpcJobCancel   = "job.cancel"
+	rpcJobAbort    = "job.abort"
+	rpcJobCkpt     = "job.checkpoint"
+	rpcJobRestore  = "job.restore"
+	rpcJobEnd      = "job.end"
+	rpcReconfigure = "cluster.reconfigure"
 )
 
 // registerMsg is a worker's handshake request.
@@ -92,6 +103,10 @@ type superstepMsg struct {
 	SS   int64           `json:"ss"`
 	GS   globalState     `json:"gs"`
 	Join pregel.JoinKind `json:"join"`
+	// Attempt counts cluster recoveries of this job. It suffixes the
+	// compiled spec name so a retried superstep's wire streams can never
+	// collide with stragglers of the aborted attempt.
+	Attempt int64 `json:"attempt,omitempty"`
 }
 
 // superstepReply reports one worker's share of a superstep.
@@ -119,4 +134,48 @@ type jobNameMsg struct {
 type dumpReply struct {
 	Owner bool     `json:"owner"`
 	Lines []string `json:"lines,omitempty"`
+}
+
+// ckptMsg asks a worker to snapshot its owned partitions at the
+// superstep boundary just committed.
+type ckptMsg struct {
+	Name string `json:"name"`
+	SS   int64  `json:"ss"`
+}
+
+// ckptPartData is one partition's checkpoint image: the vertex relation
+// and the pending combined-message file as packed frame-image byte
+// streams, plus the statistics needed to restore the partition counters.
+type ckptPartData struct {
+	Part   int      `json:"part"`
+	Vertex []byte   `json:"vertex"`
+	Msg    []byte   `json:"msg,omitempty"`
+	Stats  partStat `json:"stats"`
+}
+
+// ckptReply carries a worker's partition snapshots back to the
+// controller, which writes them into the replicated checkpoint store and
+// commits the manifest only after every worker has replied.
+type ckptReply struct {
+	Parts []ckptPartData `json:"parts"`
+}
+
+// restoreMsg rewinds a job session to a committed checkpoint: the
+// worker drops all current partition state, reloads its owned
+// partitions from the provided images, and adopts the checkpointed
+// global state. Attempt is the new recovery epoch for spec naming.
+type restoreMsg struct {
+	Name    string         `json:"name"`
+	SS      int64          `json:"ss"`
+	GS      globalState    `json:"gs"`
+	Attempt int64          `json:"attempt"`
+	Parts   []ckptPartData `json:"parts"`
+}
+
+// reconfigureMsg reassigns cluster topology after a worker failure: the
+// receiving worker now owns exactly Owned (which may include node IDs
+// adopted from the dead process) and routes every peer through Peers.
+type reconfigureMsg struct {
+	Owned []string          `json:"owned"`
+	Peers map[string]string `json:"peers"`
 }

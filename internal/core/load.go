@@ -24,12 +24,8 @@ func (rs *runState) load(ctx context.Context) error {
 	if rs.job.InputPath == "" {
 		return fmt.Errorf("core: job %s has no InputPath", rs.job.Name)
 	}
-	p := rs.numPartitions()
-	nodes := rs.assignPartitions(p)
-	rs.parts = make([]*partitionState, p)
-	for i := range rs.parts {
-		rs.parts[i] = &partitionState{idx: i, node: nodes[i]}
-	}
+	rs.initParts()
+	p := len(rs.parts)
 
 	spec := rs.newSpec(rs.job.Name + "-load")
 	scanOp := &hyracks.OperatorDesc{

@@ -157,6 +157,11 @@ type runState struct {
 	// cluster controller of a distributed run decides the plan centrally
 	// and ships it to every worker so they compile identical specs.
 	joinOverride *pregel.JoinKind
+	// attempt is the cluster-recovery epoch (0 = first attempt). It
+	// suffixes superstep spec names so that a superstep retried after a
+	// distributed recovery can never meet straggler wire streams of the
+	// aborted attempt: stream identity includes the spec name.
+	attempt int64
 
 	// pendingGS accumulates the superstep's global aggregation results
 	// (written by the single-partition gs operator).
@@ -213,6 +218,24 @@ type JobStats struct {
 	Checkpoints    int
 	SuperstepStats []SuperstepStat
 	FinalState     GlobalStateView
+}
+
+// rollbackStats drops per-superstep statistics past a checkpoint
+// rollback point and recomputes the derived totals: the rolled-back
+// supersteps will re-execute and re-record, so keeping their entries
+// would double-count messages and duplicate SuperstepStats rows.
+func rollbackStats(s *JobStats, superstep int64) {
+	kept := s.SuperstepStats[:0]
+	var msgs int64
+	for _, st := range s.SuperstepStats {
+		if st.Superstep <= superstep {
+			kept = append(kept, st)
+			msgs += st.Messages
+		}
+	}
+	s.SuperstepStats = kept
+	s.TotalMessages = msgs
+	s.Supersteps = superstep
 }
 
 // AvgIterationTime returns the mean superstep duration, the metric of
@@ -413,6 +436,10 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 					return fmt.Errorf("core: unrecoverable after %v: %w", err, rerr)
 				}
 				rs.stats.Recoveries++
+				// Statistics rewind with the state: supersteps past the
+				// checkpoint will re-run and re-record, so drop their
+				// entries rather than double-counting them.
+				rollbackStats(rs.stats, rs.gs.Superstep)
 				continue // retry from the restored superstep
 			}
 			return err
@@ -511,6 +538,19 @@ func (rs *runState) cleanup() {
 // numPartitions returns the job parallelism.
 func (rs *runState) numPartitions() int {
 	return len(rs.rt.Cluster.LiveNodes()) * rs.rt.opts.PartitionsPerNode
+}
+
+// initParts builds the run's partition table with the deterministic
+// round-robin placement every cluster participant computes identically.
+// The load plan populates the partitions; a cluster worker joining as a
+// replacement instead populates them straight from a checkpoint.
+func (rs *runState) initParts() {
+	p := rs.numPartitions()
+	nodes := rs.assignPartitions(p)
+	rs.parts = make([]*partitionState, p)
+	for i := range rs.parts {
+		rs.parts[i] = &partitionState{idx: i, node: nodes[i]}
+	}
 }
 
 // assignPartitions maps partitions round-robin over live nodes.

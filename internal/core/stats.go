@@ -12,8 +12,12 @@ import (
 // (Section 5.7): memory consumption, buffer cache behaviour, temp-file
 // I/O, and liveness.
 type NodeStats struct {
-	Node        hyracks.NodeID
-	Live        bool
+	Node hyracks.NodeID
+	Live bool
+	// Blacklisted marks a machine the failure manager has excluded from
+	// scheduling after a node failure (recovered partitions are placed
+	// on the remaining live machines).
+	Blacklisted bool
 	RAMUsed     int64
 	RAMPeak     int64
 	RAMCapacity int64
@@ -44,6 +48,7 @@ func (r *Runtime) CollectStats() ClusterStats {
 		out.Nodes = append(out.Nodes, NodeStats{
 			Node:        n.ID,
 			Live:        live[n.ID],
+			Blacklisted: r.Cluster.Blacklisted(n.ID),
 			RAMUsed:     n.RAM.Used(),
 			RAMPeak:     n.RAM.Peak(),
 			RAMCapacity: n.RAM.Capacity(),

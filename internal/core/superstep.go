@@ -79,7 +79,13 @@ func chooseJoinFor(job *pregel.Job, gs *globalState, ss int64) pregel.JoinKind {
 func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
 	p := len(rs.parts)
 	locs := rs.locations()
-	spec := rs.newSpec(fmt.Sprintf("%s-ss%d", rs.job.Name, ss))
+	name := fmt.Sprintf("%s-ss%d", rs.job.Name, ss)
+	if rs.attempt > 0 {
+		// Recovery epoch: a fresh spec name gives the retried superstep
+		// fresh wire-stream identities (see runState.attempt).
+		name = fmt.Sprintf("%s-ss%d.r%d", rs.job.Name, ss, rs.attempt)
+	}
+	spec := rs.newSpec(name)
 
 	// Join + compute source, pinned to the vertex partitions. The join
 	// strategy comes from the job hint, or from the cost-based advisor
@@ -235,6 +241,14 @@ func newMsgSink(rs *runState, tc *hyracks.TaskContext) (hyracks.PushRuntime, err
 			ps.nextMsgPath = rf.Path()
 			ps.nextMsgs = rf.Count()
 			return nil
+		},
+		OnFail: func(_ *hyracks.BaseRuntime, _ error) {
+			// Aborted superstep (peer failure, cancellation): the half-
+			// written run never becomes ps.nextMsgPath, so its pooled
+			// frame, fd and temp file must be reclaimed here.
+			if rf != nil {
+				rf.Delete()
+			}
 		},
 	}, nil
 }

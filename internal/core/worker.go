@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -41,6 +43,11 @@ func (c *WorkerConfig) logf(format string, args ...any) {
 // its tasks of every phase job, and ships shuffle frames to its peers
 // over the wire transport. It blocks until ctx is cancelled or the
 // control connection is lost.
+//
+// A worker started against an already-assembled cluster parks as a
+// standby: the controller adopts it (handing it the node IDs of a dead
+// worker) the next time a failure needs repairing, so "start another
+// `pregelix worker`" is the whole replacement procedure.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -66,7 +73,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	stop := context.AfterFunc(ctx, func() { ctrl.Close() })
 	defer stop()
 
-	// Handshake: register, then wait for the assembled-cluster response.
+	// Handshake: register, then wait for the assembled-cluster response
+	// (or, for a standby, for adoption into a repaired cluster).
 	reg, err := json.Marshal(registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes})
 	if err != nil {
 		return err
@@ -131,20 +139,68 @@ type distWorker struct {
 	cfg       WorkerConfig
 	rt        *Runtime
 	transport *wire.TCPTransport
-	exec      hyracks.ExecOptions
 	ctx       context.Context
 
 	mu   sync.Mutex
+	exec hyracks.ExecOptions
 	jobs map[string]*distJob
 }
 
 // distJob is one open job session: the worker's runState whose partition
 // state (vertex indexes, message run files) persists across phase RPCs.
+// Each phase runs under its own cancellable context, so the controller
+// can abort an in-flight phase (job.abort during failure recovery,
+// job.cancel for a user cancellation) without tearing the session —
+// and the partition state a later restore needs — down with it.
 type distJob struct {
 	rs     *runState
-	ctx    context.Context
+	ctx    context.Context // session context; cancelled at job.end
 	cancel context.CancelFunc
 	runDir string
+
+	mu          sync.Mutex
+	phaseCancel context.CancelFunc
+	phaseDone   chan struct{}
+}
+
+// beginPhase claims the session's single phase slot and returns the
+// phase context plus its release function. Phases never overlap: the
+// controller serializes them, and restore/checkpoint also run under the
+// slot so they cannot race an executing superstep.
+func (dj *distJob) beginPhase() (context.Context, func(), error) {
+	dj.mu.Lock()
+	defer dj.mu.Unlock()
+	if dj.phaseCancel != nil {
+		return nil, nil, fmt.Errorf("core: job %s already has a phase in flight", dj.rs.job.Name)
+	}
+	ctx, cancel := context.WithCancel(dj.ctx)
+	done := make(chan struct{})
+	dj.phaseCancel = cancel
+	dj.phaseDone = done
+	end := func() {
+		dj.mu.Lock()
+		dj.phaseCancel = nil
+		dj.phaseDone = nil
+		dj.mu.Unlock()
+		cancel()
+		close(done)
+	}
+	return ctx, end, nil
+}
+
+// abort cancels the in-flight phase (if any) and blocks until its tasks
+// have fully unwound, so the caller may safely mutate session state —
+// reload partitions, rewire the topology — once abort returns.
+func (dj *distJob) abort() {
+	dj.mu.Lock()
+	cancel, done := dj.phaseCancel, dj.phaseDone
+	dj.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
 }
 
 func (w *distWorker) job(name string) (*distJob, error) {
@@ -161,6 +217,11 @@ func (w *distWorker) job(name string) (*distJob, error) {
 func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 	switch method {
 	case rpcPing:
+		return map[string]string{"status": "ok"}, nil
+
+	case rpcHeartbeat:
+		// The probe's information is its reply arriving at all; the
+		// coordinator discards the payload.
 		return map[string]string{"status": "ok"}, nil
 
 	case rpcPutFile:
@@ -210,15 +271,49 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 		}
 		return dj.dump()
 
-	case rpcJobCancel:
+	case rpcJobCancel, rpcJobAbort:
+		// Both verbs stop the in-flight phase and leave the session (and
+		// its partition state) intact; they differ only in intent — a
+		// user cancellation ends with job.end, a failure abort continues
+		// with job.restore. The reply is sent only after the phase's
+		// tasks have drained, so the controller can sequence repairs.
 		var msg jobNameMsg
 		if err := json.Unmarshal(data, &msg); err != nil {
 			return nil, err
 		}
 		if dj, err := w.job(msg.Name); err == nil {
-			dj.cancel()
+			dj.abort()
 		}
 		return nil, nil
+
+	case rpcJobCkpt:
+		var msg ckptMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return dj.checkpoint(&msg)
+
+	case rpcJobRestore:
+		var msg restoreMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.restoreJob(dj, &msg)
+
+	case rpcReconfigure:
+		var msg reconfigureMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		return nil, w.reconfigure(&msg)
 
 	case rpcJobEnd:
 		var msg jobNameMsg
@@ -242,6 +337,8 @@ func (w *distWorker) beginJob(msg *jobBeginMsg) error {
 	if err := job.Validate(); err != nil {
 		return err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	jctx, cancel := context.WithCancel(w.ctx)
 	dj := &distJob{
 		rs: &runState{
@@ -257,8 +354,6 @@ func (w *distWorker) beginJob(msg *jobBeginMsg) error {
 		cancel: cancel,
 		runDir: msg.RunDir,
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	if _, dup := w.jobs[msg.Name]; dup {
 		cancel()
 		return fmt.Errorf("core: job session %q already open", msg.Name)
@@ -272,21 +367,105 @@ func (w *distWorker) endJob(name string) {
 	w.mu.Lock()
 	dj := w.jobs[name]
 	delete(w.jobs, name)
+	exec := w.exec
 	w.mu.Unlock()
 	if dj == nil {
 		return
 	}
+	dj.abort()
 	dj.cancel()
 	dj.rs.cleanup()
 	// Reset any wire streams still parked for this job's phases and
 	// reclaim the job's scratch directories on owned nodes.
 	w.transport.PurgeJob(name)
 	for _, n := range w.rt.Cluster.Nodes() {
-		if w.exec.Local(n.ID) {
+		if exec.Local(n.ID) {
 			n.RemoveJobDir(dj.runDir)
 		}
 	}
 	w.cfg.logf("worker: job %s closed", name)
+}
+
+// reconfigure installs a repaired topology: this worker now hosts
+// exactly msg.Owned (possibly including node IDs adopted from a dead
+// peer — their storage directories already exist, since every process
+// constructs the full simulated cluster) and routes peers through the
+// updated address table. The controller guarantees no phase is in
+// flight when reconfigure arrives (every session was aborted first), so
+// swapping the local-node set cannot race an executing task.
+func (w *distWorker) reconfigure(msg *reconfigureMsg) error {
+	local := make(map[hyracks.NodeID]bool, len(msg.Owned))
+	for _, id := range msg.Owned {
+		local[hyracks.NodeID(id)] = true
+	}
+	peers := make(map[hyracks.NodeID]string, len(msg.Peers))
+	for id, addr := range msg.Peers {
+		peers[hyracks.NodeID(id)] = addr
+	}
+	w.mu.Lock()
+	w.exec.LocalNodes = local
+	for _, dj := range w.jobs {
+		dj.rs.exec.LocalNodes = local
+	}
+	w.mu.Unlock()
+	w.transport.SetPeers(peers, local)
+	w.cfg.logf("worker: reconfigured — now hosting %v", msg.Owned)
+	return nil
+}
+
+// restoreJob rewinds a session to a committed checkpoint: all current
+// partition state is dropped, owned partitions are rebuilt from the
+// shipped snapshot images, and the checkpointed global state is
+// adopted. For a replacement worker the session has no partitions yet;
+// the deterministic partition table is built first, so the reload lands
+// on the same sticky placement every peer computes.
+func (w *distWorker) restoreJob(dj *distJob, msg *restoreMsg) error {
+	dj.abort() // defensive; the controller aborts before restoring
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return err
+	}
+	defer end()
+
+	rs := dj.rs
+	// Straggler streams of the aborted attempt parked in the transport
+	// would otherwise leak (their senders are gone or were reset).
+	w.transport.PurgeJob(rs.job.Name)
+
+	if rs.parts == nil {
+		rs.initParts()
+	}
+	rs.dropPartitionState()
+
+	byPart := make(map[int]*ckptPartData, len(msg.Parts))
+	for i := range msg.Parts {
+		byPart[msg.Parts[i].Part] = &msg.Parts[i]
+	}
+	for _, ps := range rs.parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !rs.exec.Local(ps.node.ID) {
+			continue // hosted elsewhere; its process reloads it
+		}
+		pd := byPart[ps.idx]
+		if pd == nil {
+			return fmt.Errorf("core: restore of %s: no snapshot for owned partition %d", rs.job.Name, ps.idx)
+		}
+		if err := rs.reloadPartitionFrom(ps, pd.Stats,
+			bufio.NewReader(bytes.NewReader(pd.Vertex)),
+			bufio.NewReader(bytes.NewReader(pd.Msg))); err != nil {
+			return fmt.Errorf("core: restore of %s partition %d: %w", rs.job.Name, ps.idx, err)
+		}
+	}
+	rs.gs = msg.GS
+	rs.gs.Halt = false
+	rs.pendingGS.haltAll = false
+	rs.pendingGS.aggregate = nil
+	rs.pendingGS.hasAgg = false
+	rs.attempt = msg.Attempt
+	w.cfg.logf("worker: job %s restored to superstep %d (attempt %d)", rs.job.Name, msg.SS, msg.Attempt)
+	return nil
 }
 
 // ownedParts lists the session partitions hosted by this worker.
@@ -301,7 +480,12 @@ func (dj *distJob) ownedParts() []*partitionState {
 }
 
 func (dj *distJob) load() (*loadReply, error) {
-	if err := dj.rs.load(dj.ctx); err != nil {
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	if err := dj.rs.load(ctx); err != nil {
 		return nil, err
 	}
 	reply := &loadReply{Parts: []partCount{}}
@@ -313,9 +497,47 @@ func (dj *distJob) load() (*loadReply, error) {
 	return reply, nil
 }
 
+// checkpoint snapshots the session's owned partitions as frame-image
+// byte streams. The controller writes them into the replicated
+// checkpoint store and commits the manifest only after every worker has
+// replied — this RPC is the "worker ack" of the commit protocol.
+func (dj *distJob) checkpoint(msg *ckptMsg) (*ckptReply, error) {
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	reply := &ckptReply{Parts: []ckptPartData{}}
+	for _, ps := range dj.ownedParts() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var vbuf, mbuf bytes.Buffer
+		if err := writeVertexSnapshot(&vbuf, ps); err != nil {
+			return nil, fmt.Errorf("core: checkpoint of %s partition %d: %w", dj.rs.job.Name, ps.idx, err)
+		}
+		if err := writeMsgSnapshot(&mbuf, ps); err != nil {
+			return nil, fmt.Errorf("core: checkpoint of %s partition %d msgs: %w", dj.rs.job.Name, ps.idx, err)
+		}
+		reply.Parts = append(reply.Parts, ckptPartData{
+			Part:   ps.idx,
+			Vertex: vbuf.Bytes(),
+			Msg:    mbuf.Bytes(),
+			Stats:  partStatOf(ps),
+		})
+	}
+	return reply, nil
+}
+
 func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return nil, err
+	}
+	defer end()
 	rs := dj.rs
 	rs.gs = msg.GS
+	rs.attempt = msg.Attempt
 	join := msg.Join
 	rs.joinOverride = &join
 
@@ -324,7 +546,7 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := rs.runHyracks(dj.ctx, spec)
+	res, err := rs.runHyracks(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +578,12 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 }
 
 func (dj *distJob) dump() (*dumpReply, error) {
-	rows, owner, err := dj.rs.dumpRows(dj.ctx)
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	rows, owner, err := dj.rs.dumpRows(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -146,6 +146,36 @@ func (fs *FileSystem) List(prefix string) []string {
 	return out
 }
 
+// Rename atomically moves a file to a new path in the namespace,
+// replacing any existing file there. Blocks are untouched — only the
+// master's metadata changes — so the swap is a single atomic step.
+// Checkpoint commits rely on this: the manifest is staged under a
+// temporary name and renamed into place only once every partition image
+// is durably written, so a crash mid-checkpoint can never leave a
+// manifest that points at missing data, and the previous committed
+// manifest stays intact until the instant the new one replaces it.
+func (fs *FileSystem) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fm, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("dfs: %s: no such file", oldPath)
+	}
+	if victim, ok := fs.files[newPath]; ok && victim != fm {
+		fs.removeBlocksLocked(victim)
+	}
+	delete(fs.files, oldPath)
+	fs.files[newPath] = fm
+	return nil
+}
+
+// Replication returns the effective replication factor.
+func (fs *FileSystem) Replication() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.replication
+}
+
 // Remove deletes a file and its blocks.
 func (fs *FileSystem) Remove(path string) error {
 	fs.mu.Lock()

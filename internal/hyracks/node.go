@@ -205,11 +205,35 @@ func (c *Cluster) Node(id NodeID) *NodeController {
 	return nil
 }
 
-// Blacklist marks a node as unusable for future scheduling.
+// Blacklist marks a node as unusable for future scheduling. This is the
+// master's failure surface (Section 5.7): the Pregelix failure manager
+// blacklists a machine when a task on it dies with *NodeFailure, and
+// recovery then places its partitions over LiveNodes only. The
+// blacklist is deliberately per-Cluster (per-process): in distributed
+// mode a worker failure is handled one level up, by reassigning the
+// dead process's node IDs to other processes, so the simulated nodes
+// themselves stay schedulable everywhere.
 func (c *Cluster) Blacklist(id NodeID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.blacklist[id] = true
+}
+
+// Unblacklist restores a node to scheduling (a repaired machine
+// rejoining).
+func (c *Cluster) Unblacklist(id NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.blacklist, id)
+}
+
+// Blacklisted reports whether a node is on the master's blacklist
+// (distinct from Failed: a failed node crashed, a blacklisted one is
+// excluded from scheduling whether or not it has recovered).
+func (c *Cluster) Blacklisted(id NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blacklist[id]
 }
 
 // LiveNodes returns nodes that are neither blacklisted nor failed.

@@ -177,6 +177,11 @@ type FuncRuntime struct {
 	// sinks that repack records (e.g. run-file writers).
 	OnRef   func(b *BaseRuntime, r tuple.TupleRef) error
 	OnClose func(b *BaseRuntime) error
+	// OnFail releases resources acquired in OnOpen when the task aborts
+	// (job cancellation, a peer's failure): OnClose is NOT called on the
+	// failure path, so sinks holding files, pooled frames or index
+	// loaders must clean up here or strand them.
+	OnFail func(b *BaseRuntime, err error)
 
 	failed  bool
 	scratch tuple.Tuple
@@ -214,9 +219,13 @@ func (r *FuncRuntime) NextFrame(f *tuple.Frame) error {
 	return nil
 }
 
-// Fail propagates failure downstream.
+// Fail releases OnOpen resources via OnFail and propagates failure
+// downstream.
 func (r *FuncRuntime) Fail(err error) {
 	r.failed = true
+	if r.OnFail != nil {
+		r.OnFail(&r.BaseRuntime, err)
+	}
 	r.FailOutputs(err)
 }
 

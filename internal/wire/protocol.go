@@ -31,8 +31,59 @@
 // carried in-band and consume no credit.
 //
 // Control plane. The cluster controller and its workers exchange
-// newline-delimited JSON envelopes (registration handshake, then
-// request/response RPC) over a separate connection; see control.go.
+// newline-delimited JSON envelopes over a separate connection (see
+// control.go): one envelope is {id, method?, error?, data?}, where a
+// non-empty method marks a request and anything else answers the
+// request with the same id. The worker dials, sends a single "register"
+// request, and once the controller answers it with the assembled
+// topology the connection flips direction — the controller calls, the
+// worker answers:
+//
+//	+-----------------------+---------------------------------------------+
+//	| method                | payload / meaning                           |
+//	+-----------------------+---------------------------------------------+
+//	| register              | worker → cc   data addr + node count; the   |
+//	|                       |               response is the topology (or  |
+//	|                       |               parks the worker as a standby |
+//	|                       |               until a failure adopts it)    |
+//	| ping                  | cc → worker   reachability probe            |
+//	| heartbeat             | cc → worker   liveness probe; sent every    |
+//	|                       |               HeartbeatInterval. Missing    |
+//	|                       |               HeartbeatMisses in a row      |
+//	|                       |               declares the worker DEAD even |
+//	|                       |               if its TCP connection looks   |
+//	|                       |               healthy (hung process)        |
+//	| dfs.put               | cc → worker   replicate an input file       |
+//	| job.begin / job.end   | cc → worker   open / tear down a job        |
+//	|                       |               session (partition state)     |
+//	| job.load              | cc → worker   run the loading phase         |
+//	| job.superstep         | cc → worker   run one superstep job (ss,    |
+//	|                       |               global state, join plan,      |
+//	|                       |               recovery attempt)             |
+//	| job.dump              | cc → worker   run the dump phase            |
+//	| job.cancel, job.abort | cc → worker   cancel the in-flight phase    |
+//	|                       |               ONLY — the session survives,  |
+//	|                       |               so a restore can follow; the  |
+//	|                       |               reply waits for task drain    |
+//	| job.checkpoint        | cc → worker   snapshot owned partitions     |
+//	|                       |               (vertex + msgs, frame images);|
+//	|                       |               the reply is the worker's ack |
+//	|                       |               in the manifest commit        |
+//	| job.restore           | cc → worker   rewind the session to a       |
+//	|                       |               committed checkpoint from the |
+//	|                       |               shipped partition images      |
+//	| cluster.reconfigure   | cc → worker   install repaired topology:    |
+//	|                       |               new owned-node set + peer     |
+//	|                       |               routing table after a failure |
+//	+-----------------------+---------------------------------------------+
+//
+// Failure notification needs no message of its own: a crashed worker's
+// connection breaks (failing its pending calls at the controller), and
+// a hung worker is converted into a broken connection by the heartbeat
+// monitor closing it. Data-plane streams to a dead process fail their
+// senders the same way, and RESET unblocks anything still parked. The
+// verbs and their payload schemas live in internal/core/dist.go; this
+// package carries them opaquely.
 package wire
 
 import (
