@@ -162,6 +162,10 @@ type jobView struct {
 	// (cluster mode reports supersteps live while the job runs).
 	Checkpoints int `json:"checkpoints,omitempty"`
 	Recoveries  int `json:"recoveries,omitempty"`
+	// Rebalances counts elastic topology changes (workers joining or
+	// draining) the job was carried across without losing a superstep
+	// (cluster mode only).
+	Rebalances int `json:"rebalances,omitempty"`
 }
 
 func (s *server) view(h *core.JobHandle) jobView {

@@ -144,6 +144,7 @@ func newClusterServer(coord *core.Coordinator) *clusterServer {
 	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/files/", s.handleFiles)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/scale", s.handleScale)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
@@ -190,6 +191,7 @@ func (s *clusterServer) view(j *clusterJob) jobView {
 		v.Vertices = j.stats.FinalState.NumVertices
 		v.Checkpoints = j.stats.Checkpoints
 		v.Recoveries = j.stats.Recoveries
+		v.Rebalances = j.stats.Rebalances
 	} else {
 		v.Supersteps = j.liveSupersteps
 	}
@@ -356,6 +358,57 @@ func (s *clusterServer) handleFiles(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// scaleView is the GET /scale payload: the live worker→nodes topology
+// plus the elasticity log. Scaling out needs no API call — starting
+// another `pregelix worker` against the cluster controller triggers the
+// rebalance — so POST /scale only carries drain requests.
+type scaleView struct {
+	Workers  []core.WorkerInfo     `json:"workers"`
+	Standbys int                   `json:"standbys"`
+	Events   []core.RebalanceEvent `json:"events"`
+}
+
+// handleScale serves the elasticity API: GET returns the topology and
+// rebalance log; POST {"drain": "<worker addr>"} asks the cluster to
+// gracefully retire a worker (its partitions migrate out at the next
+// superstep or job boundary, then it is released).
+func (s *clusterServer) handleScale(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := scaleView{
+			Workers:  s.coord.Topology(),
+			Standbys: s.coord.Standbys(),
+			Events:   s.coord.RebalanceEvents(),
+		}
+		if out.Workers == nil {
+			out.Workers = []core.WorkerInfo{}
+		}
+		if out.Events == nil {
+			out.Events = []core.RebalanceEvent{}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req struct {
+			Drain string `json:"drain"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.Drain == "" {
+			httpError(w, http.StatusBadRequest, `missing "drain" (scale-out needs no API call: start another pregelix worker)`)
+			return
+		}
+		if err := s.coord.Drain(req.Drain); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"draining": req.Drain})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST /scale")
+	}
+}
+
 // clusterStatsView is the cluster-mode GET /stats payload.
 type clusterStatsView struct {
 	Workers int `json:"workers"`
@@ -374,17 +427,24 @@ type clusterStatsView struct {
 	// and the repairs (standby adoption, node redistribution) that
 	// followed.
 	Recovery []core.RecoveryEvent `json:"recovery"`
+	// Rebalance is the coordinator's elasticity log: workers joining
+	// with partitions migrated onto them, graceful drains, refusals.
+	Rebalance []core.RebalanceEvent `json:"rebalance"`
 }
 
 func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := clusterStatsView{
-		Workers:  s.coord.Workers(),
-		Standbys: s.coord.Standbys(),
-		Nodes:    []string{},
-		Recovery: s.coord.RecoveryEvents(),
+		Workers:   s.coord.Workers(),
+		Standbys:  s.coord.Standbys(),
+		Nodes:     []string{},
+		Recovery:  s.coord.RecoveryEvents(),
+		Rebalance: s.coord.RebalanceEvents(),
 	}
 	if out.Recovery == nil {
 		out.Recovery = []core.RecoveryEvent{}
+	}
+	if out.Rebalance == nil {
+		out.Rebalance = []core.RebalanceEvent{}
 	}
 	for _, id := range s.coord.Nodes() {
 		out.Nodes = append(out.Nodes, string(id))

@@ -17,16 +17,23 @@ import (
 // workerMain runs one node-controller process of a distributed cluster:
 // it registers with the cluster controller (`pregelix serve` in cluster
 // mode), hosts its share of the cluster's nodes, and exchanges shuffle
-// frames with its peers over the wire transport.
+// frames with its peers over the wire transport. Joining a running
+// cluster triggers an elastic scale-out (partitions migrate onto the
+// new worker at the next superstep boundary) unless -standby parks it
+// as a passive hot spare; with -drain, the first SIGINT/SIGTERM asks
+// the controller to migrate this worker's partitions out and the
+// process exits cleanly once released.
 func workerMain(args []string) {
 	fs := flag.NewFlagSet("pregelix worker", flag.ExitOnError)
 	var (
-		cc     = fs.String("cc", "127.0.0.1:9090", "cluster controller control-plane address")
-		listen = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
-		nodes  = fs.Int("nodes", 2, "node controllers this worker contributes")
-		dir    = fs.String("dir", "", "storage directory (default: a temp dir)")
-		rejoin = fs.Bool("rejoin", false, "re-register with the controller whenever the connection is lost (run as a resilient standby)")
-		wait   = fs.Duration("rejoin-wait", 2*time.Second, "pause between rejoin attempts")
+		cc      = fs.String("cc", "127.0.0.1:9090", "cluster controller control-plane address")
+		listen  = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
+		nodes   = fs.Int("nodes", 2, "node controllers this worker contributes")
+		dir     = fs.String("dir", "", "storage directory (default: a temp dir)")
+		standby = fs.Bool("standby", false, "when joining a running cluster, park as a passive standby instead of triggering an elastic rebalance")
+		drain   = fs.Bool("drain", false, "on the first SIGINT/SIGTERM, drain gracefully: migrate partitions out, then exit (a second signal force-quits)")
+		rejoin  = fs.Bool("rejoin", false, "re-register with the controller whenever the connection is lost (run as a resilient standby)")
+		wait    = fs.Duration("rejoin-wait", 2*time.Second, "pause between rejoin attempts")
 	)
 	fs.Parse(args)
 
@@ -42,10 +49,20 @@ func workerMain(args []string) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	stop := make(chan os.Signal, 1)
+	drainCh := make(chan struct{})
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-stop
+		if *drain {
+			// First signal: graceful departure. RunWorker notifies the
+			// controller, keeps serving until the migration completes,
+			// and returns nil when released. A second signal falls
+			// through to the hard shutdown below.
+			fmt.Fprintln(os.Stderr, "pregelix worker: draining (signal again to force quit)")
+			close(drainCh)
+			<-stop
+		}
 		fmt.Fprintln(os.Stderr, "pregelix worker: shutting down")
 		cancel()
 	}()
@@ -56,24 +73,30 @@ func workerMain(args []string) {
 		BaseDir:    baseDir,
 		Nodes:      *nodes,
 		BuildJob:   buildJobFromSpec,
+		Elastic:    !*standby,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},
 	}
-	// A worker joining an already-running cluster parks as a standby and
-	// is adopted by the next failure recovery; with -rejoin it also
-	// re-registers whenever its controller connection drops, so one
-	// long-lived process can serve as a permanent hot spare.
+	if *drain {
+		cfg.Drain = drainCh
+	}
+	// A worker joining an already-running cluster is absorbed by the
+	// next rebalance point (or, with -standby, parks until a failure
+	// recovery adopts it); with -rejoin it also re-registers whenever
+	// its controller connection drops, so one long-lived process can
+	// serve as a permanent hot spare.
 	for {
 		err := core.RunWorker(ctx, cfg)
 		if ctx.Err() != nil {
 			return
 		}
-		if !*rejoin {
-			if err != nil {
-				fatal(err)
-			}
+		if err == nil {
+			// Released after a drain: done, even under -rejoin.
 			return
+		}
+		if !*rejoin {
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "pregelix worker: connection lost (%v), rejoining in %s\n", err, *wait)
 		select {

@@ -62,6 +62,22 @@
 // ARCHITECTURE.md for the recovery state machine and the manifest
 // format, and internal/core/checkpoint.go for the commit protocol.
 //
+// # Elasticity
+//
+// The cluster also grows and shrinks while jobs run. A `pregelix
+// worker` joining a running cluster triggers a coordinator-driven
+// rebalance at the next superstep (or job) boundary: whole partitions —
+// vertex index plus pending message frames, the same snapshot images a
+// checkpoint writes — migrate onto the new worker over the control
+// plane (partition.send/partition.recv), ownership and peer routing
+// flip via cluster.reconfigure, and the loop resumes under a fresh
+// recovery-epoch spec name. A graceful drain (`pregelix worker -drain`
+// + SIGTERM, or POST /scale) migrates a departing worker's partitions
+// out before releasing it. Unlike crash recovery nothing rolls back, no
+// superstep is lost, and no checkpoint is required; results are
+// identical to a static run. See the Elasticity section of
+// ARCHITECTURE.md for the migration state machine.
+//
 // Layout:
 //
 //   - pregel            — the user-facing Pregel API (Program, Combiner,
@@ -77,15 +93,17 @@
 //   - internal/wire     — the network transport: per-stream multiplexed
 //     frame images over one TCP connection per process pair with
 //     credit-based backpressure, plus the cluster control plane
-//     (worker registration handshake, job-phase RPCs, heartbeats and
-//     the checkpoint/restore/reconfigure failure-recovery verbs)
+//     (worker registration handshake, job-phase RPCs, heartbeats, the
+//     checkpoint/restore/reconfigure failure-recovery verbs and the
+//     partition.send/recv/drop + worker drain/release elasticity verbs)
 //   - internal/storage  — B-tree, LSM B-tree, buffer cache, run files
 //   - internal/operators— external sort, three group-bys, index joins
 //   - internal/core     — the Pregelix runtime (plan generator,
 //     superstep loop, checkpoint/recovery, job pipelining), the
 //     JobManager that runs many concurrent jobs on one shared cluster,
 //     and the cluster Coordinator/worker pair that runs jobs across
-//     separate node-controller OS processes
+//     separate node-controller OS processes, with the elastic
+//     rebalancer (live scale-out and graceful drain)
 //   - internal/dfs      — a small replicated distributed file system
 //   - internal/baselines— simulations of Giraph/Hama/GraphLab/GraphX
 //   - internal/bench    — the Section 7 experiment harness plus the

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/graphgen"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// The elastic experiment prices PR5's live scale-out: a PageRank starts
+// on a 2-worker cluster and two elastic workers join mid-job, so whole
+// partitions migrate between processes at a superstep boundary. Two
+// measurements land in the JSON report: time-to-rebalance (handshake +
+// partition images over the control plane + routing rebroadcast, per
+// scale-out event) and the post-rebalance per-superstep time relative
+// to pre-rebalance. Note the workers here are goroutine "processes"
+// sharing one CPU pool, so the speedup reflects protocol overhead
+// rather than added hardware — on real machines the post-rebalance
+// supersteps also gain the new workers' cores.
+
+// elasticSpec is the experiment's job descriptor; every worker builds
+// the same job from it.
+type elasticSpec struct {
+	Iterations int `json:"iterations"`
+}
+
+func elasticBuilder(raw json.RawMessage) (*pregel.Job, error) {
+	var s elasticSpec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	return algorithms.NewPageRankJob("elastic-pr", "/in/elastic", "", s.Iterations), nil
+}
+
+// startElasticWorker launches one worker goroutine against the
+// coordinator; dirs are cleaned up by the caller's defer.
+func startElasticWorker(ctx context.Context, coord *core.Coordinator, dir string, nodes int, elastic bool) {
+	go core.RunWorker(ctx, core.WorkerConfig{
+		CCAddr:   coord.Addr(),
+		BaseDir:  dir,
+		Nodes:    nodes,
+		BuildJob: elasticBuilder,
+		Elastic:  elastic,
+	})
+}
+
+// RunElastic benchmarks a 2→4 worker scale-out mid-PageRank (the PR5
+// bench artifact).
+func RunElastic(ctx context.Context, o Options) error {
+	o.defaults()
+	dir := o.WorkDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "elastic")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	iterations := o.PageRankIterations
+	if iterations < 10 {
+		iterations = 10
+	}
+	const joinAt = 3
+	g, ratio := o.buildDataset(WebmapData, 0.10, 41)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		return err
+	}
+
+	coord, err := core.NewCoordinator(core.CoordinatorConfig{
+		ListenAddr: "127.0.0.1:0",
+		Workers:    2,
+		RAMBytes:   o.RAMPerNode,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		startElasticWorker(wctx, coord, fmt.Sprintf("%s/w%d", dir, i), 2, false)
+	}
+	readyCtx, done := context.WithTimeout(ctx, 60*time.Second)
+	defer done()
+	if err := coord.WaitReady(readyCtx); err != nil {
+		return err
+	}
+
+	// Join two elastic workers once superstep joinAt commits; hold the
+	// loop until they have parked so the very next boundary rebalances.
+	var joinWall time.Duration
+	joined := false
+	progress := func(ss int64) {
+		if ss != joinAt || joined {
+			return
+		}
+		joined = true
+		start := time.Now()
+		for i := 2; i < 4; i++ {
+			startElasticWorker(wctx, coord, fmt.Sprintf("%s/w%d", dir, i), 2, true)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for coord.Standbys() < 2 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		joinWall = time.Since(start)
+	}
+
+	spec, err := json.Marshal(elasticSpec{Iterations: iterations})
+	if err != nil {
+		return err
+	}
+	job, err := elasticBuilder(spec)
+	if err != nil {
+		return err
+	}
+	stats, _, err := coord.RunJob(ctx, core.DistSubmission{
+		Name:      "elastic-pr@bench",
+		Spec:      spec,
+		Job:       job,
+		InputPath: "/in/elastic",
+		InputData: graph.Bytes(),
+		Progress:  progress,
+	})
+	if err != nil {
+		o.Metrics.Record(RunMetric{System: "pregelix", Job: "elastic-scaleout", Failed: true})
+		return err
+	}
+	if stats.Rebalances == 0 {
+		return fmt.Errorf("bench: elastic run recorded no rebalance")
+	}
+
+	// Time-to-rebalance from the coordinator's event log.
+	var rebalance time.Duration
+	var migrated int
+	for _, ev := range coord.RebalanceEvents() {
+		if ev.Kind == "scale-out" {
+			rebalance += ev.Duration
+			migrated += ev.Partitions
+		}
+	}
+
+	// Per-superstep time before vs after the topology change. The
+	// rebalance lands between superstep joinAt and joinAt+1; skip the
+	// boundary superstep itself so neither window includes it.
+	var preSum, postSum time.Duration
+	var preN, postN int
+	for _, ss := range stats.SuperstepStats {
+		switch {
+		case ss.Superstep <= joinAt:
+			preSum += ss.Duration
+			preN++
+		case ss.Superstep > joinAt+1:
+			postSum += ss.Duration
+			postN++
+		}
+	}
+	if preN == 0 || postN == 0 {
+		return fmt.Errorf("bench: elastic run too short to split (%d supersteps)", stats.Supersteps)
+	}
+	preAvg := preSum / time.Duration(preN)
+	postAvg := postSum / time.Duration(postN)
+	speedup := float64(preAvg) / float64(postAvg)
+
+	o.printf("elastic scale-out: PageRank, ratio %.3f, %d iterations, join at superstep %d\n",
+		ratio, iterations, joinAt)
+	o.printf("%-32s %12s\n", "metric", "value")
+	o.printf("%-32s %12s\n", "time to rebalance (2 joins)", rebalance.Round(time.Millisecond))
+	o.printf("%-32s %12d\n", "partitions migrated", migrated)
+	o.printf("%-32s %12s\n", "join wall (spawn→parked)", joinWall.Round(time.Millisecond))
+	o.printf("%-32s %12s\n", "avg superstep pre-rebalance", preAvg.Round(time.Microsecond))
+	o.printf("%-32s %12s\n", "avg superstep post-rebalance", postAvg.Round(time.Microsecond))
+	o.printf("%-32s %11.2fx\n", "post-rebalance speedup", speedup)
+	o.printf("(workers are goroutine processes on one CPU pool: the speedup prices\n")
+	o.printf(" migration+routing overhead, not added hardware)\n")
+
+	o.Metrics.Record(RunMetric{
+		System: "pregelix", Job: "elastic-scaleout",
+		Ratio:            ratio,
+		Supersteps:       stats.Supersteps,
+		WallSeconds:      stats.TotalDuration.Seconds(),
+		RebalanceSeconds: rebalance.Seconds(),
+		Speedup:          speedup,
+	})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "elastic-pre",
+		AvgIterSeconds: preAvg.Seconds()})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "elastic-post",
+		AvgIterSeconds: postAvg.Seconds()})
+	return nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestElasticSmoke runs the scale-out experiment at tiny size and
+// checks it records the two PR5 metrics: time-to-rebalance and the
+// pre/post iteration factor.
+func TestElasticSmoke(t *testing.T) {
+	var buf strings.Builder
+	o := tinyOptions(t, &buf)
+	o.Metrics = &Metrics{}
+	if err := RunElastic(context.Background(), o); err != nil {
+		t.Fatalf("elastic experiment: %v\noutput:\n%s", err, buf.String())
+	}
+	var sawScale, sawPre, sawPost bool
+	for _, m := range o.Metrics.Runs() {
+		switch m.Job {
+		case "elastic-scaleout":
+			sawScale = true
+			if m.RebalanceSeconds <= 0 {
+				t.Fatalf("no time-to-rebalance recorded: %+v", m)
+			}
+			if m.Speedup <= 0 {
+				t.Fatalf("no speedup factor recorded: %+v", m)
+			}
+		case "elastic-pre":
+			sawPre = true
+		case "elastic-post":
+			sawPost = true
+		}
+	}
+	if !sawScale || !sawPre || !sawPost {
+		t.Fatalf("metrics incomplete (scale=%v pre=%v post=%v):\n%s", sawScale, sawPre, sawPost, buf.String())
+	}
+	if !strings.Contains(buf.String(), "time to rebalance") {
+		t.Fatalf("report missing rebalance row:\n%s", buf.String())
+	}
+}

@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"conc-jobs", "Throughput: concurrent jobs under the admission-controlled JobManager", RunConcJobs},
 		{"framepath", "PR2: packed vs boxed message-path allocations per tuple", RunFramePath},
 		{"wirepath", "PR3: shuffle over TCP loopback vs in-process channels", RunWirePath},
+		{"elastic", "PR5: live scale-out 2→4 workers mid-PageRank (time-to-rebalance)", RunElastic},
 		{"fig14a", "Fig 14(a): LOJ vs FOJ, SSSP", runFig14(SSSP)},
 		{"fig14b", "Fig 14(b): LOJ vs FOJ, PageRank", runFig14(PageRank)},
 		{"fig14c", "Fig 14(c): LOJ vs FOJ, CC", runFig14(CC)},

@@ -38,6 +38,13 @@ type RunMetric struct {
 	NetworkBytes int64 `json:"networkBytes,omitempty"`
 	// ShuffleMBPerSec is connector throughput in MB/s (wire-path runs).
 	ShuffleMBPerSec float64 `json:"shuffleMBPerSec,omitempty"`
+	// RebalanceSeconds is the wall time of one elastic topology change —
+	// partition images migrated, routing rebroadcast, loop resumed
+	// (elastic runs).
+	RebalanceSeconds float64 `json:"rebalanceSeconds,omitempty"`
+	// Speedup is a relative per-iteration factor (elastic runs:
+	// pre-rebalance avg superstep time / post-rebalance avg).
+	Speedup float64 `json:"speedup,omitempty"`
 	// Failed marks runs that did not complete.
 	Failed bool `json:"failed,omitempty"`
 }

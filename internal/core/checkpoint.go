@@ -297,27 +297,36 @@ func (rs *runState) dropPartitionState() {
 			ps.msgPath, ps.nextMsgPath = "", ""
 			continue
 		}
-		if ps.vertexIdx != nil {
-			ps.vertexIdx.Drop()
-			ps.vertexIdx = nil
-		}
-		if ps.vid != nil {
-			ps.vid.Drop()
-			ps.vid = nil
-		}
-		if ps.nextVid != nil {
-			ps.nextVid.Drop()
-			ps.nextVid = nil
-		}
-		if ps.msgPath != "" {
-			os.Remove(ps.msgPath)
-			ps.msgPath = ""
-		}
-		if ps.nextMsgPath != "" {
-			os.Remove(ps.nextMsgPath)
-			ps.nextMsgPath = ""
-		}
+		rs.dropOnePartition(ps)
 	}
+}
+
+// dropOnePartition releases one partition's local state: its vertex and
+// Vid indexes, its pending-message run files, and the message counters.
+// Used when a partition migrates away (the new owner holds the state
+// now) and before reinstalling a migrated or restored image.
+func (rs *runState) dropOnePartition(ps *partitionState) {
+	if ps.vertexIdx != nil {
+		ps.vertexIdx.Drop()
+		ps.vertexIdx = nil
+	}
+	if ps.vid != nil {
+		ps.vid.Drop()
+		ps.vid = nil
+	}
+	if ps.nextVid != nil {
+		ps.nextVid.Drop()
+		ps.nextVid = nil
+	}
+	if ps.msgPath != "" {
+		os.Remove(ps.msgPath)
+		ps.msgPath = ""
+	}
+	if ps.nextMsgPath != "" {
+		os.Remove(ps.nextMsgPath)
+		ps.nextMsgPath = ""
+	}
+	ps.msgs, ps.nextMsgs = 0, 0
 }
 
 func (rs *runState) isBlacklisted(id hyracks.NodeID) bool {

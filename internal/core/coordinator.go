@@ -68,6 +68,13 @@ type ccWorker struct {
 	dataAddr string
 	owned    []string
 	regID    int64
+	// elastic marks a parked joiner that asked for a rebalance (scale-
+	// out) rather than passive standby duty.
+	elastic bool
+	// draining marks an active worker whose graceful departure is
+	// pending: the next rebalance point migrates its partitions out and
+	// releases it.
+	draining atomic.Bool
 	// inflight counts outstanding non-heartbeat RPCs. While it is
 	// non-zero the heartbeat monitor does not count misses: a checkpoint
 	// or restore ships whole partition images as single JSON envelopes
@@ -136,13 +143,21 @@ type Coordinator struct {
 	nodes     []hyracks.NodeID
 	peers     map[string]string // node ID → data-plane address
 	events    []RecoveryEvent
+	rebal     []RebalanceEvent
 	assembled bool
 	readyErr  error
 	closed    bool
+	// partLoad holds each partition's latest vertex+message counters
+	// (merged from superstep replies); the rebalancer weighs migration
+	// picks with them.
+	partLoad map[int]int64
 
 	ready   chan struct{}
 	stop    chan struct{}
 	spareCh chan struct{}
+	// scaleCh wakes the idle rebalancer when an elastic worker parks or
+	// a drain is requested.
+	scaleCh chan struct{}
 	jobMu   sync.Mutex // one distributed job runs at a time
 	// shipped caches the content hash of files already replicated to the
 	// workers, so resubmitting jobs over the same uploaded input does not
@@ -203,18 +218,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		ln:      ln,
-		ckpt:    ckpt,
-		ckptDir: dir,
-		ownsDir: ownsDir,
-		peers:   make(map[string]string),
-		ready:   make(chan struct{}),
-		stop:    make(chan struct{}),
-		spareCh: make(chan struct{}, 1),
-		shipped: make(map[string]uint64),
+		cfg:      cfg,
+		ln:       ln,
+		ckpt:     ckpt,
+		ckptDir:  dir,
+		ownsDir:  ownsDir,
+		peers:    make(map[string]string),
+		partLoad: make(map[int]int64),
+		ready:    make(chan struct{}),
+		stop:     make(chan struct{}),
+		spareCh:  make(chan struct{}, 1),
+		scaleCh:  make(chan struct{}, 1),
+		shipped:  make(map[string]uint64),
 	}
 	go c.acceptLoop()
+	go c.idleRebalanceLoop()
 	return c, nil
 }
 
@@ -374,7 +392,8 @@ func (c *Coordinator) acceptLoop() {
 // worker joins the forming cluster; once the expected count is reached
 // the topology is built and broadcast. A worker registering against an
 // already-assembled cluster parks as a standby, adopted by the next
-// topology repair.
+// topology repair — or, when it registered as elastic, picked up by the
+// next rebalance point, which migrates partitions onto it.
 func (c *Coordinator) register(conn net.Conn) {
 	ctrl, err := wire.AcceptControl(conn)
 	if err != nil {
@@ -400,22 +419,31 @@ func (c *Coordinator) register(conn net.Conn) {
 		ctrl.Close()
 		return
 	}
-	w := &ccWorker{ctrl: ctrl, dataAddr: reg.DataAddr, regID: env.ID}
+	w := &ccWorker{ctrl: ctrl, dataAddr: reg.DataAddr, regID: env.ID, elastic: reg.Elastic}
 	if c.assembled {
 		// Standby: hold the handshake open; adoption answers it with the
 		// node IDs the worker is taking over. The caller starts now even
 		// though no RPC flows until adoption: a parked worker sends
-		// nothing, so the read loop's only possible outcome before then
-		// is detecting the connection dying — which keeps Standbys/Err
-		// honest about how much recovery capacity is really parked.
+		// nothing except a possible drain notification, so the read
+		// loop's outcomes before then are detecting the connection dying
+		// — which keeps Standbys/Err honest about how much recovery
+		// capacity is really parked — and releasing a drained spare.
 		w.caller = wire.NewCaller(ctrl)
+		w.caller.OnNotify(func(env wire.Envelope) { c.handleNotify(w, env) })
 		w.caller.Start()
 		c.spares = append(c.spares, w)
 		c.mu.Unlock()
-		c.cfg.logf("coordinator: standby worker %s parked (awaiting adoption)", ctrl.RemoteAddr())
+		if w.elastic {
+			c.cfg.logf("coordinator: elastic worker %s joined (rebalance pending)", ctrl.RemoteAddr())
+		} else {
+			c.cfg.logf("coordinator: standby worker %s parked (awaiting adoption)", ctrl.RemoteAddr())
+		}
 		select {
 		case c.spareCh <- struct{}{}:
 		default:
+		}
+		if w.elastic {
+			c.signalRebalance()
 		}
 		return
 	}
@@ -478,6 +506,7 @@ func (c *Coordinator) finalize() {
 			c.mu.Unlock()
 		}
 		w.caller = wire.NewCaller(w.ctrl)
+		w.caller.OnNotify(func(env wire.Envelope) { c.handleNotify(w, env) })
 		w.caller.Start()
 		go c.monitor(w)
 	}
@@ -537,10 +566,13 @@ func (c *Coordinator) monitor(w *ccWorker) {
 		misses++
 		if misses >= c.cfg.HeartbeatMisses {
 			if w.recordLost() {
+				c.mu.Lock()
+				nodes := append([]string(nil), w.owned...)
+				c.mu.Unlock()
 				c.recordEvent(RecoveryEvent{
 					Kind:   "worker-lost",
 					Worker: w.ctrl.RemoteAddr(),
-					Nodes:  append([]string(nil), w.owned...),
+					Nodes:  nodes,
 					Detail: fmt.Sprintf("missed %d heartbeats", misses),
 				})
 			}
@@ -566,13 +598,17 @@ func (c *Coordinator) reapDead() []*ccWorker {
 	if len(dead) > 0 {
 		c.workers = live
 	}
+	deadNodes := make([][]string, len(dead))
+	for i, w := range dead {
+		deadNodes[i] = append([]string(nil), w.owned...)
+	}
 	c.mu.Unlock()
-	for _, w := range dead {
+	for i, w := range dead {
 		if w.recordLost() { // the heartbeat monitor may have recorded it
 			c.recordEvent(RecoveryEvent{
 				Kind:   "worker-lost",
 				Worker: w.ctrl.RemoteAddr(),
-				Nodes:  append([]string(nil), w.owned...),
+				Nodes:  deadNodes[i],
 				Detail: w.caller.Err().Error(),
 			})
 		}
@@ -598,22 +634,23 @@ func (c *Coordinator) takeSpare() *ccWorker {
 	return nil
 }
 
-// adopt completes a standby's held-open handshake, handing it the
-// orphaned node IDs, and (when a job is in flight) opens the job
-// session on it so the following restore can populate its partitions.
-func (c *Coordinator) adopt(ctx context.Context, sp *ccWorker, orphans []string, begin *jobBeginMsg) error {
+// startSpare completes a parked worker's held-open handshake, handing
+// it the node IDs it will host, and (when a job is in flight) opens the
+// job session on it so a following restore or migration can populate
+// its partitions. It commits nothing in the coordinator's own state:
+// the caller flips ownership and routing only once the spare is known
+// good, so a spare dying here leaves the cluster untouched.
+func (c *Coordinator) startSpare(ctx context.Context, sp *ccWorker, owned []string, begin *jobBeginMsg) error {
 	c.mu.Lock()
-	sp.owned = append([]string(nil), orphans...)
-	for _, id := range orphans {
-		c.peers[id] = sp.dataAddr
-	}
 	total := len(c.nodes)
 	peers := c.peersLocked()
 	c.mu.Unlock()
-
+	for _, id := range owned {
+		peers[id] = sp.dataAddr // the spare's own view routes its nodes to itself
+	}
 	data, err := json.Marshal(startMsg{
 		TotalNodes:        total,
-		Owned:             sp.owned,
+		Owned:             owned,
 		Peers:             peers,
 		PartitionsPerNode: c.cfg.PartitionsPerNode,
 		RAMBytes:          c.cfg.RAMBytes,
@@ -623,22 +660,34 @@ func (c *Coordinator) adopt(ctx context.Context, sp *ccWorker, orphans []string,
 		return err
 	}
 	if err := sp.ctrl.Send(wire.Envelope{ID: sp.regID, Data: data}); err != nil {
-		sp.ctrl.Close()
 		return err
 	}
 	// The spare's caller has been running since it parked (detecting
 	// death-while-parked); from here it carries real RPCs.
 	if err := sp.call(ctx, rpcPing, struct{}{}, nil); err != nil {
-		sp.ctrl.Close()
 		return err
 	}
 	if begin != nil {
 		if err := sp.call(ctx, rpcJobBegin, begin, nil); err != nil {
-			sp.ctrl.Close()
 			return err
 		}
 	}
+	return nil
+}
+
+// adopt completes a standby's held-open handshake, handing it the
+// orphaned node IDs, and (when a job is in flight) opens the job
+// session on it so the following restore can populate its partitions.
+func (c *Coordinator) adopt(ctx context.Context, sp *ccWorker, orphans []string, begin *jobBeginMsg) error {
+	if err := c.startSpare(ctx, sp, orphans, begin); err != nil {
+		sp.ctrl.Close()
+		return err
+	}
 	c.mu.Lock()
+	sp.owned = append([]string(nil), orphans...)
+	for _, id := range orphans {
+		c.peers[id] = sp.dataAddr
+	}
 	c.workers = append(c.workers, sp)
 	c.mu.Unlock()
 	go c.monitor(sp)
@@ -730,12 +779,20 @@ func (c *Coordinator) repairTopology(ctx context.Context, begin *jobBeginMsg) er
 
 	// Broadcast the repaired routing table. Every worker — including an
 	// adopted standby, idempotently — installs its owned set and peers.
+	return c.broadcastTopology(ctx, nil)
+}
+
+// broadcastTopology ships every active worker its owned-node set and
+// the cluster routing table (cluster.reconfigure), plus the names of
+// jobs whose parked wire streams it must purge — after a migration the
+// old topology's stragglers can never be claimed.
+func (c *Coordinator) broadcastTopology(ctx context.Context, purgeJobs []string) error {
 	c.mu.Lock()
 	workers := append([]*ccWorker(nil), c.workers...)
 	peers := c.peersLocked()
 	c.mu.Unlock()
 	for _, w := range workers {
-		msg := reconfigureMsg{Owned: append([]string(nil), w.owned...), Peers: peers}
+		msg := reconfigureMsg{Owned: append([]string(nil), w.owned...), Peers: peers, PurgeJobs: purgeJobs}
 		if err := w.call(ctx, rpcReconfigure, msg, nil); err != nil {
 			return fmt.Errorf("core: reconfiguring worker %s: %w", w.ctrl.RemoteAddr(), err)
 		}
@@ -860,9 +917,15 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 	defer c.jobMu.Unlock()
 
 	// Heal any failure that happened between jobs, so a degraded cluster
-	// repairs itself on the next submission instead of failing forever.
+	// repairs itself on the next submission instead of failing forever —
+	// and fold in any pending elasticity work (an elastic worker that
+	// joined, a drain requested) before loading, while moving a node
+	// costs nothing but a routing update.
 	c.reapDead()
 	if err := c.repairTopology(ctx, nil); err != nil {
+		return nil, nil, err
+	}
+	if err := c.rebalance(ctx, nil); err != nil {
 		return nil, nil, err
 	}
 
@@ -953,6 +1016,20 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 			c.cancelJob(sub.Name)
 			return stats, nil, err
 		}
+		// Superstep boundaries are the rebalance points: no phase is in
+		// flight, so partitions can migrate to an elastic joiner (or off
+		// a draining worker) as whole images, with no rollback and no
+		// lost superstep. A rebalance that fails because a worker died
+		// mid-migration falls through to checkpoint recovery.
+		if c.pendingRebalance() {
+			sess := &rebalSession{name: sub.Name, begin: &begin, gs: gs, attempt: &attempt, stats: stats}
+			if err := c.rebalance(ctx, sess); err != nil {
+				if rerr := recoverOrFail("rebalance", err); rerr != nil {
+					return stats, nil, rerr
+				}
+				continue
+			}
+		}
 		ss := gs.Superstep + 1
 		atCap := sub.Job.MaxSupersteps > 0 && ss > int64(sub.Job.MaxSupersteps)
 		if !atCap && !gs.Halt {
@@ -971,6 +1048,14 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 			var msgs, live, nv, ne, netTuples, netBytes, ioBytes int64
 			var haltAll, sawOwner bool
 			gs.Aggregate = nil
+			c.mu.Lock()
+			for _, rep := range reps {
+				for _, p := range rep.Parts {
+					// Feed the rebalancer's per-partition weights.
+					c.partLoad[p.Part] = p.Vertices + p.Msgs
+				}
+			}
+			c.mu.Unlock()
 			for _, rep := range reps {
 				for _, p := range rep.Parts {
 					msgs += p.Msgs

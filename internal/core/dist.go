@@ -17,6 +17,13 @@ import (
 // partition snapshots between the workers and the controller's
 // replicated checkpoint store, and cluster.reconfigure reassigns node
 // ownership after a worker failure.
+//
+// The elasticity verbs reuse the same snapshot format: partition.send
+// pulls whole-partition images off a worker at a superstep boundary,
+// partition.recv installs them on another, partition.drop reclaims the
+// migrated-away originals, and worker.release tells a drained worker it
+// may exit. worker.drain is the one worker→controller notification: a
+// departing worker asking to have its partitions migrated out first.
 const (
 	rpcPing        = "ping"
 	rpcHeartbeat   = "heartbeat"
@@ -31,6 +38,15 @@ const (
 	rpcJobRestore  = "job.restore"
 	rpcJobEnd      = "job.end"
 	rpcReconfigure = "cluster.reconfigure"
+	rpcPartSend    = "partition.send"
+	rpcPartRecv    = "partition.recv"
+	rpcPartDrop    = "partition.drop"
+	rpcRelease     = "worker.release"
+
+	// notifyDrain is sent by a worker (unsolicited, no reply expected)
+	// to request a graceful drain; every other method above is a
+	// controller→worker request.
+	notifyDrain = "worker.drain"
 )
 
 // registerMsg is a worker's handshake request.
@@ -39,6 +55,11 @@ type registerMsg struct {
 	DataAddr string `json:"dataAddr"`
 	// Nodes is the number of node controllers the worker contributes.
 	Nodes int `json:"nodes"`
+	// Elastic, on a worker joining an already-assembled cluster, asks
+	// the controller to rebalance partitions onto it at the next
+	// superstep (or job) boundary instead of parking it as a passive
+	// standby that only a failure would adopt.
+	Elastic bool `json:"elastic,omitempty"`
 }
 
 // startMsg completes the handshake once the expected workers have
@@ -172,10 +193,50 @@ type restoreMsg struct {
 	Parts   []ckptPartData `json:"parts"`
 }
 
-// reconfigureMsg reassigns cluster topology after a worker failure: the
-// receiving worker now owns exactly Owned (which may include node IDs
-// adopted from the dead process) and routes every peer through Peers.
+// reconfigureMsg reassigns cluster topology after a worker failure or
+// an elastic rebalance: the receiving worker now owns exactly Owned
+// (which may include node IDs adopted from a dead or drained process)
+// and routes every peer through Peers.
 type reconfigureMsg struct {
 	Owned []string          `json:"owned"`
 	Peers map[string]string `json:"peers"`
+	// PurgeJobs names jobs whose parked wire streams the worker must
+	// discard: after a migration the old topology's stragglers can never
+	// be claimed (the resumed supersteps run under a new epoch suffix).
+	PurgeJobs []string `json:"purgeJobs,omitempty"`
+}
+
+// partSendMsg asks a worker to snapshot the named partitions for
+// migration — the same frame-image form job.checkpoint produces, but
+// shipped worker→controller→worker instead of into the checkpoint
+// store. The partitions stay live on the sender until partition.drop.
+type partSendMsg struct {
+	Name  string `json:"name"`
+	Parts []int  `json:"parts"`
+}
+
+// partSendReply carries the migrating partitions' images.
+type partSendReply struct {
+	Parts []ckptPartData `json:"parts"`
+}
+
+// partRecvMsg installs migrated partitions on their new owner. The
+// session must already be open (job.begin); a worker that never loaded
+// builds the deterministic partition table first, exactly like a
+// checkpoint restore on a replacement worker. Attempt is the new
+// rebalance epoch for spec naming; GS seeds the session's global state
+// so the next superstep's compile agrees with every peer.
+type partRecvMsg struct {
+	Name    string         `json:"name"`
+	Attempt int64          `json:"attempt"`
+	GS      globalState    `json:"gs"`
+	Parts   []ckptPartData `json:"parts"`
+}
+
+// partDropMsg reclaims partitions that migrated away: the old owner
+// drops their indexes and message files. Sent only after the new owner
+// acked partition.recv and the reconfigure broadcast committed.
+type partDropMsg struct {
+	Name  string `json:"name"`
+	Parts []int  `json:"parts"`
 }

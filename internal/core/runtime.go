@@ -206,16 +206,27 @@ func (s *JobStats) recordPlan(ss int64, join pregel.JoinKind) {
 
 // JobStats summarizes a job run.
 type JobStats struct {
-	Job            string
-	pendingPlan    string
-	Supersteps     int64
-	LoadDuration   time.Duration
-	RunDuration    time.Duration
-	DumpDuration   time.Duration
-	TotalDuration  time.Duration
-	TotalMessages  int64
-	Recoveries     int
-	Checkpoints    int
+	// Job is the (tenant-qualified) execution name.
+	Job         string
+	pendingPlan string
+	// Supersteps is the number of committed supersteps.
+	Supersteps int64
+	// LoadDuration/RunDuration/DumpDuration/TotalDuration break the wall
+	// clock into the three phases of a run.
+	LoadDuration  time.Duration
+	RunDuration   time.Duration
+	DumpDuration  time.Duration
+	TotalDuration time.Duration
+	// TotalMessages counts messages across all committed supersteps.
+	TotalMessages int64
+	// Recoveries counts checkpoint rollbacks after failures;
+	// Checkpoints counts committed checkpoints.
+	Recoveries  int
+	Checkpoints int
+	// Rebalances counts elastic topology changes (workers joining or
+	// draining) the job was carried across — unlike Recoveries these
+	// lose no superstep and rewind nothing.
+	Rebalances     int
 	SuperstepStats []SuperstepStat
 	FinalState     GlobalStateView
 }

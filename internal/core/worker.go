@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pregelix/internal/hyracks"
 	"pregelix/internal/wire"
@@ -28,6 +29,17 @@ type WorkerConfig struct {
 	// worker of a cluster must resolve the same descriptor to the same
 	// logical job (the CLI registers its algorithm catalog here).
 	BuildJob func(spec json.RawMessage) (*pregel.Job, error)
+	// Elastic asks an already-assembled cluster to rebalance partitions
+	// onto this worker at the next superstep (or job) boundary, instead
+	// of parking it as a passive standby that only a failure would
+	// adopt. Ignored when the worker joins a still-forming cluster.
+	Elastic bool
+	// Drain, when non-nil, turns a signal on this channel into a
+	// graceful-departure request: the worker asks the controller to
+	// migrate its partitions out, keeps serving until the migration
+	// completes, and RunWorker returns nil once the controller releases
+	// it.
+	Drain <-chan struct{}
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -41,13 +53,17 @@ func (c *WorkerConfig) logf(format string, args ...any) {
 // RunWorker runs a node-controller process: it announces itself to the
 // cluster controller, hosts its share of the cluster's nodes, executes
 // its tasks of every phase job, and ships shuffle frames to its peers
-// over the wire transport. It blocks until ctx is cancelled or the
-// control connection is lost.
+// over the wire transport. It blocks until ctx is cancelled, the
+// control connection is lost, or — after a drain request — the
+// controller releases the worker (a clean nil return).
 //
 // A worker started against an already-assembled cluster parks as a
 // standby: the controller adopts it (handing it the node IDs of a dead
 // worker) the next time a failure needs repairing, so "start another
-// `pregelix worker`" is the whole replacement procedure.
+// `pregelix worker`" is the whole replacement procedure. With Elastic
+// set it instead triggers a rebalance that migrates partitions onto it
+// at the next superstep (or job) boundary — "start another worker" is
+// also the whole scale-out procedure.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -74,8 +90,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	defer stop()
 
 	// Handshake: register, then wait for the assembled-cluster response
-	// (or, for a standby, for adoption into a repaired cluster).
-	reg, err := json.Marshal(registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes})
+	// (or, for a standby/elastic joiner, for adoption or rebalance into
+	// a running cluster).
+	reg, err := json.Marshal(registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes, Elastic: cfg.Elastic})
 	if err != nil {
 		return err
 	}
@@ -83,9 +100,31 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		return err
 	}
 	cfg.logf("worker: registered with %s (%d nodes, data %s), waiting for cluster", cfg.CCAddr, cfg.Nodes, transport.Addr())
+
+	// A drain signal becomes the one worker-initiated control message:
+	// the controller migrates this worker's partitions out at the next
+	// safe boundary, then releases it.
+	if cfg.Drain != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-cfg.Drain:
+			}
+			cfg.logf("worker: drain requested, waiting for the controller to migrate partitions out")
+			ctrl.Send(wire.Envelope{Method: notifyDrain})
+		}()
+	}
+
 	env, err := ctrl.Read()
 	if err != nil {
 		return fmt.Errorf("core: handshake: %w", err)
+	}
+	if env.Error == drainedHandshake {
+		// A parked spare that asked to drain is released immediately:
+		// it hosted nothing, so there was nothing to migrate.
+		cfg.logf("worker: released (drained while parked)")
+		return nil
 	}
 	if env.Error != "" {
 		return fmt.Errorf("core: controller rejected registration: %s", env.Error)
@@ -131,6 +170,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
+	if w.released.Load() {
+		// The controller migrated everything away and released us; the
+		// connection closing afterwards is the expected end of a drain,
+		// not a failure.
+		cfg.logf("worker: drained and released")
+		return nil
+	}
 	return err
 }
 
@@ -140,6 +186,10 @@ type distWorker struct {
 	rt        *Runtime
 	transport *wire.TCPTransport
 	ctx       context.Context
+	// released flips when the controller sends worker.release at the end
+	// of a drain, turning the subsequent connection close into a clean
+	// exit.
+	released atomic.Bool
 
 	mu   sync.Mutex
 	exec hyracks.ExecOptions
@@ -315,6 +365,45 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 		}
 		return nil, w.reconfigure(&msg)
 
+	case rpcPartSend:
+		var msg partSendMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return dj.partitionSend(&msg)
+
+	case rpcPartRecv:
+		var msg partRecvMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return nil, dj.partitionRecv(&msg)
+
+	case rpcPartDrop:
+		var msg partDropMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return nil, dj.partitionDrop(&msg)
+
+	case rpcRelease:
+		// End of a drain: everything this worker hosted has migrated
+		// away; the connection closing next is a clean exit.
+		w.released.Store(true)
+		return map[string]string{"status": "released"}, nil
+
 	case rpcJobEnd:
 		var msg jobNameMsg
 		if err := json.Unmarshal(data, &msg); err != nil {
@@ -409,6 +498,11 @@ func (w *distWorker) reconfigure(msg *reconfigureMsg) error {
 	}
 	w.mu.Unlock()
 	w.transport.SetPeers(peers, local)
+	// After a migration the named jobs resume under a new epoch suffix;
+	// stragglers parked for the old topology can never be claimed.
+	for _, name := range msg.PurgeJobs {
+		w.transport.PurgeJob(name)
+	}
 	w.cfg.logf("worker: reconfigured — now hosting %v", msg.Owned)
 	return nil
 }
@@ -497,6 +591,27 @@ func (dj *distJob) load() (*loadReply, error) {
 	return reply, nil
 }
 
+// snapshotPartition produces one partition's image: the vertex relation
+// and the pending combined messages as packed frame-image byte streams,
+// plus the restorable counters. Checkpoints and migrations share this
+// single format — which is what lets partition.recv install an image
+// with the same reload path a checkpoint restore uses.
+func snapshotPartition(ps *partitionState) (ckptPartData, error) {
+	var vbuf, mbuf bytes.Buffer
+	if err := writeVertexSnapshot(&vbuf, ps); err != nil {
+		return ckptPartData{}, err
+	}
+	if err := writeMsgSnapshot(&mbuf, ps); err != nil {
+		return ckptPartData{}, fmt.Errorf("msgs: %w", err)
+	}
+	return ckptPartData{
+		Part:   ps.idx,
+		Vertex: vbuf.Bytes(),
+		Msg:    mbuf.Bytes(),
+		Stats:  partStatOf(ps),
+	}, nil
+}
+
 // checkpoint snapshots the session's owned partitions as frame-image
 // byte streams. The controller writes them into the replicated
 // checkpoint store and commits the manifest only after every worker has
@@ -512,19 +627,11 @@ func (dj *distJob) checkpoint(msg *ckptMsg) (*ckptReply, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var vbuf, mbuf bytes.Buffer
-		if err := writeVertexSnapshot(&vbuf, ps); err != nil {
+		pd, err := snapshotPartition(ps)
+		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint of %s partition %d: %w", dj.rs.job.Name, ps.idx, err)
 		}
-		if err := writeMsgSnapshot(&mbuf, ps); err != nil {
-			return nil, fmt.Errorf("core: checkpoint of %s partition %d msgs: %w", dj.rs.job.Name, ps.idx, err)
-		}
-		reply.Parts = append(reply.Parts, ckptPartData{
-			Part:   ps.idx,
-			Vertex: vbuf.Bytes(),
-			Msg:    mbuf.Bytes(),
-			Stats:  partStatOf(ps),
-		})
+		reply.Parts = append(reply.Parts, pd)
 	}
 	return reply, nil
 }
@@ -575,6 +682,112 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 	}
 	reply.IOBytes = rs.ioBytes.Load() - ioBefore
 	return reply, nil
+}
+
+// byIdx indexes the session's partition table.
+func (dj *distJob) byIdx() map[int]*partitionState {
+	out := make(map[int]*partitionState, len(dj.rs.parts))
+	for _, ps := range dj.rs.parts {
+		out[ps.idx] = ps
+	}
+	return out
+}
+
+// partitionSend snapshots the named partitions for migration — the
+// exact frame-image form job.checkpoint produces (vertex index scanned
+// in key order, pending combined-message run file copied byte for
+// byte), but returned to the controller for forwarding to the new owner
+// instead of the checkpoint store. The partitions stay live here until
+// partition.drop. It claims the phase slot, so a migration can never
+// overlap an executing superstep: asked mid-phase it is refused cleanly
+// and the rebalance waits for the next boundary.
+func (dj *distJob) partitionSend(msg *partSendMsg) (*partSendReply, error) {
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	rs := dj.rs
+	byIdx := dj.byIdx()
+	reply := &partSendReply{Parts: []ckptPartData{}}
+	for _, idx := range msg.Parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ps := byIdx[idx]
+		if ps == nil {
+			return nil, fmt.Errorf("core: migrate %s: no partition %d", rs.job.Name, idx)
+		}
+		if !rs.exec.Local(ps.node.ID) {
+			return nil, fmt.Errorf("core: migrate %s: partition %d is not hosted here", rs.job.Name, idx)
+		}
+		pd, err := snapshotPartition(ps)
+		if err != nil {
+			return nil, fmt.Errorf("core: migrate %s partition %d: %w", rs.job.Name, idx, err)
+		}
+		reply.Parts = append(reply.Parts, pd)
+	}
+	return reply, nil
+}
+
+// partitionRecv installs migrated partitions on this worker: the Vertex
+// index is bulk-rebuilt from the shipped images, the Msg run file
+// repacked, and Vid rederived when the plan needs it — the same reload
+// path a checkpoint restore uses. A joiner that never loaded builds the
+// deterministic partition table first, so the migrated partitions land
+// on the same sticky placement every peer computes. The session's
+// global state and rebalance epoch are adopted so the next superstep
+// compiles identically everywhere.
+func (dj *distJob) partitionRecv(msg *partRecvMsg) error {
+	ctx, end, err := dj.beginPhase()
+	if err != nil {
+		return err
+	}
+	defer end()
+	rs := dj.rs
+	if rs.parts == nil {
+		rs.initParts()
+	}
+	rs.gs = msg.GS
+	rs.attempt = msg.Attempt
+	byIdx := dj.byIdx()
+	for i := range msg.Parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pd := &msg.Parts[i]
+		ps := byIdx[pd.Part]
+		if ps == nil {
+			return fmt.Errorf("core: migrate %s: unknown partition %d", rs.job.Name, pd.Part)
+		}
+		// Never leak a previously-held index: a partition can come back
+		// to a worker that hosted it before.
+		rs.dropOnePartition(ps)
+		if err := rs.reloadPartitionFrom(ps, pd.Stats,
+			bufio.NewReader(bytes.NewReader(pd.Vertex)),
+			bufio.NewReader(bytes.NewReader(pd.Msg))); err != nil {
+			return fmt.Errorf("core: migrate %s partition %d: %w", rs.job.Name, pd.Part, err)
+		}
+	}
+	return nil
+}
+
+// partitionDrop reclaims partitions that migrated away: their indexes
+// and message files are dropped. Sent by the controller only after the
+// new owner acked the images and the topology flip was broadcast.
+func (dj *distJob) partitionDrop(msg *partDropMsg) error {
+	_, end, err := dj.beginPhase()
+	if err != nil {
+		return err
+	}
+	defer end()
+	byIdx := dj.byIdx()
+	for _, idx := range msg.Parts {
+		if ps := byIdx[idx]; ps != nil {
+			dj.rs.dropOnePartition(ps)
+		}
+	}
+	return nil
 }
 
 func (dj *distJob) dump() (*dumpReply, error) {

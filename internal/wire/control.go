@@ -95,7 +95,8 @@ func (c *ControlConn) RemoteAddr() string { return c.conn.RemoteAddr().String() 
 // Caller issues RPCs over a control connection and matches responses to
 // waiting calls. Start the read loop once the handshake is done.
 type Caller struct {
-	c *ControlConn
+	c      *ControlConn
+	notify func(Envelope)
 
 	mu      sync.Mutex
 	next    int64
@@ -108,6 +109,15 @@ func NewCaller(c *ControlConn) *Caller {
 	return &Caller{c: c, pending: make(map[int64]chan Envelope)}
 }
 
+// OnNotify registers a handler for unsolicited requests arriving on
+// this connection — envelopes with a non-empty Method, which cannot be
+// the response to any outstanding call. The control plane is otherwise
+// strictly controller-calls/worker-answers; notifications are the one
+// reverse-direction message (a worker requesting a graceful drain). No
+// reply is sent. Must be set before Start; handlers run on their own
+// goroutine so they may issue RPCs back over the same connection.
+func (k *Caller) OnNotify(fn func(Envelope)) { k.notify = fn }
+
 // Start launches the response-matching read loop. It returns when the
 // connection dies, failing every outstanding and future call.
 func (k *Caller) Start() {
@@ -117,6 +127,14 @@ func (k *Caller) Start() {
 			if err != nil {
 				k.fail(fmt.Errorf("wire: control connection lost: %w", err))
 				return
+			}
+			if env.Method != "" {
+				// A request from the peer, not a response: dispatch it as
+				// a notification (or drop it when no handler is set).
+				if k.notify != nil {
+					go k.notify(env)
+				}
+				continue
 			}
 			k.mu.Lock()
 			ch := k.pending[env.ID]

@@ -72,18 +72,37 @@
 //	| job.restore           | cc → worker   rewind the session to a       |
 //	|                       |               committed checkpoint from the |
 //	|                       |               shipped partition images      |
-//	| cluster.reconfigure   | cc → worker   install repaired topology:    |
-//	|                       |               new owned-node set + peer     |
-//	|                       |               routing table after a failure |
+//	| cluster.reconfigure   | cc → worker   install new topology: owned-  |
+//	|                       |               node set + peer routing table |
+//	|                       |               (after a failure repair or an |
+//	|                       |               elastic rebalance), plus jobs |
+//	|                       |               whose parked streams to purge |
+//	| partition.send        | cc → worker   snapshot named partitions for |
+//	|                       |               migration (checkpoint-format  |
+//	|                       |               frame images); the partitions |
+//	|                       |               stay live until the drop      |
+//	| partition.recv        | cc → worker   install migrated partitions   |
+//	|                       |               (rebuild Vertex/Msg/Vid from  |
+//	|                       |               the images, adopt GS + epoch) |
+//	| partition.drop        | cc → worker   reclaim partitions that       |
+//	|                       |               migrated away (sent only once |
+//	|                       |               the new owner acked)          |
+//	| worker.release        | cc → worker   end of a drain: the worker    |
+//	|                       |               hosts nothing and may exit    |
+//	| worker.drain          | worker → cc   NOTIFICATION (no reply): a    |
+//	|                       |               departing worker asks to have |
+//	|                       |               its partitions migrated out   |
 //	+-----------------------+---------------------------------------------+
 //
 // Failure notification needs no message of its own: a crashed worker's
 // connection breaks (failing its pending calls at the controller), and
 // a hung worker is converted into a broken connection by the heartbeat
 // monitor closing it. Data-plane streams to a dead process fail their
-// senders the same way, and RESET unblocks anything still parked. The
-// verbs and their payload schemas live in internal/core/dist.go; this
-// package carries them opaquely.
+// senders the same way, and RESET unblocks anything still parked.
+// worker.drain is the single worker-initiated message; the controller's
+// Caller surfaces it through OnNotify rather than response matching.
+// The verbs and their payload schemas live in internal/core/dist.go;
+// this package carries them opaquely.
 package wire
 
 import (
