@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -224,7 +225,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
-	idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	idStr, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/jobs/"), "/")
 	id, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job id %q", idStr)
@@ -235,6 +236,10 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
+	if sub != "" {
+		s.handleJobQuery(w, r, h, sub)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.view(h))
@@ -243,6 +248,137 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.view(h))
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE /jobs/{id}")
+	}
+}
+
+// handleJobQuery serves the always-on query endpoints of one job:
+//
+//	GET /jobs/{id}/vertices/{vid}        — point read
+//	GET /jobs/{id}/topk?by=value&k=N     — global top-k by vertex value
+//	GET /jobs/{id}/neighbors/{vid}?hops=K — k-hop neighborhood expansion
+//
+// Answers come straight from the job's retained partition B-trees (no
+// dump read); a query row's "line" field is byte-identical to the row
+// the dump would have written. Only the latest successful run of a job
+// name is queryable — a re-submission seals a new result version and
+// retires this one once in-flight queries drain.
+func (s *server) handleJobQuery(w http.ResponseWriter, r *http.Request, h *core.JobHandle, sub string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /jobs/{id}/{vertices|topk|neighbors}")
+		return
+	}
+	if stats, err := h.Result(); stats == nil || err != nil {
+		httpError(w, http.StatusConflict, "job %d has no queryable result (state %s)", h.ID(), h.State())
+		return
+	}
+	serveQuery(w, r, sub, storeQuerier{s.m.Runtime().Queries(), h.Name()})
+}
+
+// querier abstracts the two query backends the HTTP layer serves from:
+// the single-process runtime's QueryStore and the cluster coordinator's
+// fan-out path. The version is bound in by the caller.
+type querier interface {
+	Point(vid uint64) (core.VertexQueryResult, error)
+	TopK(k int) ([]core.TopKEntry, error)
+	KHop(source uint64, hops int) (*core.KHopResult, error)
+}
+
+// storeQuerier serves one result version from the single-process
+// runtime's QueryStore.
+type storeQuerier struct {
+	s       *core.QueryStore
+	version string
+}
+
+func (q storeQuerier) Point(vid uint64) (core.VertexQueryResult, error) {
+	out, err := q.s.Point(q.version, []uint64{vid})
+	if err != nil {
+		return core.VertexQueryResult{}, err
+	}
+	return out[0], nil
+}
+
+func (q storeQuerier) TopK(k int) ([]core.TopKEntry, error) {
+	return q.s.TopK(q.version, k)
+}
+
+func (q storeQuerier) KHop(source uint64, hops int) (*core.KHopResult, error) {
+	return q.s.KHop(q.version, source, hops)
+}
+
+// serveQuery routes one query sub-path against a version-bound querier.
+func serveQuery(w http.ResponseWriter, r *http.Request, sub string, q querier) {
+	writeQueryErr := func(err error) {
+		if errors.Is(err, core.ErrNoResult) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+	}
+	switch {
+	case strings.HasPrefix(sub, "vertices/"):
+		vid, err := strconv.ParseUint(strings.TrimPrefix(sub, "vertices/"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad vertex id %q", strings.TrimPrefix(sub, "vertices/"))
+			return
+		}
+		res, err := q.Point(vid)
+		if err != nil {
+			writeQueryErr(err)
+			return
+		}
+		if !res.Found {
+			writeJSON(w, http.StatusNotFound, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case sub == "topk":
+		if by := r.URL.Query().Get("by"); by != "" && by != "value" {
+			httpError(w, http.StatusBadRequest, "bad top-k order %q (only by=value is supported)", by)
+			return
+		}
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			n, err := strconv.Atoi(ks)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, "bad k %q", ks)
+				return
+			}
+			k = n
+		}
+		entries, err := q.TopK(k)
+		if err != nil {
+			writeQueryErr(err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"k": k, "entries": entries})
+	case strings.HasPrefix(sub, "neighbors/"):
+		vid, err := strconv.ParseUint(strings.TrimPrefix(sub, "neighbors/"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad vertex id %q", strings.TrimPrefix(sub, "neighbors/"))
+			return
+		}
+		hops := 1
+		if hs := r.URL.Query().Get("hops"); hs != "" {
+			n, err := strconv.Atoi(hs)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, "bad hops %q", hs)
+				return
+			}
+			hops = n
+		}
+		res, err := q.KHop(vid, hops)
+		if err != nil {
+			writeQueryErr(err)
+			return
+		}
+		if !res.Found {
+			writeJSON(w, http.StatusNotFound, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	default:
+		httpError(w, http.StatusNotFound, "no such job endpoint %q", sub)
 	}
 }
 

@@ -302,7 +302,7 @@ func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, 
 }
 
 func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
-	idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	idStr, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/jobs/"), "/")
 	id, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job id %q", idStr)
@@ -315,6 +315,10 @@ func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
+	if sub != "" {
+		s.handleJobQuery(w, r, j, sub)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.view(j))
@@ -324,6 +328,45 @@ func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE /jobs/{id}")
 	}
+}
+
+// handleJobQuery serves the cluster-mode query endpoints — the same
+// /jobs/{id}/vertices, /topk and /neighbors routes as single-process
+// serve, answered by fanning reads out to the workers that sealed the
+// job's partitions (hot-vertex cache and request coalescing in front).
+func (s *clusterServer) handleJobQuery(w http.ResponseWriter, r *http.Request, j *clusterJob, sub string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /jobs/{id}/{vertices|topk|neighbors}")
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != "done" {
+		httpError(w, http.StatusConflict, "job %d has no queryable result (state %s)", j.id, state)
+		return
+	}
+	serveQuery(w, r, sub, coordQuerier{r.Context(), s.coord, j.name})
+}
+
+// coordQuerier serves one result version through the coordinator's
+// fan-out query path.
+type coordQuerier struct {
+	ctx     context.Context
+	c       *core.Coordinator
+	version string
+}
+
+func (q coordQuerier) Point(vid uint64) (core.VertexQueryResult, error) {
+	return q.c.QueryVertex(q.ctx, q.version, vid)
+}
+
+func (q coordQuerier) TopK(k int) ([]core.TopKEntry, error) {
+	return q.c.QueryTopK(q.ctx, q.version, k)
+}
+
+func (q coordQuerier) KHop(source uint64, hops int) (*core.KHopResult, error) {
+	return q.c.QueryKHop(q.ctx, q.version, source, hops)
 }
 
 func (s *clusterServer) handleFiles(w http.ResponseWriter, r *http.Request) {

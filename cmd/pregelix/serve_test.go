@@ -269,3 +269,148 @@ func TestServeQueueFull(t *testing.T) {
 		h.Cancel()
 	}
 }
+
+// dumpValues parses a downloaded dump into vid -> value-string.
+func dumpValues(t *testing.T, baseURL, path string) map[uint64]string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/files" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dump download: %d", resp.StatusCode)
+	}
+	out := map[uint64]string{}
+	for _, line := range strings.Split(strings.TrimSpace(body.String()), "\n") {
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) < 2 {
+			t.Fatalf("bad dump line %q", line)
+		}
+		var vid uint64
+		fmt.Sscanf(fields[0], "%d", &vid)
+		out[vid] = fields[1]
+	}
+	return out
+}
+
+// waitJobState polls a job until it reaches the wanted state.
+func waitJobState(t *testing.T, baseURL string, id int64, want string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cur jobView
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", baseURL, id), nil, http.StatusOK, &cur)
+		if cur.State == want {
+			return cur
+		}
+		if cur.State == "failed" || cur.State == "canceled" {
+			t.Fatalf("job %d ended %s: %s", id, cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d stuck in %s, want %s", id, cur.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServeQueryEndpoints exercises the always-on query API over HTTP:
+// point reads, top-k and k-hop answers of a finished job must match its
+// dumped output, with the documented error codes on every bad input.
+func TestServeQueryEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadGraph(t, ts.URL, "/in/web")
+
+	var v jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm:  "pagerank",
+		Input:      "/in/web",
+		Output:     "/out/pr",
+		Iterations: 3,
+	}, http.StatusAccepted, &v)
+	waitJobState(t, ts.URL, v.ID, "done")
+	dump := dumpValues(t, ts.URL, "/out/pr")
+
+	// Point reads match the dump byte-for-byte.
+	for _, vid := range []uint64{1, 2, 60, 119} {
+		var vr core.VertexQueryResult
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/%d", ts.URL, v.ID, vid),
+			nil, http.StatusOK, &vr)
+		if !vr.Found || vr.Value != dump[vid] {
+			t.Fatalf("vertex %d: %+v, dump has %q", vid, vr, dump[vid])
+		}
+		if !strings.HasPrefix(vr.Line, fmt.Sprintf("%d\t%s", vid, dump[vid])) {
+			t.Fatalf("vertex %d line %q does not match its dump row", vid, vr.Line)
+		}
+	}
+
+	// Top-k: first entry is the dump's maximum value.
+	var tk struct {
+		K       int              `json:"k"`
+		Entries []core.TopKEntry `json:"entries"`
+	}
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/topk?by=value&k=5", ts.URL, v.ID),
+		nil, http.StatusOK, &tk)
+	if tk.K != 5 || len(tk.Entries) != 5 {
+		t.Fatalf("top-k payload %+v", tk)
+	}
+	var maxVid uint64
+	maxScore := -1.0
+	for vid, val := range dump {
+		var s float64
+		fmt.Sscanf(val, "%g", &s)
+		if s > maxScore || (s == maxScore && vid < maxVid) {
+			maxScore, maxVid = s, vid
+		}
+	}
+	if tk.Entries[0].Vid != maxVid {
+		t.Fatalf("top-k[0] is vertex %d, dump maximum is %d", tk.Entries[0].Vid, maxVid)
+	}
+
+	// K-hop expansion from a real vertex.
+	var kh core.KHopResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/neighbors/1?hops=2", ts.URL, v.ID),
+		nil, http.StatusOK, &kh)
+	if !kh.Found || kh.Hops != 2 || kh.Total == 0 || len(kh.Layers) == 0 {
+		t.Fatalf("k-hop payload %+v", kh)
+	}
+
+	// Error surfaces.
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/999999999", ts.URL, v.ID), nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/abc", ts.URL, v.ID), nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/topk?by=rank", ts.URL, v.ID), nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/topk?k=0", ts.URL, v.ID), nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/neighbors/1?hops=x", ts.URL, v.ID), nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/bogus", ts.URL, v.ID), nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/jobs/999/vertices/1", nil, http.StatusNotFound, nil)
+
+	// A running job has no queryable result yet: 409.
+	var long jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm: "pagerank", Input: "/in/web", Iterations: 100000,
+	}, http.StatusAccepted, &long)
+	waitJobState(t, ts.URL, long.ID, "running")
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/1", ts.URL, long.ID), nil, http.StatusConflict, nil)
+	doJSON(t, http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, long.ID), nil, http.StatusOK, nil)
+
+	// Re-submission under the same name: the finished job's endpoint
+	// serves the NEW run's version once it completes.
+	var v2 jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm:  "pagerank",
+		Input:      "/in/web",
+		Output:     "/out/pr2",
+		Iterations: 6,
+	}, http.StatusAccepted, &v2)
+	waitJobState(t, ts.URL, v2.ID, "done")
+	dump2 := dumpValues(t, ts.URL, "/out/pr2")
+	var vr2 core.VertexQueryResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/1", ts.URL, v2.ID), nil, http.StatusOK, &vr2)
+	if vr2.Value != dump2[1] {
+		t.Fatalf("re-submitted job served %q, its dump has %q", vr2.Value, dump2[1])
+	}
+	// The superseded run's endpoint now reports its version retired.
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/1", ts.URL, v.ID), nil, http.StatusNotFound, nil)
+}

@@ -38,6 +38,11 @@ type RunMetric struct {
 	NetworkBytes int64 `json:"networkBytes,omitempty"`
 	// ShuffleMBPerSec is connector throughput in MB/s (wire-path runs).
 	ShuffleMBPerSec float64 `json:"shuffleMBPerSec,omitempty"`
+	// QueryMicros is the mean per-read latency in microseconds
+	// (query-tier runs).
+	QueryMicros float64 `json:"queryMicros,omitempty"`
+	// QueriesPerSec is query throughput (query-tier top-k runs).
+	QueriesPerSec float64 `json:"queriesPerSec,omitempty"`
 	// RebalanceSeconds is the wall time of one elastic topology change —
 	// partition images migrated, routing rebroadcast, loop resumed
 	// (elastic runs).

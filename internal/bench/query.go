@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/graphgen"
+)
+
+// The query experiment prices PR6's always-on query tier: after a
+// distributed PageRank completes, its partition B-trees stay sealed on
+// the workers and the coordinator serves reads against them. Four
+// numbers land in the JSON report: cold point-read latency (every read
+// misses the coordinator's hot-vertex cache and crosses the control
+// plane, one read per RPC), batched cold latency (the per-worker
+// batching amortizes the RPC over 64 reads), hot latency (repeat reads
+// answered from the coordinator's LRU without touching a worker), and
+// batched top-k throughput (each query re-scans every sealed B-tree on
+// the workers and merges per-worker lists).
+
+// RunQueryTier benchmarks the query tier against a sealed distributed
+// PageRank result (the PR6 bench artifact).
+func RunQueryTier(ctx context.Context, o Options) error {
+	o.defaults()
+	dir := o.WorkDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "querytier")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	g, ratio := o.buildDataset(WebmapData, 0.10, 61)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		return err
+	}
+
+	coord, err := core.NewCoordinator(core.CoordinatorConfig{
+		ListenAddr: "127.0.0.1:0",
+		Workers:    2,
+		RAMBytes:   o.RAMPerNode,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		startElasticWorker(wctx, coord, fmt.Sprintf("%s/w%d", dir, i), 2, false)
+	}
+	readyCtx, done := context.WithTimeout(ctx, 60*time.Second)
+	defer done()
+	if err := coord.WaitReady(readyCtx); err != nil {
+		return err
+	}
+
+	spec, err := json.Marshal(elasticSpec{Iterations: o.PageRankIterations})
+	if err != nil {
+		return err
+	}
+	job, err := elasticBuilder(spec)
+	if err != nil {
+		return err
+	}
+	const version = "elastic-pr@bench"
+	if _, _, err := coord.RunJob(ctx, core.DistSubmission{
+		Name:      version,
+		Spec:      spec,
+		Job:       job,
+		InputPath: "/in/elastic",
+		InputData: graph.Bytes(),
+	}); err != nil {
+		o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-tier", Failed: true})
+		return err
+	}
+
+	vids := g.VertexIDs()
+	reads := len(vids)
+	if reads > 2000 {
+		reads = 2000
+	}
+	// Spread the sampled vids across the id space so every partition and
+	// both workers serve part of each phase.
+	sample := make([]uint64, 0, reads)
+	for i := 0; i < reads; i++ {
+		sample = append(sample, vids[(i*7919)%len(vids)])
+	}
+
+	// Cold singles: half the sample, one read per control-plane RPC.
+	singles := sample[:reads/2]
+	start := time.Now()
+	for _, vid := range singles {
+		if _, err := coord.QueryVertex(ctx, version, vid); err != nil {
+			return err
+		}
+	}
+	coldSingle := time.Since(start) / time.Duration(len(singles))
+
+	// Cold batched: the other half in batches of 64, amortizing the RPC.
+	const batchSize = 64
+	batched := sample[reads/2:]
+	start = time.Now()
+	for at := 0; at < len(batched); at += batchSize {
+		end := at + batchSize
+		if end > len(batched) {
+			end = len(batched)
+		}
+		if _, err := coord.QueryVertices(ctx, version, batched[at:end]); err != nil {
+			return err
+		}
+	}
+	coldBatched := time.Since(start) / time.Duration(len(batched))
+
+	// Hot: repeat the whole sample; every read hits the LRU.
+	hits0, _ := coord.QueryCacheStats()
+	start = time.Now()
+	for _, vid := range sample {
+		if _, err := coord.QueryVertex(ctx, version, vid); err != nil {
+			return err
+		}
+	}
+	hot := time.Since(start) / time.Duration(len(sample))
+	hits1, _ := coord.QueryCacheStats()
+
+	// Batched top-k throughput: each call re-scans the sealed B-trees.
+	const k, topkRounds = 10, 50
+	start = time.Now()
+	for i := 0; i < topkRounds; i++ {
+		if _, err := coord.QueryTopK(ctx, version, k); err != nil {
+			return err
+		}
+	}
+	topkWall := time.Since(start)
+	topkPerSec := float64(topkRounds) / topkWall.Seconds()
+
+	// One 3-hop expansion through the cached, batched point-read path.
+	start = time.Now()
+	kh, err := coord.QueryKHop(ctx, version, vids[0], 3)
+	if err != nil {
+		return err
+	}
+	khopWall := time.Since(start)
+
+	o.printf("query tier: PageRank ratio %.3f sealed on 2 workers, %d vertices\n", ratio, len(vids))
+	o.printf("%-36s %12s\n", "metric", "value")
+	o.printf("%-36s %12s\n", "cold point read (1/RPC)", coldSingle.Round(time.Microsecond))
+	o.printf("%-36s %12s\n", fmt.Sprintf("cold point read (batch %d)", batchSize), coldBatched.Round(time.Microsecond))
+	o.printf("%-36s %12s\n", "hot point read (LRU hit)", hot.Round(time.Microsecond))
+	o.printf("%-36s %11.1f/s\n", fmt.Sprintf("top-%d over %d vertices", k, len(vids)), topkPerSec)
+	o.printf("%-36s %12s\n", fmt.Sprintf("3-hop expansion (%d vertices)", kh.Total), khopWall.Round(time.Microsecond))
+	o.printf("(hot phase hit the coordinator cache %d times)\n", hits1-hits0)
+
+	micros := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-point-cold-single",
+		Ratio: ratio, QueryMicros: micros(coldSingle)})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-point-cold-batched",
+		Ratio: ratio, Concurrency: batchSize, QueryMicros: micros(coldBatched)})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-point-hot",
+		Ratio: ratio, QueryMicros: micros(hot)})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-topk",
+		Ratio: ratio, Concurrency: k, QueriesPerSec: topkPerSec})
+	o.Metrics.Record(RunMetric{System: "pregelix", Job: "query-khop-3",
+		Ratio: ratio, QueryMicros: micros(khopWall)})
+	return nil
+}

@@ -165,6 +165,14 @@ type Coordinator struct {
 	// repaired (a replacement worker has none of the files). Guarded by
 	// jobMu (only RunJob and the repairs it drives use it).
 	shipped map[string]uint64
+
+	// Query tier (coordinator_query.go): the latest sealed result
+	// version per base job name with its partition→worker owner map, the
+	// hot-vertex LRU, and the in-flight point reads being coalesced.
+	qmu      sync.Mutex
+	queries  map[string]*clusterResult
+	qcache   *vertexCache
+	qflights map[string]*qflight
 }
 
 // NewCoordinator starts the control-plane listener and begins accepting
@@ -230,6 +238,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		spareCh:  make(chan struct{}, 1),
 		scaleCh:  make(chan struct{}, 1),
 		shipped:  make(map[string]uint64),
+		queries:  make(map[string]*clusterResult),
+		qcache:   newVertexCache(0),
+		qflights: make(map[string]*qflight),
 	}
 	go c.acceptLoop()
 	go c.idleRebalanceLoop()
@@ -956,10 +967,14 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 	if _, err := phaseCall[struct{}](ctx, c, sub.Name, rpcJobBegin, begin); err != nil {
 		return stats, nil, err
 	}
+	// A run that completes seals its partition indexes on the workers as
+	// a new query-tier result version; a failed or canceled run tears
+	// down plainly, leaving any previously sealed version serving.
+	completed := false
 	defer func() {
 		endCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		phaseCall[struct{}](endCtx, c, "", rpcJobEnd, jobNameMsg{Name: sub.Name})
+		c.endJobSessions(endCtx, sub.Name, completed)
 		c.removeCheckpoints(sub.Name)
 	}()
 
@@ -1165,6 +1180,7 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 		LiveVertices: gs.LiveVertices,
 		Aggregate:    gs.Aggregate,
 	}
+	completed = true
 	return stats, output, nil
 }
 

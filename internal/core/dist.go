@@ -24,6 +24,12 @@ import (
 // migrated-away originals, and worker.release tells a drained worker it
 // may exit. worker.drain is the one worker→controller notification: a
 // departing worker asking to have its partitions migrated out first.
+//
+// The query-tier verbs serve reads from a finished job's retained
+// partition indexes: job.end with Retain seals the session's B-trees
+// into a result version instead of dropping them, and query.point /
+// query.topk evaluate batched reads against an exact sealed version
+// (k-hop expansion is coordinator-side iteration over query.point).
 const (
 	rpcPing        = "ping"
 	rpcHeartbeat   = "heartbeat"
@@ -42,6 +48,8 @@ const (
 	rpcPartRecv    = "partition.recv"
 	rpcPartDrop    = "partition.drop"
 	rpcRelease     = "worker.release"
+	rpcQueryPoint  = "query.point"
+	rpcQueryTopK   = "query.topk"
 
 	// notifyDrain is sent by a worker (unsolicited, no reply expected)
 	// to request a graceful drain; every other method above is a
@@ -148,6 +156,48 @@ type superstepReply struct {
 // jobNameMsg addresses a phase at an open job session.
 type jobNameMsg struct {
 	Name string `json:"name"`
+}
+
+// jobEndMsg closes a job session. With Retain the worker seals its
+// owned partitions' vertex indexes into a retained result version for
+// the query tier instead of dropping them; without it (failed or
+// canceled runs) the session tears down exactly as before — and any
+// previously sealed version of the same base name keeps serving.
+type jobEndMsg struct {
+	Name   string `json:"name"`
+	Retain bool   `json:"retain,omitempty"`
+}
+
+// jobEndReply reports what the worker sealed: the result version (the
+// execution name), the partitions retained on this worker, and the
+// run's full partition count (the query router's modulus).
+type jobEndReply struct {
+	Version  string `json:"version,omitempty"`
+	Parts    []int  `json:"parts,omitempty"`
+	NumParts int    `json:"numParts,omitempty"`
+}
+
+// queryPointMsg evaluates a batch of point lookups against an exact
+// sealed result version. Every vid must route (by the deterministic
+// vid→partition hash) to a partition the receiving worker retained.
+type queryPointMsg struct {
+	Version string   `json:"version"`
+	Vids    []uint64 `json:"vids"`
+}
+
+type queryPointReply struct {
+	Results []VertexQueryResult `json:"results"`
+}
+
+// queryTopKMsg asks a worker for its local top-k by vertex value; the
+// coordinator merges the per-worker lists into the global answer.
+type queryTopKMsg struct {
+	Version string `json:"version"`
+	K       int    `json:"k"`
+}
+
+type queryTopKReply struct {
+	Entries []TopKEntry `json:"entries"`
 }
 
 // dumpReply carries the output rows from the worker that hosted the

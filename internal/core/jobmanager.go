@@ -205,13 +205,18 @@ func (m *JobManager) runJob(ctx context.Context, h *JobHandle, job *pregel.Job) 
 	stats, err := m.rt.runManaged(ctx, job, tenancy{
 		opMem:  h.ticket.OperatorMem(),
 		runDir: runDir,
+		retain: true,
 	})
 	h.ticket.Release(err)
-	// Reclaim the job's isolated scratch directory on every node; all
-	// live state (indexes, run files) was dropped by the run itself, so
+	// Reclaim the job's isolated scratch directory on every node — unless
+	// the run sealed its indexes into the query tier, in which case the
+	// retained version owns the directory and reclaims it when it retires.
+	// All other live state (run files) was dropped by the run itself, so
 	// this only sweeps stragglers from failure paths.
-	for _, n := range m.rt.Cluster.Nodes() {
-		n.RemoveJobDir(runDir)
+	if !m.rt.Queries().Retained(job.Name) {
+		for _, n := range m.rt.Cluster.Nodes() {
+			n.RemoveJobDir(runDir)
+		}
 	}
 	h.finish(stats, err)
 	m.evictFinished()

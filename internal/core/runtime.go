@@ -2,7 +2,10 @@
 // compiles the Pregel logical plan (Figures 3-5 of the paper) into
 // physical Hyracks jobs per superstep, the data loading/dumping plans,
 // checkpoint/recovery, job pipelining, the statistics collector, and the
-// failure manager (Section 5.7).
+// failure manager (Section 5.7). Completed jobs stay queryable: their
+// partition B-trees are sealed in a versioned query store and serve
+// point, top-k and k-hop reads until a re-submission under the same
+// name retires the version (see query.go and coordinator_query.go).
 package core
 
 import (
@@ -52,6 +55,10 @@ type Runtime struct {
 	opts    Options
 	Cluster *hyracks.Cluster
 	DFS     *dfs.FileSystem
+	// queries retains finished managed jobs' partition indexes so the
+	// serving layer answers point/top-k/k-hop reads without re-reading a
+	// dump (the single-process half of the always-on query tier).
+	queries *QueryStore
 }
 
 // NewRuntime builds the simulated cluster and its DFS.
@@ -86,11 +93,16 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{opts: opts, Cluster: cluster, DFS: fsys}, nil
+	return &Runtime{opts: opts, Cluster: cluster, DFS: fsys, queries: newQueryStore()}, nil
 }
+
+// Queries exposes the runtime's retained-results store: point, top-k
+// and k-hop reads against finished managed jobs.
+func (r *Runtime) Queries() *QueryStore { return r.queries }
 
 // Close removes node-local temporary state.
 func (r *Runtime) Close() error {
+	r.queries.closeAll()
 	return os.RemoveAll(filepath.Join(r.opts.BaseDir, "cluster"))
 }
 
@@ -305,6 +317,10 @@ type tenancy struct {
 	opMem int64
 	// runDir is the per-job node-local scratch subdirectory.
 	runDir string
+	// retain seals the finished job's partition indexes into the
+	// runtime's query store instead of dropping them (managed jobs only;
+	// plain Run/RunPipeline tear down as before).
+	retain bool
 }
 
 // runManaged executes a job under the admission scheduler's resource
@@ -391,7 +407,11 @@ func (r *Runtime) run(ctx context.Context, job *pregel.Job, carried []*partition
 		Aggregate:    rs.gs.Aggregate,
 	}
 	if dump {
-		rs.cleanup()
+		if ten.retain {
+			r.retainResults(rs)
+		} else {
+			rs.cleanup()
+		}
 		return rs.stats, nil, nil
 	}
 	// Hand partitions to the next pipelined job.
@@ -524,6 +544,38 @@ func (rs *runState) commitSuperstep(ss int64) {
 	rs.pendingGS.haltAll = false
 	rs.pendingGS.aggregate = nil
 	rs.pendingGS.hasAgg = false
+}
+
+// retainResults seals a completed run's vertex indexes into the query
+// store (retiring any previous version of the same base job name) and
+// cleans up everything else. The sealed version owns the job's scratch
+// directory: it is reclaimed when the version retires and its readers
+// drain, not here.
+func (r *Runtime) retainResults(rs *runState) {
+	parts := make(map[int]storage.Index, len(rs.parts))
+	for _, ps := range rs.parts {
+		if ps.vertexIdx != nil {
+			parts[ps.idx] = ps.vertexIdx
+			ps.vertexIdx = nil // cleanup below must not drop it
+		}
+	}
+	numParts := len(rs.parts)
+	runDir := rs.runDir
+	rs.cleanup()
+	if len(parts) == 0 {
+		return
+	}
+	r.queries.seal(&retainedResult{
+		version:  rs.job.Name,
+		numParts: numParts,
+		codec:    rs.codec,
+		parts:    parts,
+		cleanup: func() {
+			for _, n := range r.Cluster.Nodes() {
+				n.RemoveJobDir(runDir)
+			}
+		},
+	})
 }
 
 func (rs *runState) cleanup() {

@@ -6,10 +6,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"pregelix/internal/hyracks"
+	"pregelix/internal/storage"
 	"pregelix/internal/wire"
 	"pregelix/pregel"
 )
@@ -164,6 +166,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		exec:      hyracks.ExecOptions{Transport: transport, LocalNodes: local},
 		ctx:       ctx,
 		jobs:      make(map[string]*distJob),
+		queries:   newQueryStore(),
 	}
 	cfg.logf("worker: cluster up — %d nodes total, hosting %v", start.TotalNodes, start.Owned)
 	err = wire.ServeControl(ctrl, w.handle)
@@ -194,6 +197,10 @@ type distWorker struct {
 	mu   sync.Mutex
 	exec hyracks.ExecOptions
 	jobs map[string]*distJob
+
+	// queries holds the sealed result versions this worker keeps serving
+	// after job.end — the worker half of the always-on query tier.
+	queries *QueryStore
 }
 
 // distJob is one open job session: the worker's runState whose partition
@@ -405,12 +412,33 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 		return map[string]string{"status": "released"}, nil
 
 	case rpcJobEnd:
-		var msg jobNameMsg
+		var msg jobEndMsg
 		if err := json.Unmarshal(data, &msg); err != nil {
 			return nil, err
 		}
-		w.endJob(msg.Name)
-		return nil, nil
+		return w.endJob(msg.Name, msg.Retain), nil
+
+	case rpcQueryPoint:
+		var msg queryPointMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		results, err := w.queries.Point(msg.Version, msg.Vids)
+		if err != nil {
+			return nil, err
+		}
+		return &queryPointReply{Results: results}, nil
+
+	case rpcQueryTopK:
+		var msg queryTopKMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		entries, err := w.queries.TopK(msg.Version, msg.K)
+		if err != nil {
+			return nil, err
+		}
+		return &queryTopKReply{Entries: entries}, nil
 
 	default:
 		return nil, fmt.Errorf("core: unknown control method %q", method)
@@ -452,27 +480,80 @@ func (w *distWorker) beginJob(msg *jobBeginMsg) error {
 	return nil
 }
 
-func (w *distWorker) endJob(name string) {
+func (w *distWorker) endJob(name string, retain bool) *jobEndReply {
 	w.mu.Lock()
 	dj := w.jobs[name]
 	delete(w.jobs, name)
 	exec := w.exec
 	w.mu.Unlock()
+	reply := &jobEndReply{}
 	if dj == nil {
-		return
+		return reply
 	}
 	dj.abort()
 	dj.cancel()
+	retained := false
+	if retain {
+		if r := w.sealJob(dj); r != nil {
+			retained = true
+			reply.Version = name
+			reply.NumParts = r.numParts
+			for p := range r.parts {
+				reply.Parts = append(reply.Parts, p)
+			}
+			sort.Ints(reply.Parts)
+		}
+	}
 	dj.rs.cleanup()
 	// Reset any wire streams still parked for this job's phases and
-	// reclaim the job's scratch directories on owned nodes.
+	// reclaim the job's scratch directories on owned nodes — unless
+	// retained indexes still live there, in which case the sealed
+	// version's retirement reclaims the directory instead.
 	w.transport.PurgeJob(name)
-	for _, n := range w.rt.Cluster.Nodes() {
-		if exec.Local(n.ID) {
-			n.RemoveJobDir(dj.runDir)
+	if !retained {
+		for _, n := range w.rt.Cluster.Nodes() {
+			if exec.Local(n.ID) {
+				n.RemoveJobDir(dj.runDir)
+			}
 		}
 	}
 	w.cfg.logf("worker: job %s closed", name)
+	return reply
+}
+
+// sealJob moves the session's owned vertex indexes into a retained
+// result version for the query tier, retiring any previous version of
+// the same base job name. It returns nil when the session holds no
+// loaded partitions (the job failed before loading), leaving an older
+// sealed version — if any — serving untouched: a failed re-submission
+// never invalidates the last good result.
+func (w *distWorker) sealJob(dj *distJob) *retainedResult {
+	rs := dj.rs
+	parts := make(map[int]storage.Index)
+	for _, ps := range rs.parts {
+		if ps.vertexIdx != nil && rs.exec.Local(ps.node.ID) {
+			parts[ps.idx] = ps.vertexIdx
+			ps.vertexIdx = nil // cleanup below must not drop it
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	rt, runDir := w.rt, dj.runDir
+	r := &retainedResult{
+		version:  rs.job.Name,
+		numParts: len(rs.parts),
+		codec:    rs.codec,
+		parts:    parts,
+		cleanup: func() {
+			for _, n := range rt.Cluster.Nodes() {
+				n.RemoveJobDir(runDir)
+			}
+		},
+	}
+	w.queries.seal(r)
+	w.cfg.logf("worker: job %s sealed %d partitions for queries", rs.job.Name, len(parts))
+	return r
 }
 
 // reconfigure installs a repaired topology: this worker now hosts

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // BTree is a disk-resident B+tree over a BufferCache file, keyed by opaque
@@ -16,15 +18,28 @@ import (
 // against a leaf scan, and the index left outer join probes it per
 // message.
 //
-// A BTree instance is not safe for concurrent use; in the simulated
-// cluster each graph partition is owned by exactly one operator task at a
-// time, matching Hyracks' partition-per-task execution.
+// Concurrency: reads (Search, ScanFrom/Next) may run concurrently with
+// each other and with a single writer. A tree-level RWMutex serializes
+// mutations against reads, and a version counter lets an open Cursor
+// detect that the tree changed under it (a leaf split moves records
+// between pages in place) and re-seek from its last returned key instead
+// of reading stale slots. The lock is never held between Next calls, so
+// a goroutine may interleave its own scans and inserts freely; it is the
+// query tier's license to scan a partition while supersteps or
+// migrations mutate it.
 type BTree struct {
 	bc  *BufferCache
 	fid FileID
 
-	// Stats.
-	Lookups, Inserts, Deletes int64
+	// mu serializes structural mutation (Insert, Delete, bulk-load root
+	// install) against readers; ver is bumped under the write lock so
+	// cursors can detect mutation and re-seek.
+	mu  sync.RWMutex
+	ver atomic.Uint64
+
+	// Stats. Atomic: the query tier reads trees from many goroutines at
+	// once, and plain increments here are a data race.
+	Lookups, Inserts, Deletes atomic.Int64
 }
 
 const btreeMagic = 0xB7EE0001
@@ -83,10 +98,20 @@ func OpenBTree(bc *BufferCache, path string) (*BTree, error) {
 }
 
 // Close flushes the tree's pages and releases the file handle.
-func (t *BTree) Close() error { return t.bc.CloseFile(t.fid) }
+func (t *BTree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ver.Add(1)
+	return t.bc.CloseFile(t.fid)
+}
 
 // Drop closes the tree and deletes its file.
-func (t *BTree) Drop() error { return t.bc.DeleteFile(t.fid) }
+func (t *BTree) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ver.Add(1)
+	return t.bc.DeleteFile(t.fid)
+}
 
 // Path returns the backing file path.
 func (t *BTree) Path() string { return t.bc.Path(t.fid) }
@@ -113,7 +138,9 @@ func (t *BTree) setRoot(pn PageNum) error {
 
 // Search returns a copy of the value stored under key, or ErrNotFound.
 func (t *BTree) Search(key []byte) ([]byte, error) {
-	t.Lookups++
+	t.Lookups.Add(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	pn, err := t.root()
 	if err != nil {
 		return nil, err
@@ -143,7 +170,10 @@ func (t *BTree) Search(key []byte) ([]byte, error) {
 
 // Insert upserts key=value.
 func (t *BTree) Insert(key, value []byte) error {
-	t.Inserts++
+	t.Inserts.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ver.Add(1)
 	if 4+len(key)+len(value) > t.bc.PageSize-pageHeaderSize-2 {
 		return fmt.Errorf("%w: key %d + value %d vs page %d",
 			ErrKeyTooLarge, len(key), len(value), t.bc.PageSize)
@@ -331,7 +361,10 @@ func (t *BTree) splitInterior(p nodePage, insertAt int, key []byte, child PageNu
 // Delete removes key if present; it reports whether a record was removed.
 // Deletion is lazy (no page merging), as in many production B-trees.
 func (t *BTree) Delete(key []byte) (bool, error) {
-	t.Deletes++
+	t.Deletes.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ver.Add(1)
 	pn, err := t.root()
 	if err != nil {
 		return false, err
@@ -359,25 +392,53 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 	}
 }
 
-// Cursor iterates leaf records in ascending key order.
+// Cursor iterates leaf records in ascending key order. Each Next call
+// briefly takes the tree's read lock; between calls the cursor keeps its
+// leaf pinned (so the frame cannot be evicted) but holds no lock, so a
+// scan can interleave with mutations by the same or other goroutines. If
+// the tree's version moved since the cursor was positioned, the pinned
+// slots may have shifted (a split truncates the left leaf in place), so
+// Next re-seeks to the first key after the last one it returned before
+// continuing.
 type Cursor struct {
-	t    *BTree
-	fr   *PageFrame
-	slot int
-	err  error
+	t       *BTree
+	fr      *PageFrame
+	slot    int
+	err     error
+	ver     uint64
+	start   []byte // original scan start, for a re-seek before any record
+	lastKey []byte // last key returned
+	done    bool
 }
 
 // ScanFrom positions a cursor at the first key >= start (nil start means
 // the smallest key). Callers must Close the cursor.
 func (t *BTree) ScanFrom(start []byte) (*Cursor, error) {
-	pn, err := t.root()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fr, slot, err := t.seekLocked(start)
 	if err != nil {
 		return nil, err
+	}
+	var s []byte
+	if start != nil {
+		s = append([]byte(nil), start...)
+	}
+	return &Cursor{t: t, fr: fr, slot: slot, ver: t.ver.Load(), start: s}, nil
+}
+
+// seekLocked descends to the leaf covering start and returns it pinned
+// with the slot of the first key >= start. Caller holds at least the
+// read lock.
+func (t *BTree) seekLocked(start []byte) (*PageFrame, int, error) {
+	pn, err := t.root()
+	if err != nil {
+		return nil, 0, err
 	}
 	for {
 		fr, err := t.bc.Pin(t.fid, pn)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p := nodePage{fr.Data}
 		if p.level() > 0 {
@@ -395,15 +456,27 @@ func (t *BTree) ScanFrom(start []byte) (*Cursor, error) {
 		if start != nil {
 			slot, _ = p.search(start)
 		}
-		c := &Cursor{t: t, fr: fr, slot: slot}
-		return c, nil
+		return fr, slot, nil
 	}
 }
 
 // Next returns the next key/value pair (copies), or ok=false at the end.
 func (c *Cursor) Next() (key, value []byte, ok bool) {
+	if c.err != nil || c.done {
+		return nil, nil, false
+	}
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	if v := c.t.ver.Load(); v != c.ver {
+		if err := c.reseekLocked(); err != nil {
+			c.err = err
+			return nil, nil, false
+		}
+		c.ver = v
+	}
 	for {
 		if c.fr == nil {
+			c.done = true
 			return nil, nil, false
 		}
 		p := nodePage{c.fr.Data}
@@ -411,12 +484,14 @@ func (c *Cursor) Next() (key, value []byte, ok bool) {
 			k := append([]byte(nil), p.key(c.slot)...)
 			v := append([]byte(nil), p.value(c.slot)...)
 			c.slot++
+			c.lastKey = append(c.lastKey[:0], k...)
 			return k, v, true
 		}
 		next := p.next()
 		c.t.bc.Unpin(c.fr, false)
 		c.fr = nil
 		if next == invalidPage {
+			c.done = true
 			return nil, nil, false
 		}
 		fr, err := c.t.bc.Pin(c.t.fid, next)
@@ -427,6 +502,36 @@ func (c *Cursor) Next() (key, value []byte, ok bool) {
 		c.fr = fr
 		c.slot = 0
 	}
+}
+
+// reseekLocked repositions the cursor after the tree mutated under it:
+// unpin whatever leaf it held and descend again to the first key
+// strictly greater than the last key returned (or to the original start
+// if nothing was returned yet). Records inserted behind the scan point
+// are skipped by construction; records ahead of it are picked up.
+func (c *Cursor) reseekLocked() error {
+	if c.fr != nil {
+		c.t.bc.Unpin(c.fr, false)
+		c.fr = nil
+	}
+	start := c.start
+	if c.lastKey != nil {
+		start = c.lastKey
+	}
+	fr, slot, err := c.t.seekLocked(start)
+	if err != nil {
+		return err
+	}
+	c.fr, c.slot = fr, slot
+	if c.lastKey != nil {
+		// The seek lands at the first key >= lastKey; step past an exact
+		// match so no record is returned twice.
+		p := nodePage{c.fr.Data}
+		if c.slot < p.count() && bytes.Equal(p.key(c.slot), c.lastKey) {
+			c.slot++
+		}
+	}
+	return nil
 }
 
 // Err returns any I/O error encountered during iteration.
@@ -552,6 +657,11 @@ func (l *BulkLoader) Finish() error {
 		entries = parents
 		level++
 	}
+	// Root install is the one bulk-load step visible to concurrent
+	// readers; publish it under the write lock like any other mutation.
+	l.t.mu.Lock()
+	defer l.t.mu.Unlock()
+	l.t.ver.Add(1)
 	return l.t.setRoot(entries[0].pn)
 }
 

@@ -1,0 +1,374 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pregelix/internal/tuple"
+)
+
+// TestBTreeStatCountersRace hammers the stat counters from many
+// goroutines at once; run with -race this proves Lookups/Inserts/Deletes
+// are safe, and the final totals prove no increment is lost.
+func TestBTreeStatCountersRace(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	const (
+		workers = 8
+		perW    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := tuple.EncodeUint64(uint64(w*perW + i))
+				if err := bt.Insert(k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := bt.Search(k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := bt.Delete(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * perW)
+	if bt.Inserts.Load() != want || bt.Lookups.Load() != want || bt.Deletes.Load() != want {
+		t.Fatalf("counters lost updates: lookups=%d inserts=%d deletes=%d want %d each",
+			bt.Lookups.Load(), bt.Inserts.Load(), bt.Deletes.Load(), want)
+	}
+}
+
+// TestBTreeConcurrentScanVsInsert runs ordered scans while a writer
+// splits leaves underneath them: the query tier's read pattern against a
+// live superstep. Every key present before the scan started must be
+// returned exactly once and in ascending order, no matter how the writer
+// rearranges pages.
+func TestBTreeConcurrentScanVsInsert(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// Even keys pre-exist; the writer adds odd keys during the scans.
+		if err := bt.Insert(tuple.EncodeUint64(uint64(2*i)), tuple.EncodeUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < n; i++ {
+			if err := bt.Insert(tuple.EncodeUint64(uint64(2*i+1)), []byte("odd")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := bt.ScanFrom(nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen := 0
+				var prev []byte
+				for {
+					k, _, ok := c.Next()
+					if !ok {
+						break
+					}
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						t.Errorf("scan out of order: %x after %x", k, prev)
+						c.Close()
+						return
+					}
+					prev = append(prev[:0], k...)
+					if tuple.DecodeUint64(k)%2 == 0 {
+						seen++
+					}
+				}
+				c.Close()
+				if c.Err() != nil {
+					t.Error(c.Err())
+					return
+				}
+				if seen != n {
+					t.Errorf("scan saw %d pre-existing keys, want %d", seen, n)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := bt.bc.PinnedFrames(); got != 0 {
+		t.Fatalf("%d frames left pinned after concurrent scans", got)
+	}
+}
+
+// TestBTreeConcurrentSearchVsMutate runs point lookups against keys that
+// are never touched by the writer while the writer churns a disjoint key
+// range with inserts and deletes.
+func TestBTreeConcurrentSearchVsMutate(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	const stable = 500
+	for i := 0; i < stable; i++ {
+		k := tuple.EncodeUint64(uint64(i))
+		if err := bt.Insert(k, tuple.EncodeUint64(uint64(i*3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 3000; i++ {
+			k := tuple.EncodeUint64(uint64(stable + i%1000))
+			if err := bt.Insert(k, bytes.Repeat([]byte("x"), i%50)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if _, err := bt.Delete(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(i % stable)
+				v, err := bt.Search(tuple.EncodeUint64(k))
+				if err != nil {
+					t.Errorf("search %d: %v", k, err)
+					return
+				}
+				if tuple.DecodeUint64(v) != k*3 {
+					t.Errorf("search %d: wrong value", k)
+					return
+				}
+				i++
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestBTreeCursorReseek interleaves a scan with inserts from the same
+// goroutine, deterministically exercising the version-check re-seek:
+// keys inserted behind the scan point must not appear, keys ahead must,
+// and nothing is returned twice.
+func TestBTreeCursorReseek(t *testing.T) {
+	bt := newTestBTree(t, 0)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(10*i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var got []uint64
+	step := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		kv := tuple.DecodeUint64(k)
+		got = append(got, kv)
+		// Every few records, insert one key just behind the cursor (must
+		// be skipped) and one far ahead (must be seen), splitting leaves
+		// as the page fills.
+		if step%4 == 0 && kv >= 10 {
+			if err := bt.Insert(tuple.EncodeUint64(kv-5), bytes.Repeat([]byte("b"), 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%4 == 2 && kv+13 < 10*n {
+			if err := bt.Insert(tuple.EncodeUint64(kv+13), bytes.Repeat([]byte("a"), 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step++
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	seen := map[uint64]bool{}
+	var prev uint64
+	for i, kv := range got {
+		if seen[kv] {
+			t.Fatalf("key %d returned twice", kv)
+		}
+		seen[kv] = true
+		if i > 0 && kv <= prev {
+			t.Fatalf("scan out of order: %d after %d", kv, prev)
+		}
+		prev = kv
+	}
+	// All original keys must be present; behind-the-cursor inserts must not.
+	for i := 0; i < n; i++ {
+		if !seen[uint64(10*i)] {
+			t.Fatalf("pre-existing key %d missed", 10*i)
+		}
+	}
+	for kv := range seen {
+		if kv%10 == 5 {
+			t.Fatalf("key %d inserted behind the scan point was returned", kv)
+		}
+	}
+}
+
+// TestBTreeCursorPinHygieneOnError forces a Pin failure mid-scan (a leaf
+// whose next pointer runs past EOF) and asserts the cursor surfaces the
+// error without stranding any pinned frame.
+func TestBTreeCursorPinHygieneOnError(t *testing.T) {
+	bc := newTestCache(t, 0)
+	bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), "err.btree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	const n = 500 // several 1 KiB leaves
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Find the first leaf and corrupt its sibling pointer to a page
+	// beyond EOF so the chain-follow Pin in Next fails.
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLeaf := c.fr.PageNum()
+	c.Close()
+	fr, err := bc.Pin(bt.fid, firstLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePage{fr.Data}.setNext(bc.NumPages(bt.fid) + 100)
+	bc.Unpin(fr, true)
+
+	c2, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, _, ok := c2.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if c2.Err() == nil {
+		t.Fatal("expected a Pin error from the corrupted sibling pointer")
+	}
+	if count == 0 {
+		t.Fatal("expected the first leaf's records before the failure")
+	}
+	// A second Next after the error must not panic or return records.
+	if _, _, ok := c2.Next(); ok {
+		t.Fatal("Next returned a record after a terminal error")
+	}
+	c2.Close()
+	c2.Close() // Close must be idempotent
+	if got := bc.PinnedFrames(); got != 0 {
+		t.Fatalf("%d frames left pinned after error-path scan", got)
+	}
+}
+
+// TestBufferCachePinLeakAfterOps asserts every B-tree operation returns
+// the cache to zero pinned frames — the storage analogue of the frame
+// lease checks in internal/tuple.
+func TestBufferCachePinLeakAfterOps(t *testing.T) {
+	bc := newTestCache(t, 0)
+	bt, err := CreateBTree(bc, filepath.Join(t.TempDir(), "leak.btree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	assertNoPins := func(after string) {
+		t.Helper()
+		if got := bc.PinnedFrames(); got != 0 {
+			t.Fatalf("%d frames pinned after %s", got, after)
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		if err := bt.Insert(tuple.EncodeUint64(uint64(i)), tuple.EncodeUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertNoPins("inserts with splits")
+	if _, err := bt.Search(tuple.EncodeUint64(700)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.Search(tuple.EncodeUint64(999999)); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	assertNoPins("searches")
+	if _, err := bt.Delete(tuple.EncodeUint64(700)); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("delete")
+	// Full scan drained to the end unpins its last leaf itself.
+	c, err := bt.ScanFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	c.Close()
+	assertNoPins("drained scan")
+	// Abandoned mid-scan cursor relies on Close.
+	c2, err := bt.ScanFrom(tuple.EncodeUint64(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Next()
+	if bc.PinnedFrames() != 1 {
+		t.Fatalf("mid-scan cursor should pin exactly its leaf, have %d", bc.PinnedFrames())
+	}
+	c2.Close()
+	assertNoPins("closed mid-scan cursor")
+}

@@ -247,6 +247,22 @@ func (bc *BufferCache) DeleteFile(fid FileID) error {
 	return os.Remove(fs.path)
 }
 
+// PinnedFrames returns the number of frames currently pinned across all
+// files. Tests assert it returns to zero after every operation — the
+// buffer-cache analogue of the frame-lease checks in internal/tuple —
+// so a cursor error path that strands a pin is caught immediately.
+func (bc *BufferCache) PinnedFrames() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	n := 0
+	for _, fr := range bc.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Path returns the on-disk path of the file.
 func (bc *BufferCache) Path(fid FileID) string {
 	bc.mu.Lock()

@@ -55,7 +55,12 @@
 //	|                       |               healthy (hung process)        |
 //	| dfs.put               | cc → worker   replicate an input file       |
 //	| job.begin / job.end   | cc → worker   open / tear down a job        |
-//	|                       |               session (partition state)     |
+//	|                       |               session (partition state);    |
+//	|                       |               job.end with retain seals the |
+//	|                       |               session's vertex B-trees into |
+//	|                       |               a result version the query    |
+//	|                       |               verbs serve, and the reply    |
+//	|                       |               names the partitions retained |
 //	| job.load              | cc → worker   run the loading phase         |
 //	| job.superstep         | cc → worker   run one superstep job (ss,    |
 //	|                       |               global state, join plan,      |
@@ -89,6 +94,12 @@
 //	|                       |               the new owner acked)          |
 //	| worker.release        | cc → worker   end of a drain: the worker    |
 //	|                       |               hosts nothing and may exit    |
+//	| query.point           | cc → worker   batched point lookups against |
+//	|                       |               an exact sealed result        |
+//	|                       |               version's retained B-trees    |
+//	| query.topk            | cc → worker   the worker's local top-k by   |
+//	|                       |               vertex value; the controller  |
+//	|                       |               merges per-worker lists       |
 //	| worker.drain          | worker → cc   NOTIFICATION (no reply): a    |
 //	|                       |               departing worker asks to have |
 //	|                       |               its partitions migrated out   |
