@@ -17,6 +17,7 @@ import (
 
 	"pregelix/internal/core"
 	"pregelix/internal/hyracks"
+	"pregelix/internal/tuple"
 	"pregelix/pregel"
 )
 
@@ -37,8 +38,14 @@ func serveMain(args []string) {
 		workers       = fs.Int("workers", 0, "cluster mode: number of pregelix worker processes to wait for (0 = single-process simulation)")
 		clusterListen = fs.String("cluster-listen", "127.0.0.1:9090", "cluster mode: control-plane address workers register at")
 		replaceWait   = fs.Duration("replace-wait", 0, "cluster mode: how long failure recovery waits for a standby worker before redistributing the dead worker's nodes over survivors")
+		compress      = fs.String("compress", "auto", "frame compression for checkpoint images: off, flate, or auto (cluster mode: set per worker with `pregelix worker -compress`)")
 	)
 	fs.Parse(args)
+
+	mode, err := tuple.ParseCompressMode(*compress)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *workers > 0 {
 		// Cluster mode: machines come from the registered workers, jobs
@@ -49,6 +56,9 @@ func serveMain(args []string) {
 			switch f.Name {
 			case "nodes", "dir", "max-concurrent":
 				fmt.Fprintf(os.Stderr, "pregelix serve: -%s is ignored in cluster mode\n", f.Name)
+			case "compress":
+				// Workers own their bulk byte streams; the controller has none.
+				fmt.Fprintf(os.Stderr, "pregelix serve: -compress is ignored in cluster mode (set it per worker: pregelix worker -compress)\n")
 			}
 		})
 		serveCluster(*listen, *workers, *partitions, *ram, *clusterListen, *maxQueued, *replaceWait)
@@ -69,6 +79,7 @@ func serveMain(args []string) {
 		Nodes:             *nodes,
 		PartitionsPerNode: *partitions,
 		NodeConfig:        hyracks.NodeConfig{RAMBytes: *ram},
+		Compress:          mode,
 	})
 	if err != nil {
 		fatal(err)
@@ -167,6 +178,30 @@ type jobView struct {
 	// draining) the job was carried across without losing a superstep
 	// (cluster mode only).
 	Rebalances int `json:"rebalances,omitempty"`
+	// NetworkBytes counts the payload frame bytes the job's shuffle
+	// connectors carried (process-local streams included);
+	// NetworkWireBytes counts what actually hit the network sockets
+	// (post-compression, headers included — zero on in-process
+	// transports) and NetworkWireRawBytes what that same socket traffic
+	// would have cost uncompressed. CompressionRatio is raw over wire,
+	// e.g. 3.1 means frame compression cut the wire bytes 3.1x; it is
+	// 1.0 under -compress=off.
+	NetworkBytes        int64   `json:"networkBytes,omitempty"`
+	NetworkWireBytes    int64   `json:"networkWireBytes,omitempty"`
+	NetworkWireRawBytes int64   `json:"networkWireRawBytes,omitempty"`
+	CompressionRatio    float64 `json:"compressionRatio,omitempty"`
+}
+
+// fillNetwork sums a job's connector traffic into the view.
+func (v *jobView) fillNetwork(stats *core.JobStats) {
+	for _, ss := range stats.SuperstepStats {
+		v.NetworkBytes += ss.NetworkBytes
+		v.NetworkWireBytes += ss.NetworkWireBytes
+		v.NetworkWireRawBytes += ss.NetworkWireRawBytes
+	}
+	if v.NetworkWireBytes > 0 {
+		v.CompressionRatio = float64(v.NetworkWireRawBytes) / float64(v.NetworkWireBytes)
+	}
 }
 
 func (s *server) view(h *core.JobHandle) jobView {
@@ -186,6 +221,7 @@ func (s *server) view(h *core.JobHandle) jobView {
 		v.Vertices = stats.FinalState.NumVertices
 		v.Checkpoints = stats.Checkpoints
 		v.Recoveries = stats.Recoveries
+		v.fillNetwork(stats)
 	} else if err != nil && v.Error == "" {
 		v.Error = err.Error()
 	}
@@ -430,7 +466,39 @@ type statsView struct {
 		TotalMessages   int64   `json:"totalMessages"`
 		TotalRunTimeMS  float64 `json:"totalRunTimeMs"`
 	} `json:"manager"`
+	// Network aggregates connector traffic over all finished jobs:
+	// payload frame bytes vs post-compression socket bytes (wire is zero
+	// when every stream stayed in process).
+	Network networkView       `json:"network"`
 	Cluster core.ClusterStats `json:"cluster"`
+}
+
+// networkView is the payload-vs-wire traffic summary shared by both
+// serve modes' /stats payloads. CompressionRatio compares the socket
+// traffic against what it would have cost uncompressed (1.0 under
+// -compress=off); payload bytes also count process-local streams.
+type networkView struct {
+	PayloadBytes     int64   `json:"payloadBytes"`
+	WireBytes        int64   `json:"wireBytes"`
+	WireRawBytes     int64   `json:"wireRawBytes"`
+	CompressionRatio float64 `json:"compressionRatio,omitempty"`
+}
+
+func (n *networkView) add(stats *core.JobStats) {
+	if stats == nil {
+		return
+	}
+	for _, ss := range stats.SuperstepStats {
+		n.PayloadBytes += ss.NetworkBytes
+		n.WireBytes += ss.NetworkWireBytes
+		n.WireRawBytes += ss.NetworkWireRawBytes
+	}
+}
+
+func (n *networkView) finish() {
+	if n.WireBytes > 0 {
+		n.CompressionRatio = float64(n.WireRawBytes) / float64(n.WireBytes)
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -444,6 +512,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Manager.TotalSupersteps = ms.TotalSupersteps
 	out.Manager.TotalMessages = ms.TotalMessages
 	out.Manager.TotalRunTimeMS = float64(ms.TotalRunTime) / float64(time.Millisecond)
+	for _, h := range s.m.Jobs() {
+		if stats, _ := h.Result(); stats != nil {
+			out.Network.add(stats)
+		}
+	}
+	out.Network.finish()
 	writeJSON(w, http.StatusOK, out)
 }
 

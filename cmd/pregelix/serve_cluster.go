@@ -192,6 +192,7 @@ func (s *clusterServer) view(j *clusterJob) jobView {
 		v.Checkpoints = j.stats.Checkpoints
 		v.Recoveries = j.stats.Recoveries
 		v.Rebalances = j.stats.Rebalances
+		v.fillNetwork(j.stats)
 	} else {
 		v.Supersteps = j.liveSupersteps
 	}
@@ -473,6 +474,9 @@ type clusterStatsView struct {
 	// Rebalance is the coordinator's elasticity log: workers joining
 	// with partitions migrated onto them, graceful drains, refusals.
 	Rebalance []core.RebalanceEvent `json:"rebalance"`
+	// Network aggregates connector traffic over all finished jobs:
+	// payload frame bytes vs post-compression socket bytes.
+	Network networkView `json:"network"`
 }
 
 func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -496,6 +500,7 @@ func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.jobs {
 		out.Jobs.Total++
 		j.mu.Lock()
+		out.Network.add(j.stats)
 		switch j.state {
 		case "queued":
 			out.Jobs.Queued++
@@ -511,5 +516,6 @@ func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 	}
 	s.mu.Unlock()
+	out.Network.finish()
 	writeJSON(w, http.StatusOK, out)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pregelix/internal/core"
+	"pregelix/internal/tuple"
 	"pregelix/pregel"
 )
 
@@ -26,16 +27,22 @@ import (
 func workerMain(args []string) {
 	fs := flag.NewFlagSet("pregelix worker", flag.ExitOnError)
 	var (
-		cc      = fs.String("cc", "127.0.0.1:9090", "cluster controller control-plane address")
-		listen  = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
-		nodes   = fs.Int("nodes", 2, "node controllers this worker contributes")
-		dir     = fs.String("dir", "", "storage directory (default: a temp dir)")
-		standby = fs.Bool("standby", false, "when joining a running cluster, park as a passive standby instead of triggering an elastic rebalance")
-		drain   = fs.Bool("drain", false, "on the first SIGINT/SIGTERM, drain gracefully: migrate partitions out, then exit (a second signal force-quits)")
-		rejoin  = fs.Bool("rejoin", false, "re-register with the controller whenever the connection is lost (run as a resilient standby)")
-		wait    = fs.Duration("rejoin-wait", 2*time.Second, "pause between rejoin attempts")
+		cc       = fs.String("cc", "127.0.0.1:9090", "cluster controller control-plane address")
+		listen   = fs.String("listen", "127.0.0.1:0", "wire-transport listen address")
+		nodes    = fs.Int("nodes", 2, "node controllers this worker contributes")
+		dir      = fs.String("dir", "", "storage directory (default: a temp dir)")
+		standby  = fs.Bool("standby", false, "when joining a running cluster, park as a passive standby instead of triggering an elastic rebalance")
+		drain    = fs.Bool("drain", false, "on the first SIGINT/SIGTERM, drain gracefully: migrate partitions out, then exit (a second signal force-quits)")
+		rejoin   = fs.Bool("rejoin", false, "re-register with the controller whenever the connection is lost (run as a resilient standby)")
+		wait     = fs.Duration("rejoin-wait", 2*time.Second, "pause between rejoin attempts")
+		compress = fs.String("compress", "auto", "frame compression for shuffle streams and checkpoint/migration images: off, flate, or auto (negotiated per stream; peers running -compress=off interoperate)")
 	)
 	fs.Parse(args)
+
+	mode, err := tuple.ParseCompressMode(*compress)
+	if err != nil {
+		fatal(err)
+	}
 
 	baseDir := *dir
 	if baseDir == "" {
@@ -74,6 +81,7 @@ func workerMain(args []string) {
 		Nodes:      *nodes,
 		BuildJob:   buildJobFromSpec,
 		Elastic:    !*standby,
+		Compress:   mode,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},

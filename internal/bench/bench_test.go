@@ -27,6 +27,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig14a", "fig14b", "fig14c",
 		"fig15", "sec76",
 		"ablate-gb", "ablate-conn", "ablate-store",
+		"compress",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

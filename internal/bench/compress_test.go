@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCompressSmoke runs the PR7 experiment at tiny size. RunCompress
+// enforces the acceptance bars itself (≥30% wire-byte saving, identical
+// payload accounting, smaller checkpoints), so the test mostly checks
+// the metrics it emits are complete.
+func TestCompressSmoke(t *testing.T) {
+	var buf strings.Builder
+	o := tinyOptions(t, &buf)
+	o.PageRankIterations = 4
+	o.Metrics = &Metrics{}
+	if err := RunCompress(context.Background(), o); err != nil {
+		t.Fatalf("compress experiment: %v\noutput:\n%s", err, buf.String())
+	}
+	shuffle := map[string]RunMetric{}
+	migration := map[string]RunMetric{}
+	for _, m := range o.Metrics.Runs() {
+		if rest, ok := strings.CutPrefix(m.Job, "compress-shuffle-"); ok {
+			shuffle[rest] = m
+		}
+		if rest, ok := strings.CutPrefix(m.Job, "compress-migration-"); ok {
+			migration[rest] = m
+		}
+	}
+	for _, mode := range []string{"off", "flate", "auto"} {
+		m, ok := shuffle[mode]
+		if !ok {
+			t.Fatalf("no shuffle metric for mode %s", mode)
+		}
+		if m.NetworkBytes == 0 || m.WireBytes == 0 || m.CheckpointBytes == 0 {
+			t.Fatalf("mode %s missing byte counters: %+v", mode, m)
+		}
+	}
+	for _, mode := range []string{"off", "auto"} {
+		m, ok := migration[mode]
+		if !ok {
+			t.Fatalf("no migration metric for mode %s", mode)
+		}
+		if m.RebalanceSeconds <= 0 {
+			t.Fatalf("mode %s recorded no time-to-rebalance: %+v", mode, m)
+		}
+	}
+	if off, auto := shuffle["off"], shuffle["auto"]; auto.WireBytes >= off.WireBytes {
+		t.Fatalf("auto shipped %d wire bytes, off %d", auto.WireBytes, off.WireBytes)
+	}
+}

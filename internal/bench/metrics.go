@@ -34,8 +34,15 @@ type RunMetric struct {
 	// QueueWaitSeconds is the mean admission wait (scheduler runs).
 	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
 	// NetworkBytes is connector traffic shipped during the run
-	// (wire-path runs).
+	// (wire-path runs). This is payload bytes, before compression.
 	NetworkBytes int64 `json:"networkBytes,omitempty"`
+	// WireBytes is what actually crossed the sockets — post-compression,
+	// frame headers included (compression runs). NetworkBytes/WireBytes
+	// is the compression ratio.
+	WireBytes int64 `json:"wireBytes,omitempty"`
+	// CheckpointBytes is the total size of the run's checkpoint images
+	// on the DFS (compression runs).
+	CheckpointBytes int64 `json:"checkpointBytes,omitempty"`
 	// ShuffleMBPerSec is connector throughput in MB/s (wire-path runs).
 	ShuffleMBPerSec float64 `json:"shuffleMBPerSec,omitempty"`
 	// QueryMicros is the mean per-read latency in microseconds

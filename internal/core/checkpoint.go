@@ -32,11 +32,17 @@ import (
 //	    msg-p0    … msg-p(P-1)      pending combined-message snapshots
 //	    manifest.json               the commit record (written last)
 //
-// Every data file is a stream of packed frame images (tuple.WriteFrame
-// bytes), the same format the wire transport ships and run files store,
-// so snapshots are produced and consumed with zero re-serialization.
-// The vertex snapshot is vid-sorted (it is written from an in-order
-// index scan), which lets recovery bulk-load the rebuilt index.
+// Every data file is a frame stream (tuple.FrameStreamWriter): with
+// compression off that is a plain concatenation of packed frame images
+// (tuple.WriteFrame bytes), the same format the wire transport ships
+// and run files store, so snapshots are produced and consumed with zero
+// re-serialization; with compression on the stream carries a "PGXC"
+// magic followed by per-frame encoded bodies (the same frame codec the
+// wire DATA path negotiates). Readers sniff the magic, so checkpoints
+// written by compressing and non-compressing processes are mutually
+// restorable. The vertex snapshot is vid-sorted (it is written from an
+// in-order index scan), which lets recovery bulk-load the rebuilt
+// index.
 //
 // The manifest is the unit of atomicity. It records the superstep, the
 // partition count, the global state, and per partition: the restored
@@ -88,13 +94,15 @@ func (rs *runState) ckptDir(ss int64) string {
 	return fmt.Sprintf("/pregelix/%s/ckpt/ss%d", rs.job.Name, ss)
 }
 
-// writeVertexSnapshot streams one partition's vertex relation to w as
-// packed frame images: the index is scanned in key order and each
-// record is appended through a frame appender, one bulk write per frame.
-func writeVertexSnapshot(w io.Writer, ps *partitionState) error {
+// writeVertexSnapshot streams one partition's vertex relation to w as a
+// frame stream in the given compression mode: the index is scanned in
+// key order and each record is appended through a frame appender, one
+// bulk write per frame.
+func writeVertexSnapshot(w io.Writer, ps *partitionState, mode tuple.CompressMode) error {
 	fr := tuple.GetFrame()
 	defer tuple.PutFrame(fr)
 	app := tuple.NewFrameAppender(fr)
+	sw := tuple.NewFrameStreamWriter(w, mode)
 	cur, err := ps.vertexIdx.ScanFrom(nil)
 	if err != nil {
 		return err
@@ -105,7 +113,7 @@ func writeVertexSnapshot(w io.Writer, ps *partitionState) error {
 			break
 		}
 		if !app.Append(k, v) {
-			if err := tuple.WriteFrame(w, fr); err != nil {
+			if err := sw.WriteFrame(fr); err != nil {
 				cur.Close()
 				return err
 			}
@@ -119,15 +127,17 @@ func writeVertexSnapshot(w io.Writer, ps *partitionState) error {
 		return err
 	}
 	if fr.Len() > 0 {
-		return tuple.WriteFrame(w, fr)
+		return sw.WriteFrame(fr)
 	}
 	return nil
 }
 
-// writeMsgSnapshot copies the partition's combined-message run file to w
-// byte-for-byte (it is already a stream of frame images on local disk).
-// An empty partition writes nothing.
-func writeMsgSnapshot(w io.Writer, ps *partitionState) error {
+// writeMsgSnapshot ships the partition's combined-message run file to w.
+// With compression off it is copied byte-for-byte (it is already a
+// stream of frame images on local disk); otherwise each frame is read
+// back and re-encoded through the stream codec. An empty partition
+// writes nothing.
+func writeMsgSnapshot(w io.Writer, ps *partitionState, mode tuple.CompressMode) error {
 	if ps.msgPath == "" {
 		return nil
 	}
@@ -136,8 +146,24 @@ func writeMsgSnapshot(w io.Writer, ps *partitionState) error {
 		return err
 	}
 	defer mf.Close()
-	_, err = io.Copy(w, mf)
-	return err
+	if mode == tuple.CompressOff {
+		_, err = io.Copy(w, mf)
+		return err
+	}
+	sw := tuple.NewFrameStreamWriter(w, mode)
+	br := bufio.NewReaderSize(mf, 1<<16)
+	fr := tuple.GetFrame()
+	defer tuple.PutFrame(fr)
+	for {
+		if err := tuple.ReadFrameInto(br, fr); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		if err := sw.WriteFrame(fr); err != nil {
+			return err
+		}
+	}
 }
 
 // checkpoint writes the superstep's Vertex and Msg state to the DFS and
@@ -158,7 +184,7 @@ func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 			return err
 		}
 		bw := bufio.NewWriterSize(w, 1<<16)
-		if err := writeVertexSnapshot(bw, ps); err != nil {
+		if err := writeVertexSnapshot(bw, ps, rs.rt.opts.Compress); err != nil {
 			return err
 		}
 		if err := bw.Flush(); err != nil {
@@ -172,7 +198,7 @@ func (rs *runState) checkpoint(ctx context.Context, ss int64) error {
 		if err != nil {
 			return err
 		}
-		if err := writeMsgSnapshot(mw, ps); err != nil {
+		if err := writeMsgSnapshot(mw, ps, rs.rt.opts.Compress); err != nil {
 			return err
 		}
 		if err := mw.Close(); err != nil {
@@ -367,8 +393,9 @@ func (rs *runState) reloadPartition(ps *partitionState, m *checkpointManifest) e
 
 // reloadPartitionFrom rebuilds one partition's Vertex index, Msg file
 // and Vid index on its (possibly new) node from checkpoint snapshot
-// streams. The partition counters are restored from the manifest's
-// partStat.
+// streams. Each stream is format-sniffed, so compressed and raw images
+// restore alike regardless of which process wrote them. The partition
+// counters are restored from the manifest's partStat.
 func (rs *runState) reloadPartitionFrom(ps *partitionState, st partStat, vertexR, msgR io.Reader) error {
 	node := ps.node
 	ps.numVertices, ps.numEdges, ps.liveVertices = st.NumVertices, st.NumEdges, st.LiveVertices
@@ -416,11 +443,12 @@ func (rs *runState) reloadPartitionFrom(ps *partitionState, st partStat, vertexR
 		add = btLoader.Add
 	}
 
-	// Vertex snapshot: a stream of packed frame images, vid-sorted.
+	// Vertex snapshot: a frame stream (raw or compressed), vid-sorted.
 	fr := tuple.GetFrame()
 	defer tuple.PutFrame(fr)
+	vsr := tuple.NewFrameStreamReader(vertexR)
 	for {
-		if err := tuple.ReadFrameInto(vertexR, fr); err == io.EOF {
+		if err := vsr.ReadFrame(fr); err == io.EOF {
 			break
 		} else if err != nil {
 			return err
@@ -455,8 +483,9 @@ func (rs *runState) reloadPartitionFrom(ps *partitionState, st partStat, vertexR
 	if err != nil {
 		return err
 	}
+	msr := tuple.NewFrameStreamReader(msgR)
 	for {
-		if err := tuple.ReadFrameInto(msgR, fr); err == io.EOF {
+		if err := msr.ReadFrame(fr); err == io.EOF {
 			break
 		} else if err != nil {
 			return err

@@ -1060,7 +1060,7 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 				continue
 			}
 
-			var msgs, live, nv, ne, netTuples, netBytes, ioBytes int64
+			var msgs, live, nv, ne, netTuples, netBytes, netWireBytes, netWireRawBytes, ioBytes int64
 			var haltAll, sawOwner bool
 			gs.Aggregate = nil
 			c.mu.Lock()
@@ -1080,6 +1080,8 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 				}
 				netTuples += rep.NetTuples
 				netBytes += rep.NetBytes
+				netWireBytes += rep.NetWireBytes
+				netWireRawBytes += rep.NetWireRawBytes
 				ioBytes += rep.IOBytes
 				if rep.GSOwner {
 					if sawOwner {
@@ -1105,16 +1107,18 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 			stats.Supersteps = ss
 			stats.TotalMessages += msgs
 			stats.SuperstepStats = append(stats.SuperstepStats, SuperstepStat{
-				Superstep:     ss,
-				Duration:      time.Since(stepStart),
-				Messages:      msgs,
-				LiveVertices:  live,
-				NumVertices:   nv,
-				NumEdges:      ne,
-				IOBytes:       ioBytes,
-				NetworkTuples: netTuples,
-				NetworkBytes:  netBytes,
-				Plan:          stats.pendingPlan,
+				Superstep:           ss,
+				Duration:            time.Since(stepStart),
+				Messages:            msgs,
+				LiveVertices:        live,
+				NumVertices:         nv,
+				NumEdges:            ne,
+				IOBytes:             ioBytes,
+				NetworkTuples:       netTuples,
+				NetworkBytes:        netBytes,
+				NetworkWireBytes:    netWireBytes,
+				NetworkWireRawBytes: netWireRawBytes,
+				Plan:                stats.pendingPlan,
 			})
 			if sub.Progress != nil {
 				sub.Progress(ss)

@@ -147,10 +147,15 @@ type superstepReply struct {
 	HaltAll   bool   `json:"haltAll"`
 	HasAgg    bool   `json:"hasAgg"`
 	Aggregate []byte `json:"aggregate,omitempty"`
-	// Traffic and I/O attributed to this worker's tasks.
-	NetTuples int64 `json:"netTuples"`
-	NetBytes  int64 `json:"netBytes"`
-	IOBytes   int64 `json:"ioBytes"`
+	// Traffic and I/O attributed to this worker's tasks. NetBytes counts
+	// payload frame bytes; NetWireBytes counts what actually hit the
+	// network sockets (post-compression, headers included) and
+	// NetWireRawBytes what that traffic would have cost uncompressed.
+	NetTuples       int64 `json:"netTuples"`
+	NetBytes        int64 `json:"netBytes"`
+	NetWireBytes    int64 `json:"netWireBytes,omitempty"`
+	NetWireRawBytes int64 `json:"netWireRawBytes,omitempty"`
+	IOBytes         int64 `json:"ioBytes"`
 }
 
 // jobNameMsg addresses a phase at an open job session.

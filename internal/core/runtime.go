@@ -20,6 +20,7 @@ import (
 	"pregelix/internal/dfs"
 	"pregelix/internal/hyracks"
 	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
 	"pregelix/pregel"
 )
 
@@ -46,6 +47,12 @@ type Options struct {
 	// nodes local) is the single-process mode; distributed workers run
 	// with a wire transport and their owned node subset.
 	Exec hyracks.ExecOptions
+	// Compress is the frame compression policy for bulk byte streams
+	// this process produces: checkpoint and migration images (and, via
+	// the wire transport's own Config.Compress, shuffle streams). Zero
+	// value is tuple.CompressOff; readers sniff the format, so any mix
+	// of compressing and non-compressing processes interoperates.
+	Compress tuple.CompressMode
 }
 
 // Runtime is a Pregelix instance bound to a simulated cluster plus a
@@ -205,6 +212,15 @@ type SuperstepStat struct {
 	// collector's network usage counter, Section 5.7).
 	NetworkTuples int64
 	NetworkBytes  int64
+	// NetworkWireBytes counts the bytes that actually hit the network
+	// sockets (post-compression, message headers included); zero on
+	// in-process channel transports. NetworkWireRawBytes is what the
+	// same socket traffic would have cost uncompressed, so
+	// NetworkWireRawBytes/NetworkWireBytes is the shuffle's wire
+	// compression ratio — NetworkBytes can't serve as the baseline
+	// because it also counts streams that stayed process-local.
+	NetworkWireBytes    int64
+	NetworkWireRawBytes int64
 	// Plan is the join strategy the superstep executed with (relevant
 	// under Job.AutoPlan, where it may change between supersteps).
 	Plan string
@@ -493,6 +509,8 @@ func (rs *runState) superstepLoop(ctx context.Context) error {
 			for _, cs := range jobRes.ConnStats {
 				st.NetworkTuples += cs.Tuples()
 				st.NetworkBytes += cs.Bytes()
+				st.NetworkWireBytes += cs.WireBytes()
+				st.NetworkWireRawBytes += cs.WireRawBytes()
 			}
 		}
 		if err := rs.writeGS(); err != nil {

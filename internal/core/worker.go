@@ -12,6 +12,7 @@ import (
 
 	"pregelix/internal/hyracks"
 	"pregelix/internal/storage"
+	"pregelix/internal/tuple"
 	"pregelix/internal/wire"
 	"pregelix/pregel"
 )
@@ -36,6 +37,12 @@ type WorkerConfig struct {
 	// of parking it as a passive standby that only a failure would
 	// adopt. Ignored when the worker joins a still-forming cluster.
 	Elastic bool
+	// Compress selects the frame compression policy for this worker's
+	// bulk byte streams: wire shuffle frames it sends (negotiated per
+	// stream, so peers running -compress=off interoperate) and the
+	// checkpoint/migration images it produces (format-sniffed on read).
+	// Zero value is tuple.CompressOff.
+	Compress tuple.CompressMode
 	// Drain, when non-nil, turns a signal on this channel into a
 	// graceful-departure request: the worker asks the controller to
 	// migrate its partitions out, keeps serving until the migration
@@ -77,7 +84,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		return fmt.Errorf("core: WorkerConfig.BuildJob is required")
 	}
 
-	transport, err := wire.NewTCPTransport(wire.Config{ListenAddr: cfg.DataListen})
+	transport, err := wire.NewTCPTransport(wire.Config{ListenAddr: cfg.DataListen, Compress: cfg.Compress})
 	if err != nil {
 		return err
 	}
@@ -143,6 +150,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		Nodes:             start.TotalNodes,
 		PartitionsPerNode: start.PartitionsPerNode,
 		NodeConfig:        hyracks.NodeConfig{RAMBytes: start.RAMBytes, PageSize: start.PageSize},
+		Compress:          cfg.Compress,
 	})
 	if err != nil {
 		return err
@@ -673,16 +681,17 @@ func (dj *distJob) load() (*loadReply, error) {
 }
 
 // snapshotPartition produces one partition's image: the vertex relation
-// and the pending combined messages as packed frame-image byte streams,
-// plus the restorable counters. Checkpoints and migrations share this
-// single format — which is what lets partition.recv install an image
-// with the same reload path a checkpoint restore uses.
-func snapshotPartition(ps *partitionState) (ckptPartData, error) {
+// and the pending combined messages as frame streams (compressed per
+// the worker's policy; readers sniff the format), plus the restorable
+// counters. Checkpoints and migrations share this single format — which
+// is what lets partition.recv install an image with the same reload
+// path a checkpoint restore uses.
+func snapshotPartition(ps *partitionState, mode tuple.CompressMode) (ckptPartData, error) {
 	var vbuf, mbuf bytes.Buffer
-	if err := writeVertexSnapshot(&vbuf, ps); err != nil {
+	if err := writeVertexSnapshot(&vbuf, ps, mode); err != nil {
 		return ckptPartData{}, err
 	}
-	if err := writeMsgSnapshot(&mbuf, ps); err != nil {
+	if err := writeMsgSnapshot(&mbuf, ps, mode); err != nil {
 		return ckptPartData{}, fmt.Errorf("msgs: %w", err)
 	}
 	return ckptPartData{
@@ -708,7 +717,7 @@ func (dj *distJob) checkpoint(msg *ckptMsg) (*ckptReply, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pd, err := snapshotPartition(ps)
+		pd, err := snapshotPartition(ps, dj.rs.rt.opts.Compress)
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint of %s partition %d: %w", dj.rs.job.Name, ps.idx, err)
 		}
@@ -760,6 +769,8 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 	for _, cs := range res.ConnStats {
 		reply.NetTuples += cs.Tuples()
 		reply.NetBytes += cs.Bytes()
+		reply.NetWireBytes += cs.WireBytes()
+		reply.NetWireRawBytes += cs.WireRawBytes()
 	}
 	reply.IOBytes = rs.ioBytes.Load() - ioBefore
 	return reply, nil
@@ -802,7 +813,7 @@ func (dj *distJob) partitionSend(msg *partSendMsg) (*partSendReply, error) {
 		if !rs.exec.Local(ps.node.ID) {
 			return nil, fmt.Errorf("core: migrate %s: partition %d is not hosted here", rs.job.Name, idx)
 		}
-		pd, err := snapshotPartition(ps)
+		pd, err := snapshotPartition(ps, rs.rt.opts.Compress)
 		if err != nil {
 			return nil, fmt.Errorf("core: migrate %s partition %d: %w", rs.job.Name, idx, err)
 		}

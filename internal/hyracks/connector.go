@@ -34,6 +34,15 @@ type ConnStats struct {
 	tuples atomic.Int64
 	bytes  atomic.Int64
 	frames atomic.Int64
+	// wire counts bytes actually put on a network socket for this
+	// connector (message headers included, after any frame compression);
+	// it stays zero on in-process channel transports. wireRaw counts
+	// what the same frames would have cost uncompressed — the exact
+	// bytes a raw stream sends — so wireRaw/wire is the connector's
+	// true wire compression ratio, unpolluted by process-local streams
+	// that never touch a socket.
+	wire    atomic.Int64
+	wireRaw atomic.Int64
 }
 
 func (s *ConnStats) add(tuples int, bytes int) {
@@ -53,6 +62,25 @@ func (s *ConnStats) Bytes() int64 { return s.bytes.Load() }
 
 // Frames returns the frame count shipped over the connector so far.
 func (s *ConnStats) Frames() int64 { return s.frames.Load() }
+
+// AddWireBytes records one DATA message put on the network for this
+// connector: raw is the message's uncompressed size (header + raw
+// frame image), wire is what actually went out. Wire transports call
+// it per DATA message; raw == wire on streams that negotiated raw.
+func (s *ConnStats) AddWireBytes(raw, wire int64) {
+	if s == nil {
+		return
+	}
+	s.wireRaw.Add(raw)
+	s.wire.Add(wire)
+}
+
+// WireBytes returns the on-wire byte count (0 on channel transports).
+func (s *ConnStats) WireBytes() int64 { return s.wire.Load() }
+
+// WireRawBytes returns what the connector's socket traffic would have
+// cost uncompressed (0 on channel transports).
+func (s *ConnStats) WireRawBytes() int64 { return s.wireRaw.Load() }
 
 func (s *partitionSender) Open() error {
 	s.bufs = make([]*tuple.Frame, len(s.ports))

@@ -157,6 +157,7 @@ func (cs *connState) allocate(spec *JobSpec, assign map[string][]*NodeController
 		Merging:       cs.desc.Type == MToNPartitioningMerging,
 		SenderNodes:   nodeIDs(assign[from.ID]),
 		ReceiverNodes: nodeIDs(assign[to.ID]),
+		Stats:         cs.stats,
 	})
 	if err != nil {
 		return err

@@ -58,6 +58,10 @@ type ConnPlacement struct {
 	// of the producer / consumer operator.
 	SenderNodes   []NodeID
 	ReceiverNodes []NodeID
+	// Stats, when set, lets the transport account per-connector on-wire
+	// bytes (see ConnStats.AddWireBytes) next to the payload counters
+	// the sender endpoints maintain.
+	Stats *ConnStats
 }
 
 // ConnTransport is the allocated stream set of one connector. SendPort

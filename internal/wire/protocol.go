@@ -13,13 +13,21 @@
 //	+------+-----------+-----------+====================+
 //
 //	OPEN   sender → receiver  JSON stream identity (job, connector,
-//	                          sender, receiver, buffer frames)
-//	DATA   sender → receiver  one frame image (tuple.WriteFrame bytes,
-//	                          written straight from the pooled frame —
-//	                          no re-serialization)
+//	                          sender, receiver, buffer frames, optional
+//	                          compression proposal)
+//	DATA   sender → receiver  one frame image. On a plain stream the
+//	                          payload is tuple.WriteFrame bytes, written
+//	                          straight from the pooled frame — no
+//	                          re-serialization. On a stream that
+//	                          negotiated compression it is
+//	                          [enc u8][encoded body] (see tuple's frame
+//	                          codec: raw / flate / vid-delta per frame)
 //	EOS    sender → receiver  end of stream
 //	ERR    sender → receiver  producer failure, error text as payload
-//	CREDIT receiver → sender  u32 LE grant of DATA frames
+//	CREDIT receiver → sender  u32 LE grant of DATA frames; the first
+//	                          CREDIT of a stream whose OPEN proposed
+//	                          compression carries a fifth byte: 1 =
+//	                          encoded DATA accepted, 0 = raw only
 //	RESET  receiver → sender  receiver gone; sender aborts the stream
 //
 // Flow control is credit-based: a sender may have at most as many
@@ -29,6 +37,16 @@
 // replaces channel blocking with an equivalent bounded window and the
 // demultiplexer never blocks on a slow consumer. EOS, ERR and RESET are
 // carried in-band and consume no credit.
+//
+// Compression is negotiated per stream so mixed clusters interoperate:
+// a sender running with -compress proposes its mode in OPEN ("flate"
+// or "auto"); the receiver answers in the initial CREDIT's accept
+// byte. A peer that does not compress (or predates the field — it
+// ignores the unknown JSON key and sends a legacy 4-byte CREDIT)
+// silently downgrades the stream to raw frame images. DATA frames are
+// not flushed individually: the sender's write buffer coalesces small
+// frames and drains on control messages, buffer pressure, or before
+// the sender blocks on credits.
 //
 // Control plane. The cluster controller and its workers exchange
 // newline-delimited JSON envelopes over a separate connection (see
@@ -146,6 +164,20 @@ const ctrlMagic = "PGXC1\n"
 const maxCtrlPayload = 1 << 20
 
 // openInfo identifies one stream: the payload of an OPEN message.
+//
+//	field    | JSON     | meaning
+//	---------+----------+---------------------------------------------
+//	Job      | job      | job name the stream belongs to
+//	Conn     | conn     | connector id within the job ("src->sink")
+//	Sender   | sender   | sending partition index
+//	Receiver | receiver | receiving partition index
+//	Buffer   | buffer   | frame window, granted as the initial credit
+//	Comp     | comp     | compression proposal: "flate", "auto", or
+//	         |          | omitted (raw frames only)
+//
+// Comp is omitted from the wire entirely for raw senders, so peers
+// that predate the field parse OPEN unchanged; unknown future values
+// are treated as no proposal by the receiver.
 type openInfo struct {
 	Job      string `json:"job"`
 	Conn     string `json:"conn"`
@@ -154,6 +186,10 @@ type openInfo struct {
 	// Buffer is the connector's frame window; the receiver grants it as
 	// the stream's initial credit.
 	Buffer int `json:"buffer"`
+	// Comp is the sender's compression proposal ("flate" or "auto";
+	// empty = raw frames only). The receiver answers with the accept
+	// byte of the stream's initial CREDIT.
+	Comp string `json:"comp,omitempty"`
 }
 
 // msgHeader is the fixed 9-byte message prefix.
@@ -198,15 +234,49 @@ func writeMsg(w *bufio.Writer, typ byte, stream uint32, payload []byte) error {
 }
 
 // writeFrameMsg writes one DATA message: the header followed by the
-// frame image streamed straight out of the frame buffer.
-func writeFrameMsg(w *bufio.Writer, stream uint32, f *tuple.Frame) error {
-	if err := writeHeader(w, msgHeader{typ: msgData, stream: stream, length: uint32(f.FrameImageSize())}); err != nil {
-		return err
+// frame image streamed straight out of the frame buffer. The bytes
+// stay in the connection's write buffer — the sender flushes before
+// blocking on credits and on every control message, so small frames
+// coalesce into one syscall instead of paying a flush each. It returns
+// the message's on-wire size.
+func writeFrameMsg(w *bufio.Writer, stream uint32, f *tuple.Frame) (int, error) {
+	n := f.FrameImageSize()
+	if err := writeHeader(w, msgHeader{typ: msgData, stream: stream, length: uint32(n)}); err != nil {
+		return 0, err
 	}
 	if err := tuple.WriteFrame(w, f); err != nil {
-		return err
+		return 0, err
 	}
-	return w.Flush()
+	return 9 + n, nil
+}
+
+// writeEncFrameMsg writes one DATA message on a stream that negotiated
+// compression: [enc u8][encoded body], with raw fallback images still
+// streamed zero-copy out of the frame buffer. It returns the message's
+// on-wire size.
+func writeEncFrameMsg(w *bufio.Writer, stream uint32, f *tuple.Frame, e *tuple.FrameEncoder) (int, error) {
+	enc, payload, err := e.EncodeFrame(f)
+	if err != nil {
+		return 0, err
+	}
+	n := len(payload)
+	if enc == tuple.EncRaw {
+		n = f.FrameImageSize()
+	}
+	if err := writeHeader(w, msgHeader{typ: msgData, stream: stream, length: uint32(1 + n)}); err != nil {
+		return 0, err
+	}
+	if err := w.WriteByte(enc); err != nil {
+		return 0, err
+	}
+	if enc == tuple.EncRaw {
+		if err := tuple.WriteFrame(w, f); err != nil {
+			return 0, err
+		}
+	} else if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return 9 + 1 + n, nil
 }
 
 // readFrame reads one DATA payload into a pooled frame, validating that
@@ -221,6 +291,24 @@ func readFrame(r *bufio.Reader, length uint32) (*tuple.Frame, error) {
 	if lr.N != 0 {
 		tuple.PutFrame(f)
 		return nil, fmt.Errorf("wire: frame image shorter than header length (%d bytes left)", lr.N)
+	}
+	return f, nil
+}
+
+// readEncFrame reads one encoded DATA payload ([enc u8][body]) into a
+// pooled frame through the connection's decoder.
+func readEncFrame(r *bufio.Reader, length uint32, d *tuple.FrameDecoder) (*tuple.Frame, error) {
+	if length < 1 {
+		return nil, fmt.Errorf("wire: empty encoded DATA message")
+	}
+	enc, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	f := tuple.GetFrame()
+	if err := d.DecodeInto(enc, r, int(length-1), f); err != nil {
+		tuple.PutFrame(f)
+		return nil, err
 	}
 	return f, nil
 }

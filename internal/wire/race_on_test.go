@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled gates timing-sensitive assertions: the race detector
+// slows compression sampling far more than memcpy, so throughput
+// comparisons only hold in non-race builds.
+const raceEnabled = true

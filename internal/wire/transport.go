@@ -36,6 +36,11 @@ type Config struct {
 	// socket. Used by parity tests and benchmarks to exercise the full
 	// wire path in one process.
 	ForceWire bool
+	// Compress is the process's frame compression policy: proposed in
+	// every outgoing OPEN and used to answer incoming proposals. Streams
+	// compress only when both ends opt in, so mixed clusters downgrade
+	// per stream to raw images. The zero value is CompressOff.
+	Compress tuple.CompressMode
 }
 
 // TCPTransport implements hyracks.Transport over TCP: per-(connector,
@@ -253,10 +258,15 @@ func (c *wireConn) SendPort(s, r int) hyracks.SendPort {
 		}
 		return hyracks.ChanPort{Ch: c.reg.plain[r]}
 	}
+	info := openInfo{Job: p.ID.Job, Conn: p.ID.Conn, Sender: s, Receiver: r, Buffer: p.BufferFrames}
+	if c.t.cfg.Compress != tuple.CompressOff {
+		info.Comp = c.t.cfg.Compress.String()
+	}
 	return &wireSendPort{
-		t:    c.t,
-		addr: c.t.cfg.Peers[p.ReceiverNodes[r]],
-		info: openInfo{Job: p.ID.Job, Conn: p.ID.Conn, Sender: s, Receiver: r, Buffer: p.BufferFrames},
+		t:     c.t,
+		addr:  c.t.cfg.Peers[p.ReceiverNodes[r]],
+		info:  info,
+		stats: p.Stats,
 	}
 }
 
@@ -342,6 +352,12 @@ type recvStream struct {
 	granted  bool // initial window granted
 	complete bool // EOS or ERR seen
 	closed   bool
+	// compProposed records that the OPEN offered encoded frames;
+	// compAccepted that this process answered yes, so the stream's DATA
+	// payloads are [enc u8][body]. Both are fixed at bind, before any
+	// DATA for the stream can be demultiplexed.
+	compProposed bool
+	compAccepted bool
 }
 
 func newRecvStream(reg *recvReg, key streamKey, buffer int) *recvStream {
@@ -360,11 +376,14 @@ func (s *recvStream) setReg(r *recvReg) {
 	s.mu.Unlock()
 }
 
-// bind attaches the stream to the connection it was opened on.
-func (s *recvStream) bind(c *acceptConn, id uint32) {
+// bind attaches the stream to the connection it was opened on and
+// fixes the stream's compression answer.
+func (s *recvStream) bind(c *acceptConn, id uint32, proposed, accepted bool) {
 	s.mu.Lock()
 	s.conn = c
 	s.id = id
+	s.compProposed = proposed
+	s.compAccepted = accepted
 	s.mu.Unlock()
 	s.grantInitial()
 }
@@ -380,8 +399,9 @@ func (s *recvStream) grantInitial() {
 	}
 	s.granted = true
 	conn, id, n := s.conn, s.id, s.buffer
+	proposed, accepted := s.compProposed, s.compAccepted
 	s.mu.Unlock()
-	conn.sendCredit(id, uint32(n))
+	conn.sendInitialCredit(id, uint32(n), proposed, accepted)
 }
 
 // credit returns one consumed frame's worth of window to the sender.
@@ -510,6 +530,9 @@ type acceptConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	bw   *bufio.Writer
+	// dec decodes encoded DATA payloads; only the connection's single
+	// demultiplexer goroutine touches it.
+	dec tuple.FrameDecoder
 
 	mu      sync.Mutex
 	streams map[uint32]*recvStream
@@ -566,15 +589,25 @@ func (t *TCPTransport) serveData(conn net.Conn) {
 			}
 			t.bindIncoming(ac, h.stream, info)
 		case msgData:
-			f, err := readFrame(br, h.length)
+			st := ac.stream(h.stream)
+			if st == nil {
+				// Stream already finished or never bound here: skip the body.
+				if _, err := io.CopyN(io.Discard, br, int64(h.length)); err != nil {
+					return
+				}
+				continue
+			}
+			var f *tuple.Frame
+			var err error
+			if st.compAccepted {
+				f, err = readEncFrame(br, h.length, &ac.dec)
+			} else {
+				f, err = readFrame(br, h.length)
+			}
 			if err != nil {
 				return
 			}
-			if st := ac.stream(h.stream); st != nil {
-				st.deliver(hyracks.Packet{Frame: f})
-			} else {
-				tuple.PutFrame(f)
-			}
+			st.deliver(hyracks.Packet{Frame: f})
 		case msgEOS:
 			if st := ac.take(h.stream); st != nil {
 				st.deliver(hyracks.Packet{EOS: true})
@@ -602,6 +635,7 @@ func (t *TCPTransport) bindIncoming(ac *acceptConn, id uint32, info openInfo) {
 		buffer = 8
 	}
 	t.mu.Lock()
+	accepted := info.Comp != "" && t.cfg.Compress != tuple.CompressOff
 	reg := t.regs[regKey{info.Job, info.Conn}]
 	var st *recvStream
 	if reg != nil {
@@ -617,7 +651,7 @@ func (t *TCPTransport) bindIncoming(ac *acceptConn, id uint32, info openInfo) {
 	ac.mu.Lock()
 	ac.streams[id] = st
 	ac.mu.Unlock()
-	st.bind(ac, id)
+	st.bind(ac, id, info.Comp != "", accepted)
 }
 
 func (ac *acceptConn) stream(id uint32) *recvStream {
@@ -646,6 +680,28 @@ func (ac *acceptConn) sendCredit(id uint32, n uint32) {
 	writeMsg(ac.bw, msgCredit, id, payload[:]) // conn errors surface on the sender side
 }
 
+// sendInitialCredit opens a stream's window. When the sender proposed
+// compression in OPEN, the payload carries a fifth byte answering the
+// proposal; legacy 4-byte credits mean "raw only" to the sender, which
+// is also what a pre-compression receiver would send.
+func (ac *acceptConn) sendInitialCredit(id, n uint32, proposed, accepted bool) {
+	if !proposed {
+		ac.sendCredit(id, n)
+		return
+	}
+	var payload [5]byte
+	payload[0] = byte(n)
+	payload[1] = byte(n >> 8)
+	payload[2] = byte(n >> 16)
+	payload[3] = byte(n >> 24)
+	if accepted {
+		payload[4] = 1
+	}
+	ac.wmu.Lock()
+	defer ac.wmu.Unlock()
+	writeMsg(ac.bw, msgCredit, id, payload[:])
+}
+
 func (ac *acceptConn) sendReset(id uint32) {
 	ac.wmu.Lock()
 	defer ac.wmu.Unlock()
@@ -663,6 +719,9 @@ type sendConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	bw   *bufio.Writer
+	// enc encodes DATA frames for streams that negotiated compression;
+	// guarded by wmu like the write buffer it feeds.
+	enc *tuple.FrameEncoder
 
 	mu      sync.Mutex
 	next    uint32
@@ -687,7 +746,14 @@ func (t *TCPTransport) connTo(addr string) (*sendConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	c := &sendConn{t: t, addr: addr, conn: nc, bw: bufio.NewWriterSize(nc, 64<<10), streams: make(map[uint32]*sendStream)}
+	c := &sendConn{
+		t:       t,
+		addr:    addr,
+		conn:    nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		enc:     tuple.NewFrameEncoder(t.cfg.Compress),
+		streams: make(map[uint32]*sendStream),
+	}
 	if _, err := nc.Write([]byte(dataMagic)); err != nil {
 		nc.Close()
 		return nil, err
@@ -712,6 +778,35 @@ func (t *TCPTransport) connTo(addr string) (*sendConn, error) {
 	return c, nil
 }
 
+// flushDialed pushes the buffered DATA frames of every outbound
+// connection to the kernel. A sender calls it before parking on
+// credits: its own unflushed frames may be exactly what some receiver
+// is waiting on — possibly on a different connection than the one the
+// sender is blocked on — so the barrier covers them all. Everywhere
+// else the write buffer drains on control messages (OPEN/EOS/ERR
+// flush) or on buffer pressure.
+func (t *TCPTransport) flushDialed() {
+	t.mu.Lock()
+	conns := make([]*sendConn, 0, len(t.dialed))
+	for _, c := range t.dialed {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.flush()
+	}
+}
+
+// flush drains the connection's write buffer.
+func (c *sendConn) flush() {
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+}
+
 // readLoop processes the receiver→sender direction: credits and resets.
 func (c *sendConn) readLoop() {
 	defer c.t.wg.Done()
@@ -725,12 +820,18 @@ func (c *sendConn) readLoop() {
 		switch h.typ {
 		case msgCredit:
 			payload, err := readPayload(br, h.length)
-			if err != nil || len(payload) != 4 {
+			if err != nil || (len(payload) != 4 && len(payload) != 5) {
 				c.fail(fmt.Errorf("wire: bad credit from %s", c.addr))
 				return
 			}
 			n := uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24
 			if st := c.stream(h.stream); st != nil {
+				// The initial credit's fifth byte latches the receiver's
+				// compression answer before the window opens, so the first
+				// DATA frame already uses the negotiated encoding.
+				if len(payload) == 5 && payload[4] == 1 {
+					st.setCompressed()
+				}
 				st.grant(int(n))
 			}
 		case msgReset:
@@ -804,10 +905,23 @@ type sendStream struct {
 	c  *sendConn
 	id uint32
 
-	mu      sync.Mutex
-	credits int
-	failed  error
-	wait    chan struct{} // closed and replaced on every grant/failure
+	mu         sync.Mutex
+	credits    int
+	failed     error
+	compressed bool          // receiver accepted encoded DATA frames
+	wait       chan struct{} // closed and replaced on every grant/failure
+}
+
+func (s *sendStream) setCompressed() {
+	s.mu.Lock()
+	s.compressed = true
+	s.mu.Unlock()
+}
+
+func (s *sendStream) isCompressed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compressed
 }
 
 func (s *sendStream) grant(n int) {
@@ -826,6 +940,19 @@ func (s *sendStream) fail(err error) {
 	close(s.wait)
 	s.wait = make(chan struct{})
 	s.mu.Unlock()
+}
+
+// tryAcquire takes one send credit if immediately available. The fast
+// path of Send: no credit means the sender is about to block, which is
+// when buffered frames must be flushed.
+func (s *sendStream) tryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil || s.credits <= 0 {
+		return false
+	}
+	s.credits--
+	return true
 }
 
 // acquire blocks until one send credit is available.
@@ -867,6 +994,10 @@ type wireSendPort struct {
 	t    *TCPTransport
 	addr string
 	info openInfo
+	// stats, when set, accumulates the stream's on-wire DATA bytes
+	// (post-compression, headers included) next to the connector's
+	// payload counters.
+	stats *hyracks.ConnStats
 
 	once sync.Once
 	st   *sendStream
@@ -904,16 +1035,29 @@ func (p *wireSendPort) Send(ctx context.Context, pkt hyracks.Packet) error {
 		}
 		return nil
 	}
-	// DATA: one credit per frame in flight.
-	if err := st.acquire(ctx); err != nil {
-		return err
+	// DATA: one credit per frame in flight. Out of credits means this
+	// sender is about to block — flush buffered frames everywhere first
+	// so no receiver waits on bytes parked in a write buffer.
+	if !st.tryAcquire() {
+		p.t.flushDialed()
+		if err := st.acquire(ctx); err != nil {
+			return err
+		}
 	}
 	st.c.wmu.Lock()
-	err = writeFrameMsg(st.c.bw, st.id, pkt.Frame)
+	var n int
+	if st.isCompressed() {
+		n, err = writeEncFrameMsg(st.c.bw, st.id, pkt.Frame, st.c.enc)
+	} else {
+		n, err = writeFrameMsg(st.c.bw, st.id, pkt.Frame)
+	}
 	st.c.wmu.Unlock()
 	if err != nil {
 		st.c.fail(err)
 		return err
+	}
+	if p.stats != nil {
+		p.stats.AddWireBytes(int64(9+pkt.Frame.FrameImageSize()), int64(n))
 	}
 	// The frame's bytes are on the wire; ownership returns to the pool.
 	tuple.PutFrame(pkt.Frame)
