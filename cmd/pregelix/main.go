@@ -51,7 +51,7 @@ func main() {
 		}
 	}
 	var (
-		algorithm  = flag.String("algorithm", "pagerank", "pagerank | sssp | cc | reachability | bfs | triangles | cliques | sample | pathmerge")
+		algorithm  = flag.String("algorithm", "pagerank", "pagerank | sssp | cc | reachability | bfs | triangles | cliques | sample | pathmerge | deltapagerank | kcore")
 		input      = flag.String("input", "", "input graph file (adjacency text)")
 		output     = flag.String("output", "", "output file (default: stdout)")
 		nodes      = flag.Int("nodes", 4, "simulated cluster size")
@@ -169,6 +169,10 @@ func buildJob(algorithm string, source uint64, iterations int) *pregel.Job {
 		return algorithms.NewRandomWalkSampleJob("sample", "", "", 16, 8)
 	case "pathmerge":
 		return algorithms.NewPathMergeJob("pathmerge", "", "", iterations)
+	case "deltapagerank":
+		return algorithms.NewDeltaPageRankJob("deltapagerank", "", "", 0)
+	case "kcore":
+		return algorithms.NewKCoreJob("kcore", "", "", 3)
 	default:
 		return nil
 	}

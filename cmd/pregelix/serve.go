@@ -12,13 +12,17 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
+
+	"pregelix/internal/delta"
 
 	"pregelix/internal/core"
 	"pregelix/internal/hyracks"
 	"pregelix/internal/tuple"
 	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
 )
 
 // serveMain runs the multi-tenant serving mode: one shared simulated
@@ -113,10 +117,22 @@ func serveMain(args []string) {
 type server struct {
 	m   *core.JobManager
 	mux *http.ServeMux
+
+	// dmu guards the per-job streaming-ingest state: the submission
+	// request kept for rebuilding the program on each delta refresh, and
+	// the mutation tracker (journal + background refresher).
+	dmu    sync.Mutex
+	reqs   map[int64]jobRequest
+	deltas map[int64]*deltaTracker
 }
 
 func newServer(m *core.JobManager) *server {
-	s := &server{m: m, mux: http.NewServeMux()}
+	s := &server{
+		m:      m,
+		mux:    http.NewServeMux(),
+		reqs:   make(map[int64]jobRequest),
+		deltas: make(map[int64]*deltaTracker),
+	}
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/files/", s.handleFiles)
@@ -155,6 +171,10 @@ type jobRequest struct {
 	// mode this is what makes a job survive a worker crash: recovery
 	// rewinds to the last committed checkpoint instead of failing.
 	CheckpointEvery int `json:"checkpointEvery"`
+	// Epsilon is the residual threshold for deltapagerank (0 = default).
+	Epsilon float64 `json:"epsilon"`
+	// K is the core order for kcore (0 = default 3).
+	K int `json:"k"`
 }
 
 // jobView is the status representation returned by the job endpoints.
@@ -190,6 +210,15 @@ type jobView struct {
 	NetworkWireBytes    int64   `json:"networkWireBytes,omitempty"`
 	NetworkWireRawBytes int64   `json:"networkWireRawBytes,omitempty"`
 	CompressionRatio    float64 `json:"compressionRatio,omitempty"`
+	// Version is the sealed result version queries currently serve from;
+	// it advances with every completed delta refresh. DeltaSeq is the
+	// last journaled mutation sequence folded into that version,
+	// Refreshing reports an in-flight delta run, and DeltaError carries
+	// the last failed refresh (cleared by the next success).
+	Version    string `json:"version,omitempty"`
+	DeltaSeq   uint64 `json:"deltaSeq,omitempty"`
+	Refreshing bool   `json:"refreshing,omitempty"`
+	DeltaError string `json:"deltaError,omitempty"`
 }
 
 // fillNetwork sums a job's connector traffic into the view.
@@ -222,10 +251,22 @@ func (s *server) view(h *core.JobHandle) jobView {
 		v.Checkpoints = stats.Checkpoints
 		v.Recoveries = stats.Recoveries
 		v.fillNetwork(stats)
+		v.Version = h.Name()
 	} else if err != nil && v.Error == "" {
 		v.Error = err.Error()
 	}
+	if d := s.delta(h.ID()); d != nil {
+		v.Version, v.DeltaSeq, v.Refreshing, v.DeltaError = d.status()
+	}
 	return v
+}
+
+// delta returns the job's ingest tracker, nil if no mutations were ever
+// posted against it.
+func (s *server) delta(id int64) *deltaTracker {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.deltas[id]
 }
 
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +295,11 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
+		// Keep the request so a later delta refresh can rebuild the same
+		// program against the sealed result.
+		s.dmu.Lock()
+		s.reqs[h.ID()] = req
+		s.dmu.Unlock()
 		writeJSON(w, http.StatusAccepted, s.view(h))
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST /jobs")
@@ -270,6 +316,10 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	h := s.m.Job(id)
 	if h == nil {
 		httpError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	if sub == "mutations" {
+		s.handleMutations(w, r, h)
 		return
 	}
 	if sub != "" {
@@ -307,7 +357,60 @@ func (s *server) handleJobQuery(w http.ResponseWriter, r *http.Request, h *core.
 		httpError(w, http.StatusConflict, "job %d has no queryable result (state %s)", h.ID(), h.State())
 		return
 	}
-	serveQuery(w, r, sub, storeQuerier{s.m.Runtime().Queries(), h.Name()})
+	// Delta refreshes advance the sealed version under the same job id;
+	// always serve from the latest seal.
+	version := h.Name()
+	if d := s.delta(h.ID()); d != nil {
+		version = d.currentVersion()
+	}
+	serveQuery(w, r, sub, storeQuerier{s.m.Runtime().Queries(), version})
+}
+
+// handleMutations is the streaming-ingest endpoint: POST NDJSON
+// mutation lines against a completed job. The batch is journaled
+// durably (202 + its sequence number), then a background refresher
+// clones the sealed partitions, applies every outstanding batch and
+// runs delta supersteps until convergence; queries keep answering from
+// the pre-delta version until the refreshed result seals. 409 until the
+// base job has a sealed result to mutate.
+func (s *server) handleMutations(w http.ResponseWriter, r *http.Request, h *core.JobHandle) {
+	if stats, err := h.Result(); stats == nil || err != nil {
+		httpError(w, http.StatusConflict, "job %d has no sealed result to mutate (state %s)", h.ID(), h.State())
+		return
+	}
+	s.dmu.Lock()
+	d := s.deltas[h.ID()]
+	if d == nil {
+		req, ok := s.reqs[h.ID()]
+		if !ok {
+			s.dmu.Unlock()
+			httpError(w, http.StatusConflict, "job %d predates this server instance", h.ID())
+			return
+		}
+		store := core.DFSStore(s.m.Runtime().DFS)
+		refresh := func(fromVersion, name string, seq uint64, muts []delta.Mutation) error {
+			job, err := buildServeJob(&req)
+			if err != nil {
+				return err
+			}
+			dh, err := s.m.SubmitDelta(context.Background(), job, fromVersion, seq, muts)
+			if err != nil {
+				return err
+			}
+			_, err = dh.Wait(context.Background())
+			return err
+		}
+		var err error
+		d, err = newDeltaTracker(store, fmt.Sprintf("/delta/j%d", h.ID()), h.Name(), refresh)
+		if err != nil {
+			s.dmu.Unlock()
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.deltas[h.ID()] = d
+	}
+	s.dmu.Unlock()
+	serveMutations(w, r, d)
 }
 
 // querier abstracts the two query backends the HTTP layer serves from:
@@ -532,7 +635,19 @@ func buildServeJob(req *jobRequest) (*pregel.Job, error) {
 	if req.Source != nil {
 		source = *req.Source
 	}
-	job := buildJob(req.Algorithm, source, iterations)
+	var job *pregel.Job
+	switch req.Algorithm {
+	case "deltapagerank":
+		job = algorithms.NewDeltaPageRankJob("deltapagerank", "", "", req.Epsilon)
+	case "kcore":
+		k := req.K
+		if k <= 0 {
+			k = 3
+		}
+		job = algorithms.NewKCoreJob("kcore", "", "", k)
+	default:
+		job = buildJob(req.Algorithm, source, iterations)
+	}
 	if job == nil {
 		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}

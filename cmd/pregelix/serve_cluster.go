@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pregelix/internal/core"
+	"pregelix/internal/delta"
 	"pregelix/pregel"
 )
 
@@ -65,6 +66,10 @@ type clusterJob struct {
 	name   string
 	cancel context.CancelFunc
 	done   chan struct{}
+	// spec/req are kept so a later delta refresh can rebuild the same
+	// program (the workers rebuild from spec, the controller from req).
+	spec []byte
+	req  jobRequest
 
 	mu       sync.Mutex
 	state    string // queued | running | done | failed
@@ -131,14 +136,21 @@ type clusterServer struct {
 	jobs   map[int64]*clusterJob
 	order  []int64
 	nextID int64
+
+	// dmu guards the per-job streaming-ingest trackers (journal +
+	// background delta refresher, backed by the coordinator's replicated
+	// checkpoint store).
+	dmu    sync.Mutex
+	deltas map[int64]*deltaTracker
 }
 
 func newClusterServer(coord *core.Coordinator) *clusterServer {
 	s := &clusterServer{
-		coord: coord,
-		mux:   http.NewServeMux(),
-		files: make(map[string][]byte),
-		jobs:  make(map[int64]*clusterJob),
+		coord:  coord,
+		mux:    http.NewServeMux(),
+		files:  make(map[string][]byte),
+		jobs:   make(map[int64]*clusterJob),
+		deltas: make(map[int64]*deltaTracker),
 	}
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
@@ -193,10 +205,24 @@ func (s *clusterServer) view(j *clusterJob) jobView {
 		v.Recoveries = j.stats.Recoveries
 		v.Rebalances = j.stats.Rebalances
 		v.fillNetwork(j.stats)
+		if j.state == "done" {
+			v.Version = j.name
+		}
 	} else {
 		v.Supersteps = j.liveSupersteps
 	}
+	if d := s.delta(j.id); d != nil {
+		v.Version, v.DeltaSeq, v.Refreshing, v.DeltaError = d.status()
+	}
 	return v
+}
+
+// delta returns the job's ingest tracker, nil if no mutations were ever
+// posted against it.
+func (s *clusterServer) delta(id int64) *deltaTracker {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.deltas[id]
 }
 
 func (s *clusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -259,6 +285,8 @@ func (s *clusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
 			name:   fmt.Sprintf("%s@j%d", job.Name, s.nextID),
 			cancel: cancel,
 			done:   make(chan struct{}),
+			spec:   body,
+			req:    req,
 			state:  "queued",
 		}
 		s.jobs[j.id] = j
@@ -316,6 +344,10 @@ func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
+	if sub == "mutations" {
+		s.handleMutations(w, r, j)
+		return
+	}
 	if sub != "" {
 		s.handleJobQuery(w, r, j, sub)
 		return
@@ -347,7 +379,59 @@ func (s *clusterServer) handleJobQuery(w http.ResponseWriter, r *http.Request, j
 		httpError(w, http.StatusConflict, "job %d has no queryable result (state %s)", j.id, state)
 		return
 	}
-	serveQuery(w, r, sub, coordQuerier{r.Context(), s.coord, j.name})
+	// Delta refreshes advance the sealed version under the same job id;
+	// always serve from the latest seal.
+	version := j.name
+	if d := s.delta(j.id); d != nil {
+		version = d.currentVersion()
+	}
+	serveQuery(w, r, sub, coordQuerier{r.Context(), s.coord, version})
+}
+
+// handleMutations is the cluster-mode streaming-ingest endpoint. The
+// journal lives in the coordinator's replicated checkpoint store; the
+// background refresher drives DeltaRefresh (clone + delta.ingest +
+// delta.run across the workers), serialized with ordinary submissions
+// through runMu so job states stay truthful.
+func (s *clusterServer) handleMutations(w http.ResponseWriter, r *http.Request, j *clusterJob) {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != "done" {
+		httpError(w, http.StatusConflict, "job %d has no sealed result to mutate (state %s)", j.id, state)
+		return
+	}
+	s.dmu.Lock()
+	d := s.deltas[j.id]
+	if d == nil {
+		refresh := func(fromVersion, name string, seq uint64, muts []delta.Mutation) error {
+			req := j.req
+			job, err := buildServeJob(&req)
+			if err != nil {
+				return err
+			}
+			s.runMu.Lock()
+			defer s.runMu.Unlock()
+			_, err = s.coord.DeltaRefresh(context.Background(), core.DeltaSubmission{
+				Version: fromVersion,
+				Name:    name,
+				Spec:    j.spec,
+				Job:     job,
+				Muts:    muts,
+			})
+			return err
+		}
+		var err error
+		d, err = newDeltaTracker(s.coord.DeltaStore(), fmt.Sprintf("/delta/j%d", j.id), j.name, refresh)
+		if err != nil {
+			s.dmu.Unlock()
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.deltas[j.id] = d
+	}
+	s.dmu.Unlock()
+	serveMutations(w, r, d)
 }
 
 // coordQuerier serves one result version through the coordinator's

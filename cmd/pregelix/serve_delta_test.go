@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pregelix/internal/core"
+)
+
+// postMutations POSTs one NDJSON batch against a job and returns the
+// response status code and assigned sequence (0 unless 202).
+func postMutations(t *testing.T, baseURL string, id int64, ndjson string) (int, uint64) {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s/jobs/%d/mutations", baseURL, id),
+		"application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return resp.StatusCode, 0
+	}
+	var out struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Seq
+}
+
+// waitRefreshed polls a job's status until the given journal sequence
+// has been folded into the sealed version and no refresh is in flight.
+func waitRefreshed(t *testing.T, baseURL string, id int64, seq uint64) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cur jobView
+		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", baseURL, id), nil, http.StatusOK, &cur)
+		if cur.DeltaError != "" {
+			t.Fatalf("delta refresh failed: %s", cur.DeltaError)
+		}
+		if cur.DeltaSeq >= seq && !cur.Refreshing {
+			return cur
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never refreshed past seq %d: %+v", id, seq, cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeMutationsAndRefresh drives the streaming-ingest flow over
+// HTTP: run deltapagerank, POST a mutation batch, poll until the
+// background refresher seals the new version, and require point reads
+// to reflect the update — a funneled-in vertex's rank rises, an added
+// vertex becomes queryable, a removed one disappears — while the
+// documented error codes cover the bad paths.
+func TestServeMutationsAndRefresh(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadGraph(t, ts.URL, "/in/web")
+
+	var v jobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", jobRequest{
+		Algorithm: "deltapagerank",
+		Input:     "/in/web",
+		Epsilon:   1e-10,
+	}, http.StatusAccepted, &v)
+
+	// Mutating a job with no sealed result yet: 409.
+	if code, _ := postMutations(t, ts.URL, v.ID, `{"op":"addEdge","id":1,"dst":2}`); code != http.StatusConflict {
+		t.Fatalf("mutations before completion returned %d, want 409", code)
+	}
+	waitJobState(t, ts.URL, v.ID, "done")
+
+	// Pre-delta rank of the funnel target.
+	const target = 60
+	var before core.VertexQueryResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/%d", ts.URL, v.ID, target),
+		nil, http.StatusOK, &before)
+
+	// Bad batches: 400 without touching the journal.
+	if code, _ := postMutations(t, ts.URL, v.ID, `{"op":"warp","id":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op returned %d, want 400", code)
+	}
+	if code, _ := postMutations(t, ts.URL, v.ID, "not json"); code != http.StatusBadRequest {
+		t.Fatalf("garbage batch returned %d, want 400", code)
+	}
+
+	// Funnel edges into the target, add a fresh vertex, and retire
+	// vertex 119 (a Webmap leaf — removing its in-edges too keeps
+	// dangling messages from resurrecting it).
+	var batch strings.Builder
+	for src := uint64(2); src <= 11; src++ {
+		fmt.Fprintf(&batch, "{\"op\":\"addEdge\",\"id\":%d,\"dst\":%d}\n", src, target)
+	}
+	batch.WriteString(`{"op":"addVertex","id":100000,"value":0.001}` + "\n")
+	batch.WriteString(fmt.Sprintf(`{"op":"addEdge","id":100000,"dst":%d}`, target) + "\n")
+	code, seq := postMutations(t, ts.URL, v.ID, batch.String())
+	if code != http.StatusAccepted || seq == 0 {
+		t.Fatalf("mutation batch returned %d seq %d", code, seq)
+	}
+
+	cur := waitRefreshed(t, ts.URL, v.ID, seq)
+	if cur.Version == "" || !strings.Contains(cur.Version, "@d") {
+		t.Fatalf("refreshed status carries version %q, want a @d-suffixed seal", cur.Version)
+	}
+
+	// The same query endpoint now serves the refreshed version: the
+	// funnel target's rank rose, the added vertex answers.
+	var after core.VertexQueryResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/%d", ts.URL, v.ID, target),
+		nil, http.StatusOK, &after)
+	ob, _ := strconv.ParseFloat(before.Value, 64)
+	oa, _ := strconv.ParseFloat(after.Value, 64)
+	if oa <= ob {
+		t.Fatalf("10 new in-edges did not raise vertex %d's rank (%v -> %v)", target, ob, oa)
+	}
+	var added core.VertexQueryResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/100000", ts.URL, v.ID),
+		nil, http.StatusOK, &added)
+	if !added.Found {
+		t.Fatalf("added vertex not queryable: %+v", added)
+	}
+
+	// A second batch chains onto the refreshed version.
+	code, seq2 := postMutations(t, ts.URL, v.ID, `{"op":"addEdge","id":100000,"dst":1}`)
+	if code != http.StatusAccepted || seq2 <= seq {
+		t.Fatalf("second batch returned %d seq %d", code, seq2)
+	}
+	cur = waitRefreshed(t, ts.URL, v.ID, seq2)
+	if c := strings.Count(cur.Version, "@d"); c != 2 {
+		t.Fatalf("second refresh sealed %q, want a twice-@d-suffixed version", cur.Version)
+	}
+}

@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/delta"
+	"pregelix/internal/graphgen"
+	"pregelix/pregel"
+	"pregelix/pregel/algorithms"
+)
+
+// The delta experiment prices PR8's streaming ingest: a sealed job
+// absorbs a 1% edge-churn batch through delta supersteps instead of
+// recomputing from scratch. Two legs run on a 2-worker cluster —
+// residual PageRank under edge additions and k-core peeling under edge
+// removals — and each leg checks the refreshed version against a
+// from-scratch recompute of the mutated graph before trusting its
+// timing. The PageRank leg enforces the PR's acceptance bar: the delta
+// refresh must be at least 2x faster than the full recompute.
+
+// deltaSpec is the experiment's job descriptor; every worker rebuilds
+// the same job from it.
+type deltaSpec struct {
+	Algorithm string  `json:"algorithm"`
+	Input     string  `json:"input"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	K         int     `json:"k,omitempty"`
+}
+
+func deltaBenchBuilder(raw json.RawMessage) (*pregel.Job, error) {
+	var s deltaSpec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	switch s.Algorithm {
+	case "kcore":
+		return algorithms.NewKCoreJob("delta-kc", s.Input, "", s.K), nil
+	default:
+		return algorithms.NewDeltaPageRankJob("delta-pr", s.Input, "", s.Epsilon), nil
+	}
+}
+
+// benchChurn mutates frac*|E|/2 random undirected pairs of g — adding
+// absent pairs or removing present ones — and returns the mutated
+// clone plus the matching mutation stream (both directions per pair).
+func benchChurn(g *graphgen.Graph, frac float64, seed int64, remove bool) (*graphgen.Graph, []delta.Mutation) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := g.VertexIDs()
+	adj := make(map[uint64]map[uint64]bool, len(ids))
+	for id, edges := range g.Adj {
+		set := make(map[uint64]bool, len(edges))
+		for _, d := range edges {
+			set[d] = true
+		}
+		adj[id] = set
+	}
+	pairs := int(frac * float64(g.NumEdges()) / 2)
+	if pairs < 1 {
+		pairs = 1
+	}
+	var muts []delta.Mutation
+	for n := 0; n < pairs; {
+		a := ids[rng.Intn(len(ids))]
+		var b uint64
+		if remove {
+			if len(adj[a]) == 0 {
+				continue
+			}
+			k := rng.Intn(len(adj[a]))
+			for d := range adj[a] {
+				if k == 0 {
+					b = d
+					break
+				}
+				k--
+			}
+			delete(adj[a], b)
+			delete(adj[b], a)
+			muts = append(muts,
+				delta.Mutation{Op: delta.OpRemoveEdge, ID: a, Dst: b},
+				delta.Mutation{Op: delta.OpRemoveEdge, ID: b, Dst: a})
+		} else {
+			b = ids[rng.Intn(len(ids))]
+			if a == b || adj[a][b] {
+				continue
+			}
+			adj[a][b], adj[b][a] = true, true
+			muts = append(muts,
+				delta.Mutation{Op: delta.OpAddEdge, ID: a, Dst: b},
+				delta.Mutation{Op: delta.OpAddEdge, ID: b, Dst: a})
+		}
+		n++
+	}
+	out := &graphgen.Graph{Adj: make(map[uint64][]uint64, len(adj))}
+	for id, set := range adj {
+		edges := make([]uint64, 0, len(set))
+		for d := range set {
+			edges = append(edges, d)
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		out.Adj[id] = edges
+	}
+	return out, muts
+}
+
+// parseDump maps dumped "vid\tvalue" lines to vid → value-string.
+func parseDump(data []byte) map[uint64]string {
+	out := map[uint64]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) < 2 {
+			continue
+		}
+		vid, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			continue
+		}
+		out[vid] = fields[1]
+	}
+	return out
+}
+
+// queryAll point-reads every id of the sealed version.
+func queryAll(ctx context.Context, coord *core.Coordinator, version string, ids []uint64) (map[uint64]string, error) {
+	res, err := coord.QueryVertices(ctx, version, ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]string, len(ids))
+	for i, id := range ids {
+		if !res[i].Found {
+			return nil, fmt.Errorf("vertex %d missing from %s", id, version)
+		}
+		out[id] = res[i].Value
+	}
+	return out, nil
+}
+
+// inCore reports k-core membership from a dumped kcore value: the
+// vertex is out of the core when its own id appears in its peeled-list.
+func inCore(vid uint64, value string) bool {
+	me := strconv.FormatUint(vid, 10)
+	for _, f := range strings.Split(value, ",") {
+		if f == me {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDelta benchmarks PR8's delta refresh against a from-scratch
+// recompute at 1% edge churn (the BENCH_PR8.json artifact).
+func RunDelta(ctx context.Context, o Options) error {
+	o.defaults()
+	dir := o.WorkDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "deltabench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	coord, err := core.NewCoordinator(core.CoordinatorConfig{
+		ListenAddr: "127.0.0.1:0",
+		Workers:    2,
+		RAMBytes:   o.RAMPerNode,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go core.RunWorker(wctx, core.WorkerConfig{
+			CCAddr:   coord.Addr(),
+			BaseDir:  fmt.Sprintf("%s/w%d", dir, i),
+			Nodes:    2,
+			BuildJob: deltaBenchBuilder,
+		})
+	}
+	readyCtx, done := context.WithTimeout(ctx, 60*time.Second)
+	defer done()
+	if err := coord.WaitReady(readyCtx); err != nil {
+		return err
+	}
+
+	o.printf("delta refresh vs full recompute, 1%% edge churn, 2 workers x 2 nodes\n")
+	o.printf("%-24s %10s %10s %10s %10s %9s\n",
+		"leg", "base", "delta", "scratch", "msgs d/f", "speedup")
+
+	prSpeed, err := runDeltaLeg(ctx, &o, coord, deltaLeg{
+		label:    "pagerank +1% edges",
+		job:      "delta-pagerank",
+		spec:     deltaSpec{Algorithm: "deltapagerank", Epsilon: 1e-10},
+		graph:    unweightedBTC(2400, 5, 61),
+		churnArg: 63,
+		remove:   false,
+		compare:  comparePageRank,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := runDeltaLeg(ctx, &o, coord, deltaLeg{
+		label:    "kcore -1% edges",
+		job:      "delta-kcore",
+		spec:     deltaSpec{Algorithm: "kcore", K: 3},
+		graph:    graphgen.BTC(1600, 5, 71),
+		churnArg: 73,
+		remove:   true,
+		compare:  compareKCore,
+	}); err != nil {
+		return err
+	}
+
+	// The acceptance bar applies to the PageRank leg: 1% churn must
+	// refresh at least 2x faster than recomputing from scratch.
+	if prSpeed < 2 {
+		return fmt.Errorf("bench: delta refresh only %.2fx faster than full recompute (need >=2x)", prSpeed)
+	}
+	return nil
+}
+
+func unweightedBTC(n int, deg float64, seed int64) *graphgen.Graph {
+	// The delta-PageRank codec owns the edge-value slot (cumulative
+	// pushed mass), so its input must not carry weights.
+	g := graphgen.BTC(n, deg, seed)
+	g.Weights = nil
+	return g
+}
+
+type deltaLeg struct {
+	label    string
+	job      string // RunMetric job label prefix
+	spec     deltaSpec
+	graph    *graphgen.Graph
+	churnArg int64 // churn seed
+	remove   bool
+	compare  func(got, want map[uint64]string) error
+}
+
+// runDeltaLeg seals a base run, streams the churn batch through
+// DeltaRefresh, recomputes from scratch on the mutated graph, verifies
+// value parity, and returns the wall-time speedup.
+func runDeltaLeg(ctx context.Context, o *Options, coord *core.Coordinator, leg deltaLeg) (float64, error) {
+	base := leg.job + "@j1"
+	in, in2 := "/in/"+leg.job, "/in/"+leg.job+"2"
+
+	spec := leg.spec
+	spec.Input = in
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	job, err := deltaBenchBuilder(rawSpec)
+	if err != nil {
+		return 0, err
+	}
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, leg.graph); err != nil {
+		return 0, err
+	}
+	baseStart := time.Now()
+	if _, _, err := coord.RunJob(ctx, core.DistSubmission{
+		Name: base, Spec: rawSpec, Job: job,
+		InputPath: in, InputData: graph.Bytes(),
+	}); err != nil {
+		return 0, fmt.Errorf("bench: %s base run: %w", leg.label, err)
+	}
+	baseWall := time.Since(baseStart)
+
+	mg, muts := benchChurn(leg.graph, 0.01, leg.churnArg, leg.remove)
+	djob, err := deltaBenchBuilder(rawSpec)
+	if err != nil {
+		return 0, err
+	}
+	deltaStart := time.Now()
+	deltaStats, err := coord.DeltaRefresh(ctx, core.DeltaSubmission{
+		Version: base, Name: base + "@d1", Spec: rawSpec, Job: djob, Muts: muts,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s delta refresh: %w", leg.label, err)
+	}
+	deltaWall := time.Since(deltaStart)
+
+	spec2 := leg.spec
+	spec2.Input = in2
+	rawSpec2, err := json.Marshal(spec2)
+	if err != nil {
+		return 0, err
+	}
+	fjob, err := deltaBenchBuilder(rawSpec2)
+	if err != nil {
+		return 0, err
+	}
+	var mgraph bytes.Buffer
+	if _, err := graphgen.WriteText(&mgraph, mg); err != nil {
+		return 0, err
+	}
+	fullStart := time.Now()
+	fullStats, out, err := coord.RunJob(ctx, core.DistSubmission{
+		Name: leg.job + "full@j1", Spec: rawSpec2, Job: fjob,
+		InputPath: in2, InputData: mgraph.Bytes(), WantOutput: true,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s full recompute: %w", leg.label, err)
+	}
+	fullWall := time.Since(fullStart)
+
+	// Parity before timing: the refreshed version must match the
+	// from-scratch recompute or the speedup is meaningless.
+	got, err := queryAll(ctx, coord, base+"@d1", mg.VertexIDs())
+	if err != nil {
+		return 0, err
+	}
+	if err := leg.compare(got, parseDump(out)); err != nil {
+		return 0, fmt.Errorf("bench: %s parity: %w", leg.label, err)
+	}
+
+	speedup := fullWall.Seconds() / deltaWall.Seconds()
+	o.printf("%-24s %9.2fs %9.2fs %9.2fs %4d/%-5d %8.2fx\n",
+		leg.label, baseWall.Seconds(), deltaWall.Seconds(), fullWall.Seconds(),
+		deltaStats.TotalMessages, fullStats.TotalMessages, speedup)
+
+	o.Metrics.Record(RunMetric{
+		System: "pregelix", Job: leg.job + "-refresh",
+		WallSeconds: deltaWall.Seconds(),
+		Supersteps:  deltaStats.Supersteps,
+		Speedup:     speedup,
+	})
+	o.Metrics.Record(RunMetric{
+		System: "pregelix", Job: leg.job + "-scratch",
+		WallSeconds: fullWall.Seconds(),
+		Supersteps:  fullStats.Supersteps,
+	})
+	return speedup, nil
+}
+
+// comparePageRank checks two epsilon-converged fixed points for
+// equality within the convergence tolerance.
+func comparePageRank(got, want map[uint64]string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d vertices, want %d", len(got), len(want))
+	}
+	for id, ws := range want {
+		gv, err1 := strconv.ParseFloat(got[id], 64)
+		wv, err2 := strconv.ParseFloat(ws, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("vertex %d: non-numeric values %q %q", id, got[id], ws)
+		}
+		if math.Abs(gv-wv) > 1e-5+1e-4*math.Abs(wv) {
+			return fmt.Errorf("vertex %d: got %v want %v", id, gv, wv)
+		}
+	}
+	return nil
+}
+
+// compareKCore checks that core membership is identical and the core
+// itself is non-degenerate (churn actually exercised peeling).
+func compareKCore(got, want map[uint64]string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d vertices, want %d", len(got), len(want))
+	}
+	in := 0
+	for id, val := range got {
+		if inCore(id, val) != inCore(id, want[id]) {
+			return fmt.Errorf("vertex %d: delta in-core=%v, from-scratch %v", id, inCore(id, val), inCore(id, want[id]))
+		}
+		if inCore(id, val) {
+			in++
+		}
+	}
+	if in == 0 || in == len(got) {
+		return fmt.Errorf("degenerate core (%d of %d in-core)", in, len(got))
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package core
+
+// Coordinator side of the delta-refresh protocol: given a sealed result
+// version and a drained run of journaled mutations, DeltaRefresh opens
+// a delta session on every worker (delta.ingest clones the sealed
+// partitions — shipping sealed-partition images wherever the cluster's
+// topology moved since the seal — and applies the routed mutations),
+// arms the dirty frontier (delta.run), then drives ordinary
+// job.superstep rounds until convergence and seals the refreshed clone
+// as the base job's new query version. The sealed source keeps
+// answering queries until the very last step: version swap is the
+// atomic visibility point.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pregelix/internal/delta"
+	"pregelix/internal/dfs"
+	"pregelix/pregel"
+)
+
+// dfsStore adapts a DFS into the delta journal's durable byte store.
+// Put stages under a .tmp name and renames into place — the rename
+// swaps only namespace metadata, so a batch is either fully present or
+// invisible (parseBatchName rejects .tmp leftovers by construction).
+type dfsStore struct{ fs *dfs.FileSystem }
+
+func (s dfsStore) Put(name string, data []byte) error {
+	tmp := name + ".tmp"
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, name)
+}
+
+func (s dfsStore) Get(name string) ([]byte, error) { return s.fs.ReadFile(name) }
+
+func (s dfsStore) List(prefix string) ([]string, error) { return s.fs.List(prefix), nil }
+
+// DFSStore wraps a dfs file system as a delta journal store (the
+// single-process serve mode journals into the job manager's DFS).
+func DFSStore(fs *dfs.FileSystem) delta.Store { return dfsStore{fs: fs} }
+
+// DeltaStore returns the journal store backed by the coordinator's
+// replicated checkpoint DFS: journaled batches live outside every
+// worker process, like checkpoints.
+func (c *Coordinator) DeltaStore() delta.Store { return dfsStore{fs: c.ckpt} }
+
+// DeltaSubmission is one delta refresh of a sealed result version.
+type DeltaSubmission struct {
+	// Version is the sealed source version being refreshed (the exact
+	// version string job.end reported, e.g. "pagerank@j1").
+	Version string
+	// Name is the refreshed clone's new version name. It must share the
+	// source's base job name so the seal retires the source (the serve
+	// layer uses "<base>@j<id>@d<seq>").
+	Name string
+	// Spec / Job mirror DistSubmission: the opaque descriptor every
+	// worker rebuilds, and the controller's own build for plan decisions.
+	Spec json.RawMessage
+	Job  *pregel.Job
+	// Muts is the drained journal run to apply, in journal order.
+	Muts []delta.Mutation
+	// Progress, when non-nil, is called after every committed superstep.
+	Progress func(superstep int64)
+}
+
+// DeltaRefresh runs one delta refresh to completion. On success the
+// refreshed clone is sealed as the base job's current query version;
+// on failure the session tears down and the sealed source keeps
+// serving untouched.
+func (c *Coordinator) DeltaRefresh(ctx context.Context, sub DeltaSubmission) (*JobStats, error) {
+	if err := c.WaitReady(ctx); err != nil {
+		return nil, err
+	}
+	if err := sub.Job.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sub.Muts) == 0 {
+		return nil, fmt.Errorf("core: delta refresh of %s: no mutations", sub.Version)
+	}
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+
+	// Heal between-jobs failures first, exactly like RunJob — but note
+	// the sealed source's partitions never migrate: a repair only fixes
+	// the topology the delta *session* will run on.
+	c.reapDead()
+	if err := c.repairTopology(ctx, nil); err != nil {
+		return nil, err
+	}
+	if err := c.rebalance(ctx, nil); err != nil {
+		return nil, err
+	}
+
+	res, err := c.queryResult(sub.Version)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	workers := append([]*ccWorker(nil), c.workers...)
+	nodes := make([]string, len(c.nodes))
+	for i, id := range c.nodes {
+		nodes[i] = string(id)
+	}
+	c.mu.Unlock()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no cluster topology")
+	}
+	ownerOf := make(map[string]*ccWorker)
+	for _, w := range workers {
+		for _, id := range w.owned {
+			ownerOf[id] = w
+		}
+	}
+
+	start := time.Now()
+	stats := &JobStats{Job: sub.Name}
+	runDir := "jobs/" + strings.ReplaceAll(sub.Name, "/", "_")
+	begin := &jobBeginMsg{Name: sub.Name, Spec: sub.Spec, ScanNode: nodes[0], RunDir: runDir}
+
+	// Placement plan: the delta session's partition i lives on node
+	// i%N (the same deterministic round-robin every runState computes);
+	// the sealed copy lives wherever job.end sealed it. Where the two
+	// disagree — the topology moved since the seal — the sealed holder
+	// ships a partition image for the current owner to clone from.
+	numParts := res.numParts
+	ingest := make(map[*ccWorker]*deltaIngestMsg, len(workers))
+	for _, w := range workers {
+		ingest[w] = &deltaIngestMsg{
+			Name: sub.Name, FromVersion: sub.Version, Spec: sub.Spec, RunDir: runDir,
+			Muts: make(map[int][]delta.Mutation),
+		}
+	}
+	shipFrom := make(map[*ccWorker][]int) // sealed holder → partitions to image
+	curOwner := make([]*ccWorker, numParts)
+	for i := 0; i < numParts; i++ {
+		cur := ownerOf[nodes[i%len(nodes)]]
+		if cur == nil {
+			return nil, fmt.Errorf("core: delta refresh of %s: partition %d's node has no owner", sub.Version, i)
+		}
+		curOwner[i] = cur
+		holder := res.owners[i]
+		if holder == nil || holder.dead() {
+			return nil, fmt.Errorf("core: delta refresh of %s: sealed partition %d is no longer served (worker lost after seal; re-submit the job)", sub.Version, i)
+		}
+		if holder != cur {
+			shipFrom[holder] = append(shipFrom[holder], i)
+		}
+	}
+	for p, ms := range delta.Route(sub.Muts, numParts) {
+		ingest[curOwner[p]].Muts[p] = ms
+	}
+	for holder, parts := range shipFrom {
+		var reply partSendReply
+		if err := holder.call(ctx, rpcPartSend,
+			partSendMsg{Name: sub.Name, Parts: parts, FromVersion: sub.Version}, &reply); err != nil {
+			return nil, fmt.Errorf("core: delta refresh of %s: imaging sealed partitions %v: %w", sub.Version, parts, err)
+		}
+		for i := range reply.Parts {
+			pd := reply.Parts[i]
+			ingest[curOwner[pd.Part]].Ship = append(ingest[curOwner[pd.Part]].Ship, pd)
+		}
+	}
+
+	// A refresh that completes seals the clone as the new version; any
+	// failure tears the session down and leaves the source serving.
+	completed := false
+	defer func() {
+		endCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c.endJobSessions(endCtx, sub.Name, completed)
+		c.removeCheckpoints(sub.Name)
+	}()
+
+	// Ingest: per-worker payloads differ (each gets its own mutation
+	// slices and shipped images), so this is a hand-rolled parallel fan
+	// rather than phaseCall.
+	ingestStart := time.Now()
+	ingReplies := make([]deltaIngestReply, len(workers))
+	ingErrs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *ccWorker) {
+			defer wg.Done()
+			ingErrs[i] = w.call(ctx, rpcDeltaIngest, ingest[w], &ingReplies[i])
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range ingErrs {
+		if err != nil {
+			c.cancelJob(sub.Name)
+			return stats, fmt.Errorf("core: delta ingest of %s on %s: %w", sub.Name, workers[i].ctrl.RemoteAddr(), err)
+		}
+	}
+
+	gs := globalState{Superstep: 1}
+	var dirtyTotal int64
+	for _, rep := range ingReplies {
+		for _, p := range rep.Parts {
+			gs.NumVertices += p.Vertices
+			gs.NumEdges += p.Edges
+		}
+		dirtyTotal += rep.Dirty
+	}
+
+	// Arm: clear halt flags on the dirty sets, seed the Vid indexes.
+	runReps, err := phaseCall[deltaRunReply](ctx, c, sub.Name, rpcDeltaRun, deltaRunMsg{Name: sub.Name})
+	if err != nil {
+		return stats, fmt.Errorf("core: delta arm of %s: %w", sub.Name, err)
+	}
+	for _, rep := range runReps {
+		for _, p := range rep.Parts {
+			gs.LiveVertices += p.Live
+		}
+	}
+	stats.LoadDuration = time.Since(ingestStart)
+	c.cfg.logf("coordinator: %s delta-armed — %d mutations, %d dirty vertices, %d live of %d",
+		sub.Name, len(sub.Muts), dirtyTotal, gs.LiveVertices, gs.NumVertices)
+
+	attempt := int64(0)
+	recoverOrFail := func(phase string, err error) error {
+		dsub := DistSubmission{Name: sub.Name, Spec: sub.Spec, Job: sub.Job}
+		m, rerr := c.recoverJob(ctx, &dsub, begin, attempt+1)
+		if rerr != nil {
+			if errors.Is(rerr, errNotRecoverable) {
+				return fmt.Errorf("core: %s of %s: %w", phase, sub.Name, err)
+			}
+			return fmt.Errorf("core: %s of %s: %w (recovery failed: %v)", phase, sub.Name, err, rerr)
+		}
+		attempt++
+		stats.Recoveries++
+		gs = m.GS
+		gs.Halt = false
+		rollbackStats(stats, gs.Superstep)
+		c.cfg.logf("coordinator: %s recovered — resuming from superstep %d (attempt %d)",
+			sub.Name, gs.Superstep, attempt)
+		return nil
+	}
+
+	// Delta superstep loop: identical to RunJob's, starting at ss=2
+	// (past both superstep-1 full-activation gates) with no dump phase.
+	runStart := time.Now()
+	for done := false; !done; {
+		if err := ctx.Err(); err != nil {
+			c.cancelJob(sub.Name)
+			return stats, err
+		}
+		if c.pendingRebalance() {
+			sess := &rebalSession{name: sub.Name, begin: begin, gs: gs, attempt: &attempt, stats: stats}
+			if err := c.rebalance(ctx, sess); err != nil {
+				if rerr := recoverOrFail("rebalance", err); rerr != nil {
+					return stats, rerr
+				}
+				continue
+			}
+		}
+		ss := gs.Superstep + 1
+		atCap := sub.Job.MaxSupersteps > 0 && ss > int64(sub.Job.MaxSupersteps)
+		if !atCap && !gs.Halt {
+			join := chooseJoinFor(sub.Job, &gs, ss)
+			stats.recordPlan(ss, join)
+			stepStart := time.Now()
+			reps, err := phaseCall[superstepReply](ctx, c, sub.Name, rpcSuperstep,
+				superstepMsg{Name: sub.Name, SS: ss, GS: gs, Join: join, Attempt: attempt})
+			if err != nil {
+				if rerr := recoverOrFail(fmt.Sprintf("delta superstep %d", ss), err); rerr != nil {
+					return stats, rerr
+				}
+				continue
+			}
+
+			var msgs, live, nv, ne, ioBytes int64
+			var haltAll, sawOwner bool
+			gs.Aggregate = nil
+			for _, rep := range reps {
+				for _, p := range rep.Parts {
+					msgs += p.Msgs
+					live += p.Live
+					nv += p.Vertices
+					ne += p.Edges
+				}
+				ioBytes += rep.IOBytes
+				if rep.GSOwner {
+					if sawOwner {
+						return stats, fmt.Errorf("core: delta superstep %d of %s: two workers claim the global-state task", ss, sub.Name)
+					}
+					sawOwner = true
+					haltAll = rep.HaltAll
+					if rep.HasAgg {
+						gs.Aggregate = rep.Aggregate
+					}
+				}
+			}
+			if !sawOwner {
+				return stats, fmt.Errorf("core: delta superstep %d of %s: no worker reported the global state", ss, sub.Name)
+			}
+			gs.Superstep = ss
+			gs.Messages = msgs
+			gs.LiveVertices = live
+			gs.NumVertices = nv
+			gs.NumEdges = ne
+			gs.Halt = haltAll && msgs == 0
+
+			stats.Supersteps = ss
+			stats.TotalMessages += msgs
+			stats.SuperstepStats = append(stats.SuperstepStats, SuperstepStat{
+				Superstep: ss, Duration: time.Since(stepStart), Messages: msgs,
+				LiveVertices: live, NumVertices: nv, NumEdges: ne,
+				IOBytes: ioBytes, Plan: stats.pendingPlan,
+			})
+			if sub.Progress != nil {
+				sub.Progress(ss)
+			}
+
+			if sub.Job.CheckpointEvery > 0 && ss%int64(sub.Job.CheckpointEvery) == 0 {
+				if err := c.checkpointCluster(ctx, sub.Name, ss, gs); err != nil {
+					if rerr := recoverOrFail(fmt.Sprintf("checkpoint at superstep %d", ss), err); rerr != nil {
+						return stats, rerr
+					}
+					continue
+				}
+				stats.Checkpoints++
+			}
+			if !gs.Halt {
+				continue
+			}
+		}
+		done = true
+	}
+	stats.RunDuration = time.Since(runStart)
+	stats.TotalDuration = time.Since(start)
+	stats.FinalState = GlobalStateView{
+		Superstep:    gs.Superstep,
+		NumVertices:  gs.NumVertices,
+		NumEdges:     gs.NumEdges,
+		LiveVertices: gs.LiveVertices,
+		Aggregate:    gs.Aggregate,
+	}
+	completed = true
+	return stats, nil
+}

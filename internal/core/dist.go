@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 
+	"pregelix/internal/delta"
 	"pregelix/pregel"
 )
 
@@ -30,6 +31,19 @@ import (
 // into a result version instead of dropping them, and query.point /
 // query.topk evaluate batched reads against an exact sealed version
 // (k-hop expansion is coordinator-side iteration over query.point).
+//
+// The delta verbs make a sealed result incrementally refreshable:
+// delta.ingest opens a delta session (cloning the sealed partitions —
+// locally where the worker holds them, from shipped partition.send
+// images where it does not), applies a journaled mutation batch through
+// the job's Resolver, and accumulates the dirty vertex set; delta.run
+// seeds the live-vertex indexes from the accumulated dirty set and
+// returns the session's counters, after which ordinary job.superstep
+// rounds drive the delta supersteps and job.end (Retain) seals the
+// refreshed result as the next version. partition.send with FromVersion
+// snapshots a *sealed* partition instead of a live one, so delta
+// sessions can form on the post-rebalance topology even when the sealed
+// holders have drifted from the current owners.
 const (
 	rpcPing        = "ping"
 	rpcHeartbeat   = "heartbeat"
@@ -50,6 +64,8 @@ const (
 	rpcRelease     = "worker.release"
 	rpcQueryPoint  = "query.point"
 	rpcQueryTopK   = "query.topk"
+	rpcDeltaIngest = "delta.ingest"
+	rpcDeltaRun    = "delta.run"
 
 	// notifyDrain is sent by a worker (unsolicited, no reply expected)
 	// to request a graceful drain; every other method above is a
@@ -265,9 +281,14 @@ type reconfigureMsg struct {
 // migration — the same frame-image form job.checkpoint produces, but
 // shipped worker→controller→worker instead of into the checkpoint
 // store. The partitions stay live on the sender until partition.drop.
+// With FromVersion set, the snapshot source is the named *sealed*
+// result version in the worker's query store rather than a live job
+// session (Name is then ignored, and no partition.drop follows — the
+// sealed original keeps serving reads).
 type partSendMsg struct {
-	Name  string `json:"name"`
-	Parts []int  `json:"parts"`
+	Name        string `json:"name"`
+	Parts       []int  `json:"parts"`
+	FromVersion string `json:"fromVersion,omitempty"`
 }
 
 // partSendReply carries the migrating partitions' images.
@@ -294,4 +315,46 @@ type partRecvMsg struct {
 type partDropMsg struct {
 	Name  string `json:"name"`
 	Parts []int  `json:"parts"`
+}
+
+// deltaIngestMsg applies one journaled mutation batch to a delta
+// session. The first ingest for Name opens the session: the worker
+// rebuilds the job from Spec, clones its owned partitions of the sealed
+// FromVersion (local sealed indexes directly; Ship carries images
+// pulled from other workers for owned partitions sealed elsewhere), and
+// only then applies mutations. Subsequent ingests for the same Name
+// skip straight to application. Muts maps partition → mutations and
+// contains only this worker's partitions; application order within a
+// partition is the journal order (the Resolver contract).
+type deltaIngestMsg struct {
+	Name        string                   `json:"name"`
+	FromVersion string                   `json:"fromVersion"`
+	Spec        json.RawMessage          `json:"spec"`
+	RunDir      string                   `json:"runDir"`
+	Ship        []ckptPartData           `json:"ship,omitempty"`
+	Muts        map[int][]delta.Mutation `json:"muts,omitempty"`
+}
+
+// deltaIngestReply reports the post-application partition counters and
+// the accumulated dirty-set size on this worker.
+type deltaIngestReply struct {
+	Parts []partCount `json:"parts"`
+	Dirty int64       `json:"dirty"`
+}
+
+// deltaRunMsg finalizes a delta session for superstep execution: the
+// worker seeds each owned partition's live-vertex index with exactly
+// its accumulated dirty set (clearing the halt flag on those records)
+// and arms the session's global state so the first delta superstep runs
+// as ss=2 — past both of the engine's superstep-1 full-activation
+// gates, so only dirty vertices plus the message frontier compute.
+type deltaRunMsg struct {
+	Name string `json:"name"`
+}
+
+// deltaRunReply reports the armed session's partition counters; Live is
+// the dirty count per partition.
+type deltaRunReply struct {
+	Parts []partCount `json:"parts"`
+	Dirty int64       `json:"dirty"`
 }

@@ -17,10 +17,12 @@ import (
 // distTestSpec is the job descriptor of the test cluster's JobBuilder —
 // the analog of the serve API's jobRequest.
 type distTestSpec struct {
-	Algorithm  string `json:"algorithm"`
-	Input      string `json:"input"`
-	Iterations int    `json:"iterations"`
-	Source     uint64 `json:"source"`
+	Algorithm  string  `json:"algorithm"`
+	Input      string  `json:"input"`
+	Iterations int     `json:"iterations"`
+	Source     uint64  `json:"source"`
+	Epsilon    float64 `json:"epsilon"`
+	K          int     `json:"k"`
 }
 
 func distTestBuilder(raw json.RawMessage) (*pregel.Job, error) {
@@ -35,6 +37,10 @@ func distTestBuilder(raw json.RawMessage) (*pregel.Job, error) {
 		return algorithms.NewConnectedComponentsJob("cc", s.Input, ""), nil
 	case "sssp":
 		return algorithms.NewSSSPJob("sssp", s.Input, "", s.Source), nil
+	case "deltapagerank":
+		return algorithms.NewDeltaPageRankJob("dpr", s.Input, "", s.Epsilon), nil
+	case "kcore":
+		return algorithms.NewKCoreJob("kcore", s.Input, "", s.K), nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", s.Algorithm)
 	}

@@ -223,6 +223,10 @@ type distJob struct {
 	cancel context.CancelFunc
 	runDir string
 
+	// delta holds the ingest→run bookkeeping when this session is a
+	// delta refresh (nil for ordinary jobs).
+	delta *deltaState
+
 	mu          sync.Mutex
 	phaseCancel context.CancelFunc
 	phaseDone   chan struct{}
@@ -385,6 +389,11 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 		if err := json.Unmarshal(data, &msg); err != nil {
 			return nil, err
 		}
+		if msg.FromVersion != "" {
+			// A delta refresh images sealed partitions, not an open
+			// session's — there is no job session on the sealed side.
+			return w.sealedPartitionSend(&msg)
+		}
 		dj, err := w.job(msg.Name)
 		if err != nil {
 			return nil, err
@@ -425,6 +434,20 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return w.endJob(msg.Name, msg.Retain), nil
+
+	case rpcDeltaIngest:
+		var msg deltaIngestMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		return w.deltaIngest(&msg)
+
+	case rpcDeltaRun:
+		var msg deltaRunMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		return w.deltaRun(&msg)
 
 	case rpcQueryPoint:
 		var msg queryPointMsg

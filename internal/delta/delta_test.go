@@ -1,0 +1,176 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBatch(t *testing.T) {
+	in := `{"op":"addVertex","id":7,"value":1.5}
+
+{"op":"addEdge","id":1,"dst":2}
+{"op":"removeEdge","id":2,"dst":1}
+{"op":"removeVertex","id":9}
+`
+	muts, err := ParseBatch(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseBatch: %v", err)
+	}
+	if len(muts) != 4 {
+		t.Fatalf("got %d mutations, want 4", len(muts))
+	}
+	if muts[0].Op != OpAddVertex || muts[0].ID != 7 || muts[0].Value == nil || *muts[0].Value != 1.5 {
+		t.Fatalf("bad first mutation: %+v", muts[0])
+	}
+	if muts[1].Op != OpAddEdge || muts[1].ID != 1 || muts[1].Dst != 2 {
+		t.Fatalf("bad second mutation: %+v", muts[1])
+	}
+}
+
+func TestParseBatchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "empty mutation batch"},
+		{"badJSON", "{nope}", "line 1"},
+		{"badOp", `{"op":"upsert","id":1}`, "unknown op"},
+		{"missingOp", `{"id":1}`, "missing op"},
+		{"vertexWithDst", `{"op":"addVertex","id":1,"dst":2}`, "does not take dst"},
+		{"unknownField", `{"op":"addVertex","id":1,"weight":2}`, "line 1"},
+		{"badLineNumber", "{\"op\":\"addVertex\",\"id\":1}\n{\"op\":\"bad\",\"id\":2}", "line 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseBatch(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got err %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestEncodeBatchRoundTrip(t *testing.T) {
+	v := 2.25
+	in := []Mutation{
+		{Op: OpAddVertex, ID: 3, Value: &v},
+		{Op: OpAddEdge, ID: 3, Dst: 4},
+		{Op: OpRemoveVertex, ID: 5},
+	}
+	out, err := ParseBatch(strings.NewReader(string(EncodeBatch(in))))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d mutations, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Op != in[i].Op || out[i].ID != in[i].ID || out[i].Dst != in[i].Dst {
+			t.Fatalf("mutation %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if out[0].Value == nil || *out[0].Value != v {
+		t.Fatalf("value lost in round trip: %+v", out[0])
+	}
+}
+
+func TestRouteAndDirty(t *testing.T) {
+	muts := []Mutation{
+		{Op: OpAddEdge, ID: 10, Dst: 20},
+		{Op: OpAddEdge, ID: 10, Dst: 21},
+		{Op: OpRemoveVertex, ID: 11},
+		{Op: OpAddVertex, ID: 12},
+	}
+	const parts = 4
+	routed := Route(muts, parts)
+	total := 0
+	for p, ms := range routed {
+		if p < 0 || p >= parts {
+			t.Fatalf("partition %d out of range", p)
+		}
+		total += len(ms)
+		for _, m := range ms {
+			if PartitionOf(m.ID, parts) != p {
+				t.Fatalf("mutation %+v routed to wrong partition %d", m, p)
+			}
+		}
+	}
+	if total != len(muts) {
+		t.Fatalf("routed %d mutations, want %d", total, len(muts))
+	}
+	// Order within a partition must be preserved.
+	p10 := PartitionOf(10, parts)
+	var dsts []uint64
+	for _, m := range routed[p10] {
+		if m.ID == 10 {
+			dsts = append(dsts, m.Dst)
+		}
+	}
+	if len(dsts) != 2 || dsts[0] != 20 || dsts[1] != 21 {
+		t.Fatalf("partition order not preserved: %v", dsts)
+	}
+
+	dirty := DirtyIDs(muts)
+	want := []uint64{10, 11, 12}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty %v, want %v", dirty, want)
+	}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("dirty %v, want %v", dirty, want)
+		}
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	store := NewMapStore()
+	j, err := OpenJournal(store, "/pregelix/pr/delta")
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	seq1, err := j.Append([]Mutation{{Op: OpAddEdge, ID: 1, Dst: 2}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	seq2, err := j.Append([]Mutation{{Op: OpRemoveVertex, ID: 3}, {Op: OpAddVertex, ID: 4}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("got seqs %d,%d want 1,2", seq1, seq2)
+	}
+
+	batches, err := j.Replay(0)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(batches) != 2 || batches[0].Seq != 1 || batches[1].Seq != 2 {
+		t.Fatalf("replay got %+v", batches)
+	}
+	if len(batches[1].Muts) != 2 || batches[1].Muts[0].Op != OpRemoveVertex {
+		t.Fatalf("replay batch 2 corrupt: %+v", batches[1])
+	}
+
+	// Replay after the first sequence skips it.
+	tail, err := j.Replay(1)
+	if err != nil {
+		t.Fatalf("Replay(1): %v", err)
+	}
+	if len(tail) != 1 || tail[0].Seq != 2 {
+		t.Fatalf("replay(1) got %+v", tail)
+	}
+
+	// Reopening resumes the sequence counter from durable state.
+	j2, err := OpenJournal(store, "/pregelix/pr/delta")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if j2.LastSeq() != 2 {
+		t.Fatalf("reopened LastSeq = %d, want 2", j2.LastSeq())
+	}
+	seq3, err := j2.Append([]Mutation{{Op: OpAddVertex, ID: 9}})
+	if err != nil || seq3 != 3 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq3, err)
+	}
+}

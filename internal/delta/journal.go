@@ -1,0 +1,225 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is the durable byte store the journal writes through. The
+// coordinator backs it with its replicated checkpoint DFS; the
+// single-process runtime backs it with the job-manager's DFS; tests
+// back it with a map. Put must be atomic per name (write-then-commit),
+// matching the DFS PutFile contract.
+type Store interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List(prefix string) ([]string, error)
+}
+
+// Batch is one journaled ingest batch. Seq is assigned at append time
+// and strictly increases; a delta run consumes every batch with
+// Seq > the last refreshed sequence.
+type Batch struct {
+	Seq  uint64
+	Muts []Mutation
+}
+
+// Journal persists mutation batches before they are acknowledged, so an
+// accepted batch survives coordinator restart and can be replayed into
+// the next delta run. One journal serves one base job; batch files live
+// under <prefix>/batch-<seq>.
+type Journal struct {
+	store  Store
+	prefix string
+
+	mu      sync.Mutex
+	nextSeq uint64
+}
+
+// OpenJournal opens (or creates) the journal rooted at prefix, resuming
+// the sequence counter from any batches already present.
+func OpenJournal(store Store, prefix string) (*Journal, error) {
+	prefix = strings.TrimSuffix(prefix, "/")
+	j := &Journal{store: store, prefix: prefix, nextSeq: 1}
+	names, err := store.List(prefix + "/")
+	if err != nil {
+		return nil, fmt.Errorf("delta: listing journal %s: %v", prefix, err)
+	}
+	for _, n := range names {
+		var seq uint64
+		if parseBatchName(n, &seq) && seq >= j.nextSeq {
+			j.nextSeq = seq + 1
+		}
+	}
+	return j, nil
+}
+
+// Append durably journals one batch and returns its sequence number.
+// The batch is on stable storage when Append returns; only then may the
+// ingest endpoint acknowledge the client.
+func (j *Journal) Append(muts []Mutation) (uint64, error) {
+	if len(muts) == 0 {
+		return 0, fmt.Errorf("delta: refusing to journal empty batch")
+	}
+	j.mu.Lock()
+	seq := j.nextSeq
+	j.nextSeq++
+	j.mu.Unlock()
+	if err := j.store.Put(j.batchName(seq), EncodeBatch(muts)); err != nil {
+		return 0, fmt.Errorf("delta: journaling batch %d: %v", seq, err)
+	}
+	return seq, nil
+}
+
+// Replay returns every journaled batch with Seq > after, in sequence
+// order. A delta run replays from the last refreshed sequence; a cold
+// restart replays from 0.
+func (j *Journal) Replay(after uint64) ([]Batch, error) {
+	names, err := j.store.List(j.prefix + "/")
+	if err != nil {
+		return nil, fmt.Errorf("delta: listing journal %s: %v", j.prefix, err)
+	}
+	var seqs []uint64
+	for _, n := range names {
+		var seq uint64
+		if parseBatchName(n, &seq) && seq > after {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] < seqs[k] })
+	out := make([]Batch, 0, len(seqs))
+	for _, seq := range seqs {
+		data, err := j.store.Get(j.batchName(seq))
+		if err != nil {
+			return nil, fmt.Errorf("delta: reading batch %d: %v", seq, err)
+		}
+		muts, err := ParseBatch(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("delta: batch %d corrupt: %v", seq, err)
+		}
+		out = append(out, Batch{Seq: seq, Muts: muts})
+	}
+	return out, nil
+}
+
+// LastSeq reports the highest sequence number assigned so far (0 if the
+// journal is empty).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1
+}
+
+// SetApplied durably records seq as the last journal sequence a
+// completed refresh has folded into the sealed result. Mutation
+// application is not idempotent (a re-applied addEdge appends a
+// duplicate), so a restart must replay only batches past this marker —
+// Replay(Applied()) is the resume contract.
+func (j *Journal) SetApplied(seq uint64) error {
+	if err := j.store.Put(j.appliedName(), []byte(strconv.FormatUint(seq, 10))); err != nil {
+		return fmt.Errorf("delta: recording applied sequence %d: %v", seq, err)
+	}
+	return nil
+}
+
+// Applied returns the last refreshed sequence (0 when no refresh has
+// completed). An absent marker is the normal cold state, distinguished
+// from store failures by listing before reading.
+func (j *Journal) Applied() (uint64, error) {
+	names, err := j.store.List(j.appliedName())
+	if err != nil {
+		return 0, fmt.Errorf("delta: listing applied marker: %v", err)
+	}
+	found := false
+	for _, n := range names {
+		if n == j.appliedName() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, nil
+	}
+	data, err := j.store.Get(j.appliedName())
+	if err != nil {
+		return 0, fmt.Errorf("delta: reading applied marker: %v", err)
+	}
+	seq, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("delta: applied marker corrupt: %v", err)
+	}
+	return seq, nil
+}
+
+func (j *Journal) appliedName() string { return j.prefix + "/applied" }
+
+func (j *Journal) batchName(seq uint64) string {
+	return fmt.Sprintf("%s/batch-%016d", j.prefix, seq)
+}
+
+// parseBatchName extracts the sequence from ".../batch-<seq>" names.
+func parseBatchName(name string, seq *uint64) bool {
+	i := strings.LastIndex(name, "/batch-")
+	if i < 0 {
+		return false
+	}
+	s := name[i+len("/batch-"):]
+	if s == "" {
+		return false
+	}
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	*seq = v
+	return true
+}
+
+// MapStore is an in-memory Store for tests and the single-process
+// runtime's ephemeral mode.
+type MapStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMapStore returns an empty MapStore.
+func NewMapStore() *MapStore { return &MapStore{m: make(map[string][]byte)} }
+
+// Put implements Store.
+func (s *MapStore) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (s *MapStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[name]
+	if !ok {
+		return nil, fmt.Errorf("delta: %s not found", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (s *MapStore) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name := range s.m {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -118,6 +118,18 @@
 //	| query.topk            | cc → worker   the worker's local top-k by   |
 //	|                       |               vertex value; the controller  |
 //	|                       |               merges per-worker lists       |
+//	| delta.ingest          | cc → worker   open a delta session: clone   |
+//	|                       |               the named sealed version's    |
+//	|                       |               partitions, apply a routed    |
+//	|                       |               mutation batch through the    |
+//	|                       |               job's Resolver, accumulate    |
+//	|                       |               the dirty vertex set          |
+//	| delta.run             | cc → worker   arm the delta session: mark   |
+//	|                       |               the dirty frontier live and   |
+//	|                       |               seed the global state so      |
+//	|                       |               job.superstep rounds refresh  |
+//	|                       |               incrementally; job.end seals  |
+//	|                       |               the clone as the new version  |
 //	| worker.drain          | worker → cc   NOTIFICATION (no reply): a    |
 //	|                       |               departing worker asks to have |
 //	|                       |               its partitions migrated out   |

@@ -84,8 +84,17 @@ type Resolver interface {
 	Resolve(vid VertexID, existing *Vertex, additions []*Vertex, removed bool) *Vertex
 }
 
-// DefaultResolver applies deletions before insertions and lets the last
-// addition win, the documented default conflict ordering.
+// DefaultResolver applies the documented default conflict ordering:
+// deletions first, then insertions, with the last addition winning.
+// A duplicate addVertex of a vertex that survived deletion MERGES
+// rather than replaces: the addition's value is adopted, the existing
+// edge list is kept, and the vertex is reactivated — a duplicate insert
+// must not silently drop a vertex's edges. After an explicit removal
+// the insertion starts fresh (remove-then-add is the documented way to
+// reset a vertex). Messages sent to a vertex that does not exist at
+// delivery time — removed, or never created (a dangling edge's head) —
+// are handled by the runtime, not the resolver: the vertex is
+// materialized with the codec's zero value and computes the messages.
 type DefaultResolver struct{}
 
 // Resolve implements Resolver.
@@ -95,7 +104,13 @@ func (DefaultResolver) Resolve(vid VertexID, existing *Vertex, additions []*Vert
 		v = nil
 	}
 	if len(additions) > 0 {
-		v = additions[len(additions)-1]
+		add := additions[len(additions)-1]
+		if v != nil {
+			v.Value = add.Value
+			v.Halted = false
+			return v
+		}
+		v = add
 	}
 	return v
 }

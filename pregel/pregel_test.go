@@ -306,8 +306,8 @@ func TestDefaultResolver(t *testing.T) {
 	if got := r.Resolve(1, existing, nil, true); got != nil {
 		t.Fatal("removal should delete")
 	}
-	if got := r.Resolve(1, existing, []*Vertex{add1, add2}, false); got != add2 {
-		t.Fatal("last addition should win")
+	if got := r.Resolve(1, existing, []*Vertex{add1, add2}, false); got != existing {
+		t.Fatal("addition over a surviving vertex should merge into it")
 	}
 	if got := r.Resolve(1, existing, []*Vertex{add1}, true); got != add1 {
 		t.Fatal("deletion then insertion should keep the insertion")

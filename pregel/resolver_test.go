@@ -1,0 +1,83 @@
+package pregel
+
+import "testing"
+
+// TestDefaultResolverTable pins the default mutation-conflict
+// semantics the delta-ingest subsystem relies on: deletions before
+// insertions, last addition wins, duplicate addVertex merges into a
+// surviving vertex (value adopted, edges kept, vertex reactivated),
+// remove-then-add starts fresh.
+func TestDefaultResolverTable(t *testing.T) {
+	mkExisting := func() *Vertex {
+		v := &Vertex{ID: 1, Halted: true}
+		val := Int64(10)
+		v.Value = &val
+		v.AddEdge(2, nil)
+		v.AddEdge(3, nil)
+		return v
+	}
+	mkAdd := func(val int64) *Vertex {
+		v := &Vertex{ID: 1}
+		d := Int64(val)
+		v.Value = &d
+		return v
+	}
+
+	cases := []struct {
+		name      string
+		existing  bool
+		additions []int64
+		removed   bool
+		// expectations
+		wantNil   bool
+		wantValue int64
+		wantEdges int
+		wantLive  bool
+	}{
+		{name: "noMutation", existing: true, wantValue: 10, wantEdges: 2, wantLive: false},
+		{name: "plainRemoval", existing: true, removed: true, wantNil: true},
+		{name: "removalOfAbsent", removed: true, wantNil: true},
+		{name: "addToAbsent", additions: []int64{7}, wantValue: 7, wantEdges: 0, wantLive: true},
+		{name: "lastAdditionWins", additions: []int64{7, 8, 9}, wantValue: 9, wantEdges: 0, wantLive: true},
+		// Duplicate addVertex of a live record: the addition's value is
+		// adopted but the existing edge list survives — a duplicate
+		// insert must not silently disconnect the vertex.
+		{name: "duplicateAddMerges", existing: true, additions: []int64{42}, wantValue: 42, wantEdges: 2, wantLive: true},
+		{name: "duplicateAddLastWins", existing: true, additions: []int64{41, 42}, wantValue: 42, wantEdges: 2, wantLive: true},
+		// Remove-then-add resets the vertex: the insertion starts fresh
+		// with no inherited edges.
+		{name: "removeThenAdd", existing: true, additions: []int64{5}, removed: true, wantValue: 5, wantEdges: 0, wantLive: true},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var existing *Vertex
+			if c.existing {
+				existing = mkExisting()
+			}
+			var adds []*Vertex
+			for _, val := range c.additions {
+				adds = append(adds, mkAdd(val))
+			}
+			got := DefaultResolver{}.Resolve(1, existing, adds, c.removed)
+			if c.wantNil {
+				if got != nil {
+					t.Fatalf("got %+v, want deletion", got)
+				}
+				return
+			}
+			if got == nil {
+				t.Fatal("got deletion, want a vertex")
+			}
+			if v := int64(*got.Value.(*Int64)); v != c.wantValue {
+				t.Fatalf("value %d, want %d", v, c.wantValue)
+			}
+			if len(got.Edges) != c.wantEdges {
+				t.Fatalf("edges %d, want %d", len(got.Edges), c.wantEdges)
+			}
+			if live := !got.Halted; live != c.wantLive {
+				t.Fatalf("live %v, want %v", live, c.wantLive)
+			}
+		})
+	}
+}
