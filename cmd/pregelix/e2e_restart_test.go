@@ -1,0 +1,183 @@
+package main
+
+// Coordinator chaos at the process level: SIGKILL the `pregelix serve`
+// controller mid-job and bring it back — either as a restart pointed at
+// the same -state-dir or as a warm standby (-standby-cc) taking the
+// lease over. The in-process variants live in
+// internal/core/chaos_test.go; these cross real process boundaries,
+// so the durable state dir (checkpoint DFS, catalog, job registry,
+// lease) and the worker -rejoin loop are the only things connecting
+// the old controller's world to the new one's.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pregelix/internal/core"
+	"pregelix/internal/graphgen"
+)
+
+// queryVertexOK reads one vertex through the query API and requires a
+// found answer.
+func queryVertexOK(t *testing.T, base string, id int64, vid uint64) core.VertexQueryResult {
+	t.Helper()
+	var res core.VertexQueryResult
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d/vertices/%d", base, id, vid),
+		nil, http.StatusOK, &res)
+	if !res.Found {
+		t.Fatalf("vertex %d not found in job %d's sealed result", vid, id)
+	}
+	return res
+}
+
+// TestCoordinatorRestartEndToEnd kills the coordinator process with the
+// cluster mid-superstep and restarts it against the same -state-dir:
+// the rejoining workers are re-adopted, the interrupted job resumes
+// from its last committed checkpoint manifest, its output matches the
+// failure-free run, and the pre-kill job's sealed result is still
+// queryable through the new controller.
+func TestCoordinatorRestartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning chaos test in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	stateDir := t.TempDir()
+	serveArgs := []string{"-state-dir", stateDir, "-lease-interval", "300ms", "-replace-wait", "60s"}
+	c := startProcClusterWorkers(t, ctx, 2,
+		[]string{"-rejoin", "-rejoin-wait", "200ms"}, serveArgs...)
+
+	g := graphgen.Webmap(30000, 5, 7)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		t.Fatal(err)
+	}
+	putFile(t, c.base(), "/in/graph", graph.Bytes())
+
+	submit := func(name, output string) int64 {
+		return submitJob(t, c.base(), `{"algorithm":"pagerank","name":"`+name+`","input":"/in/graph","output":"`+output+`","iterations":8,"checkpointEvery":2}`)
+	}
+
+	// Failure-free baseline; its completion also seals a query version.
+	cleanID := submit("pr-clean", "/out/clean")
+	if st := waitJobDone(t, c.base(), cleanID, 180*time.Second); st.State != "done" {
+		t.Fatalf("baseline job state %q (error %q)", st.State, st.Error)
+	}
+	cleanOut := getFile(t, c.base(), "/out/clean")
+	pre := queryVertexOK(t, c.base(), cleanID, 1)
+
+	// Chaos run: SIGKILL the coordinator once the superstep-2 checkpoint
+	// is committed and superstep 3+ is in flight.
+	chaosID := submit("pr-chaos", "/out/chaos")
+	killDeadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("job never reached superstep 3; cannot inject fault")
+		}
+		st := pollJob(t, c.base(), chaosID)
+		if st.State == "done" || st.State == "failed" {
+			t.Fatalf("job finished (state %q) before the fault was injected — enlarge the graph", st.State)
+		}
+		if st.Supersteps >= 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.killServe()
+
+	// Restart against the same state dir (waits out the dead holder's
+	// lease, then re-binds the same control-plane address so the
+	// -rejoin workers find it).
+	c.restartServe(serveArgs...)
+	waitHealthy(t, c.base()+"/healthz")
+
+	// The restored registry resumes the interrupted job on its own.
+	st := waitJobDone(t, c.base(), chaosID, 180*time.Second)
+	if st.State != "done" {
+		t.Fatalf("resumed job state %q (error %q)", st.State, st.Error)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("resumed job recorded no recovery — it re-ran from scratch instead of the checkpoint manifest")
+	}
+	compareRanks(t, cleanOut, getFile(t, c.base(), "/out/chaos"))
+
+	// The pre-kill job survived the restart: registry state, sealed
+	// query version (re-adopted from the rejoining workers) and dumped
+	// output are all still served.
+	if st := pollJob(t, c.base(), cleanID); st.State != "done" {
+		t.Fatalf("pre-kill job state %q after restart, want done", st.State)
+	}
+	post := queryVertexOK(t, c.base(), cleanID, 1)
+	if post.Value != pre.Value {
+		t.Fatalf("vertex 1 changed across restart: %q vs %q", pre.Value, post.Value)
+	}
+	if got := getFile(t, c.base(), "/out/clean"); !bytes.Equal(got, cleanOut) {
+		t.Fatal("pre-kill job's dumped output changed across restart")
+	}
+}
+
+// TestStandbyTakeoverEndToEnd parks a warm standby controller
+// (-standby-cc) on the same state dir, SIGKILLs the primary, and
+// requires the standby to take the lease over, re-adopt the rejoining
+// workers and the sealed query tier, and run new jobs.
+func TestStandbyTakeoverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning chaos test in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	stateDir := t.TempDir()
+	serveArgs := []string{"-state-dir", stateDir, "-lease-interval", "300ms", "-replace-wait", "60s"}
+	c := startProcClusterWorkers(t, ctx, 2,
+		[]string{"-rejoin", "-rejoin-wait", "200ms"}, serveArgs...)
+	standby := c.startStandby(serveArgs...)
+
+	g := graphgen.Webmap(5000, 4, 7)
+	var graph bytes.Buffer
+	if _, err := graphgen.WriteText(&graph, g); err != nil {
+		t.Fatal(err)
+	}
+	putFile(t, c.base(), "/in/graph", graph.Bytes())
+
+	id := submitJob(t, c.base(), `{"algorithm":"pagerank","name":"pr-ha","input":"/in/graph","output":"/out/ha","iterations":4}`)
+	if st := waitJobDone(t, c.base(), id, 120*time.Second); st.State != "done" {
+		t.Fatalf("job state %q (error %q)", st.State, st.Error)
+	}
+	out := getFile(t, c.base(), "/out/ha")
+	pre := queryVertexOK(t, c.base(), id, 1)
+
+	// Kill the primary without warning; the standby notices the lease
+	// going stale (3 missed 300ms renewals), takes over, and prints its
+	// startup line — which waitAddrs doubles as the takeover signal.
+	c.killServe()
+	standby.waitAddrs(t, 60*time.Second)
+	c.adoptServe(standby)
+	if !strings.Contains(standby.log.String(), "assuming coordinator role") {
+		t.Fatalf("standby never logged its takeover:\n%s", standby.log.String())
+	}
+	waitHealthy(t, c.base()+"/healthz")
+
+	// Everything the primary owned is served by the standby: registry,
+	// files, and the sealed query version re-adopted from the workers.
+	if st := pollJob(t, c.base(), id); st.State != "done" {
+		t.Fatalf("job state %q after takeover, want done", st.State)
+	}
+	if got := getFile(t, c.base(), "/out/ha"); !bytes.Equal(got, out) {
+		t.Fatal("dumped output changed across takeover")
+	}
+	post := queryVertexOK(t, c.base(), id, 1)
+	if post.Value != pre.Value {
+		t.Fatalf("vertex 1 changed across takeover: %q vs %q", pre.Value, post.Value)
+	}
+
+	// And the new controller schedules fresh work.
+	id2 := submitJob(t, c.base(), `{"algorithm":"cc","name":"cc-ha","input":"/in/graph","output":"/out/cc"}`)
+	if st := waitJobDone(t, c.base(), id2, 120*time.Second); st.State != "done" {
+		t.Fatalf("post-takeover job state %q (error %q)", st.State, st.Error)
+	}
+}

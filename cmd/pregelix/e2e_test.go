@@ -3,15 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"math"
-	"net"
 	"net/http"
-	"os"
-	"os/exec"
-	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -19,62 +11,21 @@ import (
 	"pregelix/internal/graphgen"
 )
 
-// TestTwoProcessEndToEnd is the real-wire smoke test: it builds the
-// pregelix binary, starts `pregelix serve` in cluster mode plus one
-// `pregelix worker` as separate OS processes on loopback, runs a
-// PageRank job through the HTTP API, and checks the dumped output. This
-// is the acceptance path for the multi-process worker mode — the whole
-// stack (control-plane handshake, wire-transport shuffle, distributed
+// TestTwoProcessEndToEnd is the real-wire smoke test: it starts
+// `pregelix serve` in cluster mode plus one `pregelix worker` as
+// separate OS processes on loopback (harness_test.go), runs a PageRank
+// job through the HTTP API, and checks the dumped output. This is the
+// acceptance path for the multi-process worker mode — the whole stack
+// (control-plane handshake, wire-transport shuffle, distributed
 // superstep loop, dump) crosses real process boundaries.
 func TestTwoProcessEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping process-spawning e2e test in -short mode")
 	}
-
-	bin := filepath.Join(t.TempDir(), "pregelix")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	build.Env = os.Environ()
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building pregelix: %v\n%s", err, out)
-	}
-
-	httpAddr := freeAddr(t)
-	ccAddr := freeAddr(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
 	defer cancel()
-
-	var serveLog, workerLog bytes.Buffer
-	serve := exec.CommandContext(ctx, bin, "serve",
-		"-listen", httpAddr, "-workers", "1", "-cluster-listen", ccAddr)
-	serve.Stderr = &serveLog
-	if err := serve.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		serve.Process.Kill()
-		serve.Wait()
-		if t.Failed() {
-			t.Logf("serve log:\n%s", serveLog.String())
-		}
-	}()
-
-	// Wait for the control plane to be listening before the worker dials.
-	waitTCP(t, ccAddr)
-	worker := exec.CommandContext(ctx, bin, "worker", "-cc", ccAddr, "-nodes", "2")
-	worker.Stderr = &workerLog
-	if err := worker.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		worker.Process.Kill()
-		worker.Wait()
-		if t.Failed() {
-			t.Logf("worker log:\n%s", workerLog.String())
-		}
-	}()
-
-	base := "http://" + httpAddr
-	waitHealthy(t, base+"/healthz")
+	c := startProcCluster(t, ctx, 1)
+	base := c.base()
 
 	// Upload the graph.
 	g := graphgen.Webmap(80, 3, 7)
@@ -82,61 +33,10 @@ func TestTwoProcessEndToEnd(t *testing.T) {
 	if _, err := graphgen.WriteText(&graph, g); err != nil {
 		t.Fatal(err)
 	}
-	put, err := http.NewRequest(http.MethodPut, base+"/files/in/graph", bytes.NewReader(graph.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(put)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("upload status %d", resp.StatusCode)
-	}
+	putFile(t, base, "/in/graph", graph.Bytes())
 
-	// Submit PageRank and poll to completion.
-	body := `{"algorithm":"pagerank","name":"pr-e2e","input":"/in/graph","output":"/out/ranks","iterations":3}`
-	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var submitted struct {
-		ID int64 `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status %d", resp.StatusCode)
-	}
-
-	deadline := time.Now().Add(120 * time.Second)
-	var status struct {
-		State      string `json:"state"`
-		Error      string `json:"error"`
-		Supersteps int64  `json:"supersteps"`
-		Vertices   int64  `json:"vertices"`
-	}
-	for {
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in state %q", status.State)
-		}
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, submitted.ID))
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = json.NewDecoder(resp.Body).Decode(&status)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if status.State == "done" || status.State == "failed" {
-			break
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
+	id := submitJob(t, base, `{"algorithm":"pagerank","name":"pr-e2e","input":"/in/graph","output":"/out/ranks","iterations":3}`)
+	status := waitJobDone(t, base, id, 120*time.Second)
 	if status.State != "done" {
 		t.Fatalf("job state %q (error %q)", status.State, status.Error)
 	}
@@ -148,14 +48,7 @@ func TestTwoProcessEndToEnd(t *testing.T) {
 	}
 
 	// Fetch the output and check every vertex produced a rank.
-	resp, err = http.Get(base + "/files/out/ranks")
-	if err != nil {
-		t.Fatal(err)
-	}
-	out, err := readAll(resp)
-	if err != nil {
-		t.Fatal(err)
-	}
+	out := getFile(t, base, "/out/ranks")
 	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
 	if len(lines) != g.NumVertices() {
 		t.Fatalf("output has %d lines, want %d", len(lines), g.NumVertices())
@@ -180,57 +73,10 @@ func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping process-spawning e2e test in -short mode")
 	}
-
-	bin := filepath.Join(t.TempDir(), "pregelix")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	build.Env = os.Environ()
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building pregelix: %v\n%s", err, out)
-	}
-
-	httpAddr := freeAddr(t)
-	ccAddr := freeAddr(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
 	defer cancel()
-
-	var serveLog bytes.Buffer
-	serve := exec.CommandContext(ctx, bin, "serve",
-		"-listen", httpAddr, "-workers", "2", "-cluster-listen", ccAddr,
-		"-replace-wait", "60s")
-	serve.Stderr = &serveLog
-	if err := serve.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		serve.Process.Kill()
-		serve.Wait()
-		if t.Failed() {
-			t.Logf("serve log:\n%s", serveLog.String())
-		}
-	}()
-	waitTCP(t, ccAddr)
-
-	startWorker := func(name string) *exec.Cmd {
-		log := &bytes.Buffer{}
-		w := exec.CommandContext(ctx, bin, "worker", "-cc", ccAddr, "-nodes", "2")
-		w.Stderr = log
-		if err := w.Start(); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() {
-			w.Process.Kill()
-			w.Wait()
-			if t.Failed() {
-				t.Logf("%s log:\n%s", name, log.String())
-			}
-		})
-		return w
-	}
-	startWorker("worker1")
-	victim := startWorker("worker2")
-
-	base := "http://" + httpAddr
-	waitHealthy(t, base+"/healthz")
+	c := startProcCluster(t, ctx, 2, "-replace-wait", "60s")
+	base := c.base()
 
 	// A graph big enough that supersteps take observable wall time, so
 	// the kill lands mid-run.
@@ -242,64 +88,19 @@ func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
 	putFile(t, base, "/in/graph", graph.Bytes())
 
 	submit := func(name, output string) int64 {
-		body := fmt.Sprintf(`{"algorithm":"pagerank","name":%q,"input":"/in/graph","output":%q,"iterations":8,"checkpointEvery":2}`, name, output)
-		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var submitted struct {
-			ID int64 `json:"id"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&submitted)
-		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusAccepted {
-			t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
-		}
-		return submitted.ID
-	}
-
-	type jobStatus struct {
-		State      string `json:"state"`
-		Error      string `json:"error"`
-		Supersteps int64  `json:"supersteps"`
-		Recoveries int    `json:"recoveries"`
-		Ckpts      int    `json:"checkpoints"`
-	}
-	poll := func(id int64) jobStatus {
-		var st jobStatus
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return st
-	}
-	waitDone := func(id int64) jobStatus {
-		deadline := time.Now().Add(180 * time.Second)
-		for time.Now().Before(deadline) {
-			st := poll(id)
-			if st.State == "done" || st.State == "failed" {
-				return st
-			}
-			time.Sleep(100 * time.Millisecond)
-		}
-		t.Fatalf("job %d never finished", id)
-		return jobStatus{}
+		return submitJob(t, base, `{"algorithm":"pagerank","name":"`+name+`","input":"/in/graph","output":"`+output+`","iterations":8,"checkpointEvery":2}`)
 	}
 
 	// Failure-free baseline run.
 	cleanID := submit("pr-clean", "/out/clean")
-	if st := waitDone(cleanID); st.State != "done" {
+	if st := waitJobDone(t, base, cleanID, 180*time.Second); st.State != "done" {
 		t.Fatalf("baseline job state %q (error %q)", st.State, st.Error)
 	}
 	cleanOut := getFile(t, base, "/out/clean")
 
-	// Faulty run: SIGKILL worker2 once the superstep-2 checkpoint is
-	// committed and superstep 3+ is in flight.
+	// Faulty run: SIGKILL the second assembly worker once the
+	// superstep-2 checkpoint is committed and superstep 3+ is in flight.
+	victim := c.workerProcs[1]
 	killID := submit("pr-kill", "/out/kill")
 	killed := false
 	killDeadline := time.Now().Add(120 * time.Second)
@@ -307,7 +108,7 @@ func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
 		if time.Now().After(killDeadline) {
 			t.Fatal("job never reached superstep 3; cannot inject fault")
 		}
-		st := poll(killID)
+		st := pollJob(t, base, killID)
 		if st.State == "done" || st.State == "failed" {
 			t.Fatalf("job finished (state %q) before the fault was injected — enlarge the graph", st.State)
 		}
@@ -320,16 +121,16 @@ func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	// Attach the replacement worker the recovery is waiting for.
-	startWorker("worker3")
+	c.startWorker("replacement")
 
-	st := waitDone(killID)
+	st := waitJobDone(t, base, killID, 180*time.Second)
 	if st.State != "done" {
 		t.Fatalf("killed job state %q (error %q)", st.State, st.Error)
 	}
 	if st.Recoveries == 0 {
 		t.Fatal("job finished without recording a recovery")
 	}
-	if st.Ckpts == 0 {
+	if st.Checkpoints == 0 {
 		t.Fatal("job finished without recording checkpoints")
 	}
 	killOut := getFile(t, base, "/out/kill")
@@ -350,124 +151,4 @@ func TestWorkerKillRecoveryEndToEnd(t *testing.T) {
 			t.Fatalf("/stats missing %q event: %s", kind, stats)
 		}
 	}
-}
-
-// putFile uploads a file through the serve API.
-func putFile(t *testing.T, base, path string, data []byte) {
-	t.Helper()
-	req, err := http.NewRequest(http.MethodPut, base+"/files"+path, bytes.NewReader(data))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("upload %s: status %d", path, resp.StatusCode)
-	}
-}
-
-// getFile downloads a file through the serve API.
-func getFile(t *testing.T, base, path string) []byte {
-	t.Helper()
-	resp, err := http.Get(base + "/files" + path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := readAll(resp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("download %s: status %d", path, resp.StatusCode)
-	}
-	return data
-}
-
-// compareRanks requires two dumped PageRank outputs to agree per vertex
-// within float tolerance.
-func compareRanks(t *testing.T, a, b []byte) {
-	t.Helper()
-	parse := func(out []byte) map[string]float64 {
-		m := map[string]float64{}
-		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
-			fields := strings.SplitN(line, "\t", 3)
-			if len(fields) < 2 {
-				t.Fatalf("malformed output line %q", line)
-			}
-			v, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				t.Fatalf("bad rank in %q: %v", line, err)
-			}
-			m[fields[0]] = v
-		}
-		return m
-	}
-	am, bm := parse(a), parse(b)
-	if len(am) != len(bm) {
-		t.Fatalf("vertex counts differ: %d vs %d", len(am), len(bm))
-	}
-	for id, av := range am {
-		bv, ok := bm[id]
-		if !ok {
-			t.Fatalf("vertex %s missing from recovered output", id)
-		}
-		diff := math.Abs(av - bv)
-		if tol := 1e-6 * math.Max(math.Abs(av), math.Abs(bv)); diff > tol && diff > 1e-300 {
-			t.Fatalf("vertex %s: rank %v vs %v", id, av, bv)
-		}
-	}
-}
-
-func readAll(resp *http.Response) ([]byte, error) {
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	_, err := buf.ReadFrom(resp.Body)
-	return buf.Bytes(), err
-}
-
-// freeAddr reserves a loopback port and releases it for the subprocess.
-func freeAddr(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
-
-// waitTCP polls until something is listening at addr.
-func waitTCP(t *testing.T, addr string) {
-	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			conn.Close()
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Fatalf("nothing listening at %s", addr)
-}
-
-// waitHealthy polls the health endpoint until the cluster reports ready.
-func waitHealthy(t *testing.T, url string) {
-	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(url)
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return
-			}
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	t.Fatalf("cluster never became healthy at %s", url)
 }

@@ -3,69 +3,16 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"testing"
 	"time"
 
 	"pregelix/internal/core"
 )
 
-// startTestCluster boots an in-process coordinator plus worker
-// goroutines and wraps them in the cluster HTTP server, so the /scale
-// endpoint is exercised against a real (single-address-space) cluster.
-func startTestCluster(t *testing.T, workers int) (*httptest.Server, *core.Coordinator) {
-	t.Helper()
-	coord, err := core.NewCoordinator(core.CoordinatorConfig{
-		ListenAddr: "127.0.0.1:0",
-		Workers:    workers,
-		Logf:       t.Logf,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	t.Cleanup(func() {
-		coord.Close()
-		cancel()
-	})
-	for i := 0; i < workers; i++ {
-		dir := t.TempDir()
-		go func() {
-			core.RunWorker(ctx, core.WorkerConfig{
-				CCAddr:   coord.Addr(),
-				BaseDir:  dir,
-				Nodes:    2,
-				BuildJob: buildJobFromSpec,
-			})
-		}()
-	}
-	readyCtx, done := context.WithTimeout(context.Background(), 30*time.Second)
-	defer done()
-	if err := coord.WaitReady(readyCtx); err != nil {
-		t.Fatalf("cluster never became ready: %v", err)
-	}
-	ts := httptest.NewServer(newClusterServer(coord))
-	t.Cleanup(ts.Close)
-	return ts, coord
-}
-
-func getJSON(t *testing.T, url string, out any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: %s", url, resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		t.Fatal(err)
-	}
-}
+// The in-process cluster setup (startTestCluster) and the HTTP helpers
+// live in harness_test.go, shared with the process-level e2e tests.
 
 // TestScaleEndpoint covers the elasticity API surface: GET /scale
 // reports the live worker→nodes topology; an elastic worker joining is

@@ -43,6 +43,9 @@ func serveMain(args []string) {
 		clusterListen = fs.String("cluster-listen", "127.0.0.1:9090", "cluster mode: control-plane address workers register at")
 		replaceWait   = fs.Duration("replace-wait", 0, "cluster mode: how long failure recovery waits for a standby worker before redistributing the dead worker's nodes over survivors")
 		compress      = fs.String("compress", "auto", "frame compression for checkpoint images: off, flate, or auto (cluster mode: set per worker with `pregelix worker -compress`)")
+		stateDir      = fs.String("state-dir", "", "cluster mode: durable coordinator state directory (checkpoint store, sealed-version catalog, job registry, lease); a restarted controller pointed here resumes where the dead one stopped")
+		standbyCC     = fs.Bool("standby-cc", false, "cluster mode: start as a warm standby controller — wait for the coordinator lease in -state-dir to lapse, then take over")
+		leaseInterval = fs.Duration("lease-interval", 2*time.Second, "cluster mode: coordinator lease renewal interval (a standby takes over after 3 missed renewals)")
 	)
 	fs.Parse(args)
 
@@ -65,8 +68,25 @@ func serveMain(args []string) {
 				fmt.Fprintf(os.Stderr, "pregelix serve: -compress is ignored in cluster mode (set it per worker: pregelix worker -compress)\n")
 			}
 		})
-		serveCluster(*listen, *workers, *partitions, *ram, *clusterListen, *maxQueued, *replaceWait)
+		if *standbyCC && *stateDir == "" {
+			fatal(errors.New("pregelix serve: -standby-cc requires -state-dir (the lease lives there)"))
+		}
+		serveCluster(clusterOptions{
+			listen:        *listen,
+			workers:       *workers,
+			partitions:    *partitions,
+			ram:           *ram,
+			clusterListen: *clusterListen,
+			maxQueued:     *maxQueued,
+			replaceWait:   *replaceWait,
+			stateDir:      *stateDir,
+			standby:       *standbyCC,
+			leaseInterval: *leaseInterval,
+		})
 		return
+	}
+	if *stateDir != "" || *standbyCC {
+		fatal(errors.New("pregelix serve: -state-dir and -standby-cc require cluster mode (-workers N)"))
 	}
 
 	dir := *baseDir

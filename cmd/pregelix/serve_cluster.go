@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,19 +22,84 @@ import (
 	"pregelix/pregel"
 )
 
+// clusterOptions carries the cluster-mode serve flags.
+type clusterOptions struct {
+	listen        string
+	workers       int
+	partitions    int
+	ram           int64
+	clusterListen string
+	maxQueued     int
+	replaceWait   time.Duration
+	// stateDir, when set, makes the whole control plane durable: the
+	// coordinator's checkpoint store, catalog and lease plus the
+	// controller's job registry and file store all live there, and a
+	// restarted process (or a standby taking over) resumes from them.
+	stateDir      string
+	standby       bool
+	leaseInterval time.Duration
+}
+
 // serveCluster is the cluster-mode serving path: instead of simulating
 // machines in-process, the server is a cluster controller that waits for
 // `pregelix worker` processes to register and schedules every submitted
 // job across them. The HTTP API is the same shape as single-process
 // serve: PUT /files, POST /jobs, GET /jobs[/<id>], DELETE /jobs/<id>,
 // GET /stats.
-func serveCluster(listen string, workers, partitions int, ram int64, clusterListen string, maxQueued int, replaceWait time.Duration) {
+func serveCluster(opts clusterOptions) {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	shutdown := make(chan struct{})
+	go func() {
+		<-stop
+		close(shutdown)
+	}()
+
+	// With a state dir, coordinatorship is guarded by a lease file: the
+	// primary renews it, a standby (-standby-cc) parks here until the
+	// record lapses, and a fenced zombie steps down when Renew fails.
+	var lease *core.Lease
+	if opts.stateDir != "" {
+		if err := os.MkdirAll(opts.stateDir, 0o755); err != nil {
+			fatal(err)
+		}
+		leasePath := filepath.Join(opts.stateDir, "cc.lease")
+		host, _ := os.Hostname()
+		holder := fmt.Sprintf("%s/%d", host, os.Getpid())
+		var err error
+		if opts.standby {
+			fmt.Fprintf(os.Stderr, "pregelix serve: standby — watching coordinator lease %s\n", leasePath)
+			lease, err = core.WaitForLease(shutdown, leasePath, holder, opts.leaseInterval)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pregelix serve: standby stopped: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "pregelix serve: lease acquired (epoch %d) — assuming coordinator role\n", lease.Epoch())
+		} else {
+			lease, err = core.AcquireLease(leasePath, holder, opts.leaseInterval)
+			if errors.Is(err, core.ErrLeaseHeld) {
+				// A coordinator that was SIGKILLed leaves a fresh-looking
+				// record behind; a restart should wait out the staleness
+				// window (3 renewal intervals), not fail. A genuinely live
+				// holder keeps renewing and keeps us parked — which is the
+				// mutual exclusion working.
+				fmt.Fprintf(os.Stderr, "pregelix serve: %v — waiting for it to lapse\n", err)
+				lease, err = core.WaitForLease(shutdown, leasePath, holder, opts.leaseInterval)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		defer lease.Release()
+	}
+
 	coord, err := core.NewCoordinator(core.CoordinatorConfig{
-		ListenAddr:        clusterListen,
-		Workers:           workers,
-		PartitionsPerNode: partitions,
-		RAMBytes:          ram,
-		ReplaceWait:       replaceWait,
+		ListenAddr:        opts.clusterListen,
+		Workers:           opts.workers,
+		PartitionsPerNode: opts.partitions,
+		RAMBytes:          opts.ram,
+		ReplaceWait:       opts.replaceWait,
+		StateDir:          opts.stateDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},
@@ -43,19 +110,50 @@ func serveCluster(listen string, workers, partitions int, ram int64, clusterList
 	defer coord.Close()
 
 	s := newClusterServer(coord)
-	s.maxQueued = maxQueued
-	srv := &http.Server{Addr: listen, Handler: s}
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	s.maxQueued = opts.maxQueued
+	s.stateDir = opts.stateDir
+	resume := s.loadState()
+
+	// Bind explicitly so -listen :0 works and the printed address is the
+	// real one (the process test harness parses this line).
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s}
 	go func() {
-		<-stop
+		<-shutdown
 		fmt.Fprintln(os.Stderr, "pregelix serve: draining")
 		srv.Close()
 	}()
 
+	if lease != nil {
+		renewDone := make(chan struct{})
+		defer close(renewDone)
+		go func() {
+			tick := time.NewTicker(lease.Interval() / 2)
+			defer tick.Stop()
+			for {
+				select {
+				case <-renewDone:
+					return
+				case <-tick.C:
+				}
+				if err := lease.Renew(); err != nil {
+					fmt.Fprintf(os.Stderr, "pregelix serve: coordinator lease lost (%v) — stepping down\n", err)
+					srv.Close()
+					return
+				}
+			}
+		}()
+	}
+	if opts.stateDir != "" {
+		go s.resumeRestored(resume)
+	}
+
 	fmt.Fprintf(os.Stderr, "pregelix serve: cluster mode — waiting for %d workers on %s, HTTP on %s\n",
-		workers, coord.Addr(), listen)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		opts.workers, coord.Addr(), ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 }
@@ -70,6 +168,10 @@ type clusterJob struct {
 	// program (the workers rebuild from spec, the controller from req).
 	spec []byte
 	req  jobRequest
+	// resumeCtx is set on jobs restored mid-flight from a previous
+	// controller's registry; their re-run uses it instead of a fresh
+	// submission context so DELETE still cancels them.
+	resumeCtx context.Context
 
 	mu       sync.Mutex
 	state    string // queued | running | done | failed
@@ -77,6 +179,10 @@ type clusterJob struct {
 	stats    *core.JobStats
 	started  time.Time
 	finished time.Time
+	// deltaVersion is the latest sealed streaming-ingest version, kept
+	// here (and persisted) so a restarted controller chains the next
+	// refresh from it rather than from the original job name.
+	deltaVersion string
 	// liveSupersteps tracks progress while the job runs (fed by the
 	// coordinator's per-superstep callback), so pollers — and the
 	// fault-injection harness timing its kills — see movement before the
@@ -126,6 +232,9 @@ type clusterServer struct {
 	mux   *http.ServeMux
 	// maxQueued bounds jobs admitted but not yet finished (0 = unbounded).
 	maxQueued int
+	// stateDir, when set, backs the job registry and file store with
+	// disk (serve_state.go) so a controller restart resumes them.
+	stateDir string
 	// runMu serializes job execution (one distributed job at a time, the
 	// coordinator's own constraint) so job states report queued vs
 	// running truthfully.
@@ -205,11 +314,17 @@ func (s *clusterServer) view(j *clusterJob) jobView {
 		v.Recoveries = j.stats.Recoveries
 		v.Rebalances = j.stats.Rebalances
 		v.fillNetwork(j.stats)
-		if j.state == "done" {
-			v.Version = j.name
-		}
 	} else {
 		v.Supersteps = j.liveSupersteps
+	}
+	// A job restored as "done" from a previous controller's registry has
+	// no stats but its sealed result is still queryable, so the version
+	// comes from the state, not the stats.
+	if j.state == "done" {
+		v.Version = j.name
+		if j.deltaVersion != "" {
+			v.Version = j.deltaVersion
+		}
 	}
 	if d := s.delta(j.id); d != nil {
 		v.Version, v.DeltaSeq, v.Refreshing, v.DeltaError = d.status()
@@ -292,15 +407,16 @@ func (s *clusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.mu.Unlock()
+		s.saveState()
 
-		go s.runJob(ctx, j, body, job, req, input)
+		go s.runJob(ctx, j, body, job, req, input, false)
 		writeJSON(w, http.StatusAccepted, s.view(j))
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST /jobs")
 	}
 }
 
-func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, job *pregel.Job, req jobRequest, input []byte) {
+func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, job *pregel.Job, req jobRequest, input []byte, resume bool) {
 	defer close(j.done)
 	defer j.cancel()
 	// Stay "queued" until this job actually holds the execution slot; a
@@ -310,6 +426,7 @@ func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, 
 	defer s.runMu.Unlock()
 	if ctx.Err() != nil {
 		j.finish(nil, ctx.Err())
+		s.saveState()
 		return
 	}
 	j.setState("running")
@@ -321,13 +438,16 @@ func (s *clusterServer) runJob(ctx context.Context, j *clusterJob, spec []byte, 
 		InputData:  input,
 		WantOutput: req.Output != "",
 		Progress:   j.progress,
+		Resume:     resume,
 	})
 	if err == nil && req.Output != "" {
 		s.mu.Lock()
 		s.files[req.Output] = output
 		s.mu.Unlock()
+		s.saveFile(req.Output, output)
 	}
 	j.finish(stats, err)
+	s.saveState()
 }
 
 func (s *clusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +494,13 @@ func (s *clusterServer) handleJobQuery(w http.ResponseWriter, r *http.Request, j
 	}
 	j.mu.Lock()
 	state := j.state
+	version := j.name
+	if j.deltaVersion != "" {
+		// A restored controller may not have re-opened the tracker yet;
+		// the registry's last sealed delta version routes queries until
+		// it does.
+		version = j.deltaVersion
+	}
 	j.mu.Unlock()
 	if state != "done" {
 		httpError(w, http.StatusConflict, "job %d has no queryable result (state %s)", j.id, state)
@@ -381,7 +508,6 @@ func (s *clusterServer) handleJobQuery(w http.ResponseWriter, r *http.Request, j
 	}
 	// Delta refreshes advance the sealed version under the same job id;
 	// always serve from the latest seal.
-	version := j.name
 	if d := s.delta(j.id); d != nil {
 		version = d.currentVersion()
 	}
@@ -401,37 +527,64 @@ func (s *clusterServer) handleMutations(w http.ResponseWriter, r *http.Request, 
 		httpError(w, http.StatusConflict, "job %d has no sealed result to mutate (state %s)", j.id, state)
 		return
 	}
+	d, err := s.trackerFor(j)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	serveMutations(w, r, d)
+}
+
+// trackerFor returns the job's ingest tracker, opening it on first use.
+// The opened tracker resumes the version chain from the coordinator's
+// re-adopted catalog when it names a chained version of this job, then
+// from the persisted registry, then from the job name — so a refresh
+// after a controller restart clones the latest sealed version instead
+// of re-deriving everything from the original result.
+func (s *clusterServer) trackerFor(j *clusterJob) (*deltaTracker, error) {
 	s.dmu.Lock()
-	d := s.deltas[j.id]
-	if d == nil {
-		refresh := func(fromVersion, name string, seq uint64, muts []delta.Mutation) error {
-			req := j.req
-			job, err := buildServeJob(&req)
-			if err != nil {
-				return err
-			}
-			s.runMu.Lock()
-			defer s.runMu.Unlock()
-			_, err = s.coord.DeltaRefresh(context.Background(), core.DeltaSubmission{
-				Version: fromVersion,
-				Name:    name,
-				Spec:    j.spec,
-				Job:     job,
-				Muts:    muts,
-			})
+	defer s.dmu.Unlock()
+	if d := s.deltas[j.id]; d != nil {
+		return d, nil
+	}
+	refresh := func(fromVersion, name string, seq uint64, muts []delta.Mutation) error {
+		req := j.req
+		job, err := buildServeJob(&req)
+		if err != nil {
 			return err
 		}
-		var err error
-		d, err = newDeltaTracker(s.coord.DeltaStore(), fmt.Sprintf("/delta/j%d", j.id), j.name, refresh)
-		if err != nil {
-			s.dmu.Unlock()
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		s.deltas[j.id] = d
+		s.runMu.Lock()
+		defer s.runMu.Unlock()
+		_, err = s.coord.DeltaRefresh(context.Background(), core.DeltaSubmission{
+			Version: fromVersion,
+			Name:    name,
+			Spec:    j.spec,
+			Job:     job,
+			Muts:    muts,
+		})
+		return err
 	}
-	s.dmu.Unlock()
-	serveMutations(w, r, d)
+	ver := j.name
+	j.mu.Lock()
+	if j.deltaVersion != "" {
+		ver = j.deltaVersion
+	}
+	j.mu.Unlock()
+	if v, ok := s.coord.LatestVersion(j.name); ok && (v == j.name || strings.HasPrefix(v, j.name+"@d")) {
+		ver = v
+	}
+	d, err := newDeltaTracker(s.coord.DeltaStore(), fmt.Sprintf("/delta/j%d", j.id), ver, refresh)
+	if err != nil {
+		return nil, err
+	}
+	d.onSeal = func(version string, seq uint64) {
+		j.mu.Lock()
+		j.deltaVersion = version
+		j.mu.Unlock()
+		s.saveState()
+	}
+	s.deltas[j.id] = d
+	return d, nil
 }
 
 // coordQuerier serves one result version through the coordinator's
@@ -470,6 +623,7 @@ func (s *clusterServer) handleFiles(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.files[path] = data
 		s.mu.Unlock()
+		s.saveFile(path, data)
 		writeJSON(w, http.StatusCreated, map[string]string{"path": path})
 	case http.MethodGet:
 		s.mu.Lock()

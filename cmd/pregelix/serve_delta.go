@@ -21,6 +21,10 @@ type deltaTracker struct {
 	// delta supersteps, seal as name. Implemented by the JobManager in
 	// single-process mode and the Coordinator in cluster mode.
 	refresh func(fromVersion, name string, seq uint64, muts []delta.Mutation) error
+	// onSeal, when set, is notified after each successful seal with the
+	// new version name. Cluster mode persists it to the controller's job
+	// registry so a restarted controller resumes the version chain.
+	onSeal func(version string, seq uint64)
 
 	mu         sync.Mutex
 	version    string // currently sealed, queryable version
@@ -133,6 +137,9 @@ func (d *deltaTracker) drainOnce() {
 		if err := d.journal.SetApplied(seq); err != nil {
 			d.fail(err)
 			return
+		}
+		if d.onSeal != nil {
+			d.onSeal(name, seq)
 		}
 	}
 }

@@ -1,0 +1,244 @@
+package main
+
+// Controller durability for cluster mode. With -state-dir set the
+// controller keeps its soft state in the same shared directory the
+// coordinator's hard state lives in, so a restarted (or standby
+// takeover) `pregelix serve` process resumes where the dead one
+// stopped:
+//
+//	<state-dir>/jobs.json   job registry: id, name, spec, state,
+//	                        latest sealed delta version
+//	<state-dir>/files/      uploaded inputs and captured outputs,
+//	                        one file per path (URL-escaped names)
+//
+// (The coordinator itself owns <state-dir>/ckpt/, catalog.json and
+// cc.lease — see internal/core/coordinator_state.go and lease.go.)
+//
+// Restore order matters: loadState runs before the HTTP listener opens
+// so pollers never see a half-loaded registry, while resumeRestored —
+// which re-submits in-flight jobs with Resume set and re-opens delta
+// trackers with unapplied journal batches — waits in the background for
+// the workers to rejoin first.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// persistedJob is one registry row: everything needed to re-run, resume
+// or re-serve the job after a controller restart. Live counters (stats,
+// progress) are not persisted — a resumed run regenerates them, and a
+// done job's sealed result survives on the workers.
+type persistedJob struct {
+	ID           int64           `json:"id"`
+	Name         string          `json:"name"`
+	Spec         json.RawMessage `json:"spec"`
+	Req          jobRequest      `json:"req"`
+	State        string          `json:"state"`
+	Error        string          `json:"error,omitempty"`
+	DeltaVersion string          `json:"deltaVersion,omitempty"`
+}
+
+type persistedRegistry struct {
+	NextID int64          `json:"nextId"`
+	Jobs   []persistedJob `json:"jobs"`
+}
+
+func (s *clusterServer) jobsPath() string {
+	if s.stateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.stateDir, "jobs.json")
+}
+
+// saveState snapshots the job registry to the state dir. Called on
+// every registry transition (submission, completion, delta seal);
+// best-effort, like the coordinator's catalog — a lost write costs a
+// re-run of the affected job after the next restart, not correctness.
+func (s *clusterServer) saveState() {
+	path := s.jobsPath()
+	if path == "" {
+		return
+	}
+	s.mu.Lock()
+	reg := persistedRegistry{NextID: s.nextID, Jobs: make([]persistedJob, 0, len(s.order))}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		reg.Jobs = append(reg.Jobs, persistedJob{
+			ID:           j.id,
+			Name:         j.name,
+			Spec:         j.spec,
+			Req:          j.req,
+			State:        j.state,
+			Error:        j.errText,
+			DeltaVersion: j.deltaVersion,
+		})
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	data, err := json.Marshal(reg)
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) == nil {
+		os.Rename(tmp, path)
+	}
+}
+
+// saveFile persists one uploaded or captured file under files/.
+func (s *clusterServer) saveFile(path string, data []byte) {
+	if s.stateDir == "" {
+		return
+	}
+	dir := filepath.Join(s.stateDir, "files")
+	if os.MkdirAll(dir, 0o755) != nil {
+		return
+	}
+	name := filepath.Join(dir, url.PathEscape(path))
+	tmp := name + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) == nil {
+		os.Rename(tmp, name)
+	}
+}
+
+// loadState restores the file store and job registry from the state
+// dir, returning the jobs that were still in flight when the previous
+// controller died. Runs single-threaded before the HTTP server starts,
+// so it touches the maps without locks. In-flight jobs come back as
+// "queued" with a live cancel context; resumeRestored re-submits them
+// once the cluster assembles.
+func (s *clusterServer) loadState() []*clusterJob {
+	if s.stateDir == "" {
+		return nil
+	}
+	filesDir := filepath.Join(s.stateDir, "files")
+	entries, _ := os.ReadDir(filesDir)
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		path, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(filesDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		s.files[path] = data
+	}
+	data, err := os.ReadFile(s.jobsPath())
+	if err != nil {
+		return nil
+	}
+	var reg persistedRegistry
+	if json.Unmarshal(data, &reg) != nil {
+		return nil
+	}
+	s.nextID = reg.NextID
+	var resume []*clusterJob
+	for _, pj := range reg.Jobs {
+		j := &clusterJob{
+			id:           pj.ID,
+			name:         pj.Name,
+			spec:         pj.Spec,
+			req:          pj.Req,
+			cancel:       func() {},
+			done:         make(chan struct{}),
+			state:        pj.State,
+			errText:      pj.Error,
+			deltaVersion: pj.DeltaVersion,
+		}
+		switch pj.State {
+		case "queued", "running":
+			// In flight when the old controller died: re-queue for a
+			// resumed run (from the last checkpoint manifest when the job
+			// checkpoints, from scratch otherwise).
+			j.state, j.errText = "queued", ""
+			ctx, cancel := context.WithCancel(context.Background())
+			j.resumeCtx, j.cancel = ctx, cancel
+			resume = append(resume, j)
+		default:
+			close(j.done)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if pj.ID > s.nextID {
+			s.nextID = pj.ID
+		}
+	}
+	return resume
+}
+
+// resumeRestored finishes the restore once the cluster has reassembled:
+// it re-submits the jobs the dead controller left in flight (Resume set,
+// so a checkpointed run continues from its last committed manifest) and
+// re-opens delta trackers whose journals may hold unapplied batches.
+func (s *clusterServer) resumeRestored(resume []*clusterJob) {
+	if err := s.coord.WaitReady(context.Background()); err != nil {
+		return
+	}
+	for _, j := range resume {
+		req := j.req
+		job, err := buildServeJob(&req)
+		if err != nil {
+			s.finishRestored(j, err)
+			continue
+		}
+		s.mu.Lock()
+		input, ok := s.files[req.Input]
+		s.mu.Unlock()
+		if !ok {
+			s.finishRestored(j, fmt.Errorf("input %q lost across controller restart", req.Input))
+			continue
+		}
+		// Synchronous: restored jobs re-run in their original submission
+		// order before contending with new submissions for the slot.
+		s.runJob(j.resumeCtx, j, j.spec, job, req, input, true)
+	}
+	s.restoreTrackers()
+}
+
+func (s *clusterServer) finishRestored(j *clusterJob, err error) {
+	j.finish(nil, err)
+	close(j.done)
+	s.saveState()
+}
+
+// restoreTrackers re-opens the streaming-ingest tracker of every done
+// job that has a delta journal, then kicks each so batches journaled
+// but not yet applied when the old controller died get folded in
+// without waiting for the next mutation to arrive.
+func (s *clusterServer) restoreTrackers() {
+	s.mu.Lock()
+	jobs := make([]*clusterJob, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	store := s.coord.DeltaStore()
+	for _, j := range jobs {
+		j.mu.Lock()
+		state, sealed := j.state, j.deltaVersion != ""
+		j.mu.Unlock()
+		if state != "done" {
+			continue
+		}
+		if !sealed {
+			names, err := store.List(fmt.Sprintf("/delta/j%d/", j.id))
+			if err != nil || len(names) == 0 {
+				continue
+			}
+		}
+		if d, err := s.trackerFor(j); err == nil {
+			d.kick()
+		}
+	}
+}

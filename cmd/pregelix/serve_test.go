@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -11,80 +10,11 @@ import (
 	"time"
 
 	"pregelix/internal/core"
-	"pregelix/internal/graphgen"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *core.JobManager) {
-	t.Helper()
-	rt, err := core.NewRuntime(core.Options{
-		BaseDir: t.TempDir(),
-		Nodes:   2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := core.NewJobManager(rt, core.JobManagerOptions{MaxConcurrentJobs: 2})
-	ts := httptest.NewServer(newServer(m))
-	t.Cleanup(func() {
-		ts.Close()
-		m.Close()
-		rt.Close()
-	})
-	return ts, m
-}
-
-func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
-	t.Helper()
-	var rd *bytes.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rd = bytes.NewReader(data)
-	} else {
-		rd = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantCode {
-		var msg bytes.Buffer
-		msg.ReadFrom(resp.Body)
-		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, msg.String())
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func uploadGraph(t *testing.T, baseURL, path string) {
-	t.Helper()
-	var buf bytes.Buffer
-	if _, err := graphgen.WriteText(&buf, graphgen.Webmap(120, 3, 31)); err != nil {
-		t.Fatal(err)
-	}
-	req, err := http.NewRequest(http.MethodPut, baseURL+"/files"+path, &buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("upload returned %d", resp.StatusCode)
-	}
-}
+// newTestServer (single-process serve), doJSON, uploadGraph and
+// waitJobState live in harness_test.go, shared with the delta and
+// cluster-mode tests.
 
 // TestServeSubmitAndPoll drives the full HTTP flow: upload a graph,
 // submit concurrent jobs, poll until done, download the result, and
@@ -294,26 +224,6 @@ func dumpValues(t *testing.T, baseURL, path string) map[uint64]string {
 		out[vid] = fields[1]
 	}
 	return out
-}
-
-// waitJobState polls a job until it reaches the wanted state.
-func waitJobState(t *testing.T, baseURL string, id int64, want string) jobView {
-	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		var cur jobView
-		doJSON(t, http.MethodGet, fmt.Sprintf("%s/jobs/%d", baseURL, id), nil, http.StatusOK, &cur)
-		if cur.State == want {
-			return cur
-		}
-		if cur.State == "failed" || cur.State == "canceled" {
-			t.Fatalf("job %d ended %s: %s", id, cur.State, cur.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %d stuck in %s, want %s", id, cur.State, want)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
 }
 
 // TestServeQueryEndpoints exercises the always-on query API over HTTP:

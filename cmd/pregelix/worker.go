@@ -74,6 +74,14 @@ func workerMain(args []string) {
 		cancel()
 	}()
 
+	// One session outlives every rejoin: the runtime and sealed query
+	// results survive a lost controller connection, so when the worker
+	// re-registers (after a coordinator restart or standby takeover) its
+	// handshake reports the sealed versions it still holds and the new
+	// coordinator re-adopts them instead of losing the query tier.
+	session := core.NewWorkerSession()
+	defer session.Close()
+
 	cfg := core.WorkerConfig{
 		CCAddr:     *cc,
 		DataListen: *listen,
@@ -82,6 +90,7 @@ func workerMain(args []string) {
 		BuildJob:   buildJobFromSpec,
 		Elastic:    !*standby,
 		Compress:   mode,
+		Session:    session,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},

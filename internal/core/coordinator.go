@@ -37,6 +37,17 @@ type CoordinatorConfig struct {
 	// it lives outside every worker process, so a committed checkpoint
 	// outlives the worker that wrote it.
 	BaseDir string
+	// StateDir, when set, makes the coordinator itself durable and
+	// restartable: the checkpoint store roots here with a persistent
+	// DFS namespace (so committed manifests AND the delta journal
+	// survive the coordinator process), and the sealed-version catalog
+	// is persisted beside it. A coordinator restarted against the same
+	// StateDir re-adopts rejoining workers — their registration
+	// handshakes report the sealed query versions they still hold — and
+	// in-flight jobs resume from the last committed checkpoint manifest
+	// (DistSubmission.Resume). Overrides BaseDir; never removed on
+	// Close.
+	StateDir string
 	// CheckpointReplication is the checkpoint store's block replication
 	// factor (default 2, so a checkpoint also survives losing one of the
 	// store's datanode directories).
@@ -84,6 +95,11 @@ type ccWorker struct {
 	// lostRecorded dedups the worker-lost recovery event between the
 	// heartbeat monitor and reapDead.
 	lostRecorded atomic.Bool
+	// sealed holds the sealed-version reports from the registration
+	// handshake until the cluster assembles (a rejoining worker telling
+	// a restarted coordinator what it still serves); folded into the
+	// query catalog at finalize.
+	sealed []sealedReport
 }
 
 func (w *ccWorker) dead() bool {
@@ -196,7 +212,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	dir := cfg.BaseDir
 	ownsDir := false
-	if dir == "" {
+	metaDir := ""
+	if cfg.StateDir != "" {
+		// Durable mode: everything roots in the external state dir and
+		// the DFS namespace persists, so a restarted coordinator finds
+		// its committed checkpoints and journaled deltas intact.
+		dir = cfg.StateDir
+		metaDir = filepath.Join(dir, "ckpt")
+	} else if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "pregelix-cc-")
 		if err != nil {
@@ -211,7 +234,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			Dir:  filepath.Join(dir, "ckpt", fmt.Sprintf("cc%d", i)),
 		})
 	}
-	ckpt, err := dfs.New(datanodes, dfs.Options{Replication: cfg.CheckpointReplication})
+	ckpt, err := dfs.New(datanodes, dfs.Options{Replication: cfg.CheckpointReplication, MetaDir: metaDir})
 	if err != nil {
 		if ownsDir {
 			os.RemoveAll(dir)
@@ -430,7 +453,7 @@ func (c *Coordinator) register(conn net.Conn) {
 		ctrl.Close()
 		return
 	}
-	w := &ccWorker{ctrl: ctrl, dataAddr: reg.DataAddr, regID: env.ID, elastic: reg.Elastic}
+	w := &ccWorker{ctrl: ctrl, dataAddr: reg.DataAddr, regID: env.ID, elastic: reg.Elastic, sealed: reg.Sealed}
 	if c.assembled {
 		// Standby: hold the handshake open; adoption answers it with the
 		// node IDs the worker is taking over. The caller starts now even
@@ -449,6 +472,10 @@ func (c *Coordinator) register(conn net.Conn) {
 		} else {
 			c.cfg.logf("coordinator: standby worker %s parked (awaiting adoption)", ctrl.RemoteAddr())
 		}
+		// A rejoiner holding sealed versions keeps them parked: it is
+		// blocked in its handshake read and cannot serve query RPCs
+		// until startSpare completes the handshake, so its reports are
+		// folded in at promotion time, not here.
 		select {
 		case c.spareCh <- struct{}{}:
 		default:
@@ -520,6 +547,13 @@ func (c *Coordinator) finalize() {
 		w.caller.OnNotify(func(env wire.Envelope) { c.handleNotify(w, env) })
 		w.caller.Start()
 		go c.monitor(w)
+	}
+	// Rejoining workers whose sessions outlived a previous coordinator
+	// reported the sealed query versions they still hold; rebuild the
+	// catalog from the reports so reads resume without re-running jobs.
+	for _, w := range workers {
+		c.adoptSealed(w, w.sealed)
+		w.sealed = nil
 	}
 	c.cfg.logf("coordinator: cluster assembled — %d workers, %d nodes", len(workers), total)
 	close(c.ready)
@@ -677,6 +711,14 @@ func (c *Coordinator) startSpare(ctx context.Context, sp *ccWorker, owned []stri
 	// death-while-parked); from here it carries real RPCs.
 	if err := sp.call(ctx, rpcPing, struct{}{}, nil); err != nil {
 		return err
+	}
+	// The worker is serving now; if its session rejoined with sealed
+	// query versions (it reconnected after a coordinator restart or a
+	// transient partition), fold them back into the catalog so reads
+	// route to it again.
+	if len(sp.sealed) > 0 {
+		c.adoptSealed(sp, sp.sealed)
+		sp.sealed = nil
 	}
 	if begin != nil {
 		if err := sp.call(ctx, rpcJobBegin, begin, nil); err != nil {
@@ -892,6 +934,13 @@ type DistSubmission struct {
 	// (live status for the serve API; fault-injection tests use it to
 	// time their kills).
 	Progress func(superstep int64)
+	// Resume asks the run to continue from the job's last committed
+	// checkpoint manifest instead of loading from scratch — the restart
+	// path for a job that was mid-flight when a durable coordinator
+	// died. With no committed manifest (the crash predated the first
+	// checkpoint) the run silently rolls back to a fresh load, which is
+	// the correct recovery for that case too.
+	Resume bool
 }
 
 // errNotRecoverable marks a job failure with no dead worker behind it:
@@ -975,33 +1024,63 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 		endCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		c.endJobSessions(endCtx, sub.Name, completed)
-		c.removeCheckpoints(sub.Name)
+		// Keep the checkpoints of a run interrupted by cancellation: on
+		// a durable coordinator that is the graceful-shutdown path, and
+		// the checkpoints are exactly what the restarted process resumes
+		// from. (If the same name later completes, they are reclaimed.)
+		if completed || ctx.Err() == nil {
+			c.removeCheckpoints(sub.Name)
+		}
 	}()
 
-	// Load phase: every worker bulk-loads its partitions; the merged
-	// counters seed the global state. A worker lost here fails the job
-	// (nothing has been checkpointed), but the cluster heals before the
-	// next submission.
-	loadStart := time.Now()
-	loads, err := phaseCall[loadReply](ctx, c, sub.Name, rpcJobLoad, jobNameMsg{Name: sub.Name})
-	if err != nil {
-		return stats, nil, fmt.Errorf("core: distributed load %s: %w", sub.Name, err)
-	}
 	gs := globalState{}
-	for _, rep := range loads {
-		for _, p := range rep.Parts {
-			gs.NumVertices += p.Vertices
-			gs.NumEdges += p.Edges
+	attempt := int64(0)
+
+	// Resume path: a durable coordinator restarting a job that was
+	// mid-flight when the previous process died skips the load and
+	// rewinds every worker to the last committed checkpoint manifest.
+	// No manifest (the crash predated the first commit) rolls back to
+	// an ordinary fresh load.
+	resumed := false
+	if sub.Resume && sub.Job.CheckpointEvery > 0 {
+		if m := latestManifest(c.ckpt, "/pregelix/"+sub.Name+"/ckpt/"); m != nil {
+			if err := c.restoreCluster(ctx, sub.Name, m, attempt); err != nil {
+				return stats, nil, fmt.Errorf("core: resuming %s from checkpoint: %w", sub.Name, err)
+			}
+			gs = m.GS
+			gs.Halt = false
+			resumed = true
+			stats.Recoveries++
+			c.cfg.logf("coordinator: %s resumed from committed checkpoint at superstep %d", sub.Name, m.Superstep)
+		} else {
+			c.cfg.logf("coordinator: %s has no committed checkpoint — rolling back to a fresh load", sub.Name)
 		}
 	}
-	gs.LiveVertices = gs.NumVertices
-	stats.LoadDuration = time.Since(loadStart)
-	c.cfg.logf("coordinator: %s loaded — %d vertices, %d edges", sub.Name, gs.NumVertices, gs.NumEdges)
+
+	if !resumed {
+		// Load phase: every worker bulk-loads its partitions; the merged
+		// counters seed the global state. A worker lost here fails the job
+		// (nothing has been checkpointed), but the cluster heals before the
+		// next submission.
+		loadStart := time.Now()
+		loads, err := phaseCall[loadReply](ctx, c, sub.Name, rpcJobLoad, jobNameMsg{Name: sub.Name})
+		if err != nil {
+			return stats, nil, fmt.Errorf("core: distributed load %s: %w", sub.Name, err)
+		}
+		for _, rep := range loads {
+			for _, p := range rep.Parts {
+				gs.NumVertices += p.Vertices
+				gs.NumEdges += p.Edges
+			}
+		}
+		gs.LiveVertices = gs.NumVertices
+		stats.LoadDuration = time.Since(loadStart)
+		c.cfg.logf("coordinator: %s loaded — %d vertices, %d edges", sub.Name, gs.NumVertices, gs.NumEdges)
+	}
 
 	// recoverOrFail folds a phase failure into either a completed
 	// recovery (gs rewound to the checkpoint, nil returned) or the
 	// error the caller must forward.
-	attempt := int64(0)
 	recoverOrFail := func(phase string, err error) error {
 		m, rerr := c.recoverJob(ctx, &sub, &begin, attempt+1)
 		if rerr != nil {
@@ -1243,8 +1322,17 @@ func (c *Coordinator) checkpointCluster(ctx context.Context, name string, ss int
 	return nil
 }
 
-// removeCheckpoints reclaims a finished job's checkpoint files.
+// removeCheckpoints reclaims a finished job's checkpoint files. A
+// coordinator that is shutting down keeps them: on a durable
+// coordinator they are exactly what the restarted process resumes
+// in-flight jobs from.
 func (c *Coordinator) removeCheckpoints(name string) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
 	for _, path := range c.ckpt.List("/pregelix/" + name + "/") {
 		c.ckpt.Remove(path)
 	}

@@ -77,8 +77,24 @@ func (c *Coordinator) endJobSessions(ctx context.Context, name string, retain bo
 	c.qmu.Lock()
 	c.queries[baseJobName(name)] = res
 	c.qmu.Unlock()
+	c.saveCatalog()
 	c.cfg.logf("coordinator: %s sealed for queries — %d/%d partitions across %d workers",
 		name, len(res.owners), res.numParts, len(workers))
+}
+
+// LatestVersion reports the exact sealed version currently serving the
+// given job name's base. After a coordinator restart this is the
+// re-adopted, catalog-arbitrated truth — a restarted controller resumes
+// a job's delta-version chain from it instead of guessing from the
+// original job name.
+func (c *Coordinator) LatestVersion(name string) (string, bool) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	res := c.queries[baseJobName(name)]
+	if res == nil {
+		return "", false
+	}
+	return res.version, true
 }
 
 // queryResult resolves an exact result version, failing when the

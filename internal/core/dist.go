@@ -84,6 +84,22 @@ type registerMsg struct {
 	// superstep (or job) boundary instead of parking it as a passive
 	// standby that only a failure would adopt.
 	Elastic bool `json:"elastic,omitempty"`
+	// Sealed lists the result versions this worker still holds in its
+	// query store — populated by rejoining workers whose session
+	// outlived the previous coordinator, so a restarted controller can
+	// rebuild its sealed-version catalog (query routing) from the
+	// registration handshake alone.
+	Sealed []sealedReport `json:"sealed,omitempty"`
+}
+
+// sealedReport describes one sealed result version a worker holds: the
+// exact version string, the total partition count of the sealed run,
+// and the partition indexes hosted by the reporting worker. It is the
+// re-registration form of jobEndReply.
+type sealedReport struct {
+	Version  string `json:"version"`
+	NumParts int    `json:"numParts"`
+	Parts    []int  `json:"parts"`
 }
 
 // startMsg completes the handshake once the expected workers have

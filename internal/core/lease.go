@@ -1,0 +1,165 @@
+package core
+
+// Coordinator lease: a single JSON file in the shared state dir names
+// the process currently allowed to act as coordinator. The primary
+// renews it on a fixed interval; a standby polls and takes over once
+// the record goes stale (3 missed renewals), bumping the epoch so a
+// zombie primary that wakes up sees a foreign record and abdicates.
+// All writes are staged + renamed, so observers only ever read a
+// complete record. This is a cooperative single-host/shared-filesystem
+// lease in the spirit of ZooKeeper's ephemeral leader node — fencing is
+// by epoch comparison, not by revoking the loser's I/O.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// ErrLeaseHeld is returned by AcquireLease while another holder's
+// record is still fresh.
+var ErrLeaseHeld = errors.New("lease held by another coordinator")
+
+// ErrLeaseLost is returned by Renew when the on-disk record no longer
+// names this holder (a standby took over, or an operator reassigned
+// it): the caller must stop acting as coordinator immediately.
+var ErrLeaseLost = errors.New("lease lost")
+
+// leaseRecord is the on-disk form.
+type leaseRecord struct {
+	Holder    string    `json:"holder"`
+	Epoch     int64     `json:"epoch"`
+	RenewedAt time.Time `json:"renewedAt"`
+}
+
+// Lease is a held coordinator lease.
+type Lease struct {
+	path     string
+	holder   string
+	epoch    int64
+	interval time.Duration
+}
+
+// staleAfter is how long past the last renewal a record stays valid:
+// three missed renewals, mirroring the worker heartbeat-miss budget.
+func staleAfter(interval time.Duration) time.Duration { return 3 * interval }
+
+func readLease(path string) (*leaseRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var rec leaseRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		// A corrupt record cannot be renewed by anyone; treat as absent.
+		return nil, nil
+	}
+	return &rec, nil
+}
+
+func writeLease(path string, rec leaseRecord) error {
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	// Stage per holder so two contenders never clobber each other's
+	// half-written file; sanitize the holder since it may carry path
+	// separators (hostnames, pids).
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, rec.Holder)
+	tmp := fmt.Sprintf("%s.%s.tmp", path, safe)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// AcquireLease claims the coordinator role. It succeeds when the file
+// is absent, stale, or already names this holder; otherwise it returns
+// ErrLeaseHeld. On success the epoch is bumped past the previous
+// record's, fencing the old holder.
+func AcquireLease(path, holder string, interval time.Duration) (*Lease, error) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	prev, err := readLease(path)
+	if err != nil {
+		return nil, err
+	}
+	var epoch int64 = 1
+	if prev != nil {
+		if prev.Holder != holder && time.Since(prev.RenewedAt) < staleAfter(interval) {
+			return nil, fmt.Errorf("%w: %s (epoch %d)", ErrLeaseHeld, prev.Holder, prev.Epoch)
+		}
+		epoch = prev.Epoch + 1
+	}
+	l := &Lease{path: path, holder: holder, epoch: epoch, interval: interval}
+	if err := writeLease(path, leaseRecord{Holder: holder, Epoch: epoch, RenewedAt: time.Now()}); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// WaitForLease blocks until the lease can be acquired (standby mode) or
+// ctx is done. It polls at half the renewal interval.
+func WaitForLease(done <-chan struct{}, path, holder string, interval time.Duration) (*Lease, error) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval / 2)
+	defer tick.Stop()
+	for {
+		l, err := AcquireLease(path, holder, interval)
+		if err == nil {
+			return l, nil
+		}
+		if !errors.Is(err, ErrLeaseHeld) {
+			return nil, err
+		}
+		select {
+		case <-done:
+			return nil, fmt.Errorf("standby canceled while waiting for lease")
+		case <-tick.C:
+		}
+	}
+}
+
+// Renew re-stamps the record. If the file now names another holder or a
+// newer epoch, the lease is gone: ErrLeaseLost.
+func (l *Lease) Renew() error {
+	cur, err := readLease(l.path)
+	if err != nil {
+		return err
+	}
+	if cur == nil || cur.Holder != l.holder || cur.Epoch != l.epoch {
+		return ErrLeaseLost
+	}
+	return writeLease(l.path, leaseRecord{Holder: l.holder, Epoch: l.epoch, RenewedAt: time.Now()})
+}
+
+// Interval returns the renewal interval the lease was acquired with.
+func (l *Lease) Interval() time.Duration { return l.interval }
+
+// Epoch returns the fencing epoch of this acquisition.
+func (l *Lease) Epoch() int64 { return l.epoch }
+
+// Release drops the lease if this holder still owns it, letting a
+// standby take over immediately instead of waiting out staleness.
+func (l *Lease) Release() {
+	cur, err := readLease(l.path)
+	if err != nil || cur == nil || cur.Holder != l.holder || cur.Epoch != l.epoch {
+		return
+	}
+	os.Remove(l.path)
+}

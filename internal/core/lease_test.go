@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLeaseLifecycle walks the takeover state machine end to end:
+// acquire, contend, lapse, takeover with an epoch bump, and the fenced
+// old holder losing its renewal.
+func TestLeaseLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cc.lease")
+	const interval = 20 * time.Millisecond
+
+	primary, err := AcquireLease(path, "cc-1", interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primary.Epoch() != 1 {
+		t.Fatalf("first epoch = %d", primary.Epoch())
+	}
+
+	// A standby cannot steal a fresh lease.
+	if _, err := AcquireLease(path, "cc-2", interval); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("fresh lease stolen: %v", err)
+	}
+	// Re-acquire by the same holder is fine (a primary restarting fast).
+	again, err := AcquireLease(path, "cc-1", interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Epoch() != 2 {
+		t.Fatalf("re-acquire epoch = %d", again.Epoch())
+	}
+	if err := again.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	// The superseded first acquisition is fenced by the epoch bump.
+	if err := primary.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale epoch renewed: %v", err)
+	}
+
+	// Stop renewing; after 3 intervals the standby's wait completes.
+	done := make(chan struct{})
+	start := time.Now()
+	standby, err := WaitForLease(done, path, "cc-2", interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < staleAfter(interval)/2 {
+		t.Fatalf("standby took over a live lease after only %v", waited)
+	}
+	if standby.Epoch() != 3 {
+		t.Fatalf("takeover epoch = %d", standby.Epoch())
+	}
+	if err := again.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("old primary kept renewing after takeover: %v", err)
+	}
+
+	// Release lets the next acquire succeed instantly.
+	standby.Release()
+	if _, err := AcquireLease(path, "cc-3", interval); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}

@@ -388,6 +388,26 @@ func (s *QueryStore) acquire(version string) (*retainedResult, error) {
 	return r, nil
 }
 
+// sealedReports enumerates the store's current sealed versions in
+// re-registration form: version, full partition count, and the
+// partition indexes held locally. A rejoining worker sends these so a
+// restarted coordinator can rebuild its sealed-version catalog.
+func (s *QueryStore) sealedReports() []sealedReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []sealedReport
+	for _, r := range s.m {
+		rep := sealedReport{Version: r.version, NumParts: r.numParts}
+		for p := range r.parts {
+			rep.Parts = append(rep.Parts, p)
+		}
+		sort.Ints(rep.Parts)
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
 // Retained reports whether the exact version is the current sealed
 // result of its base name.
 func (s *QueryStore) Retained(version string) bool {

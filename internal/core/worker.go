@@ -49,6 +49,13 @@ type WorkerConfig struct {
 	// completes, and RunWorker returns nil once the controller releases
 	// it.
 	Drain <-chan struct{}
+	// Session, when non-nil, persists the worker's runtime and sealed
+	// query versions across RunWorker calls: a rejoin loop that passes
+	// the same session keeps serving its retained results after a
+	// coordinator restart, and the registration handshake reports them
+	// so the new coordinator can rebuild its catalog. Without a session
+	// every call builds (and tears down) a fresh runtime.
+	Session *WorkerSession
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -101,7 +108,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	// Handshake: register, then wait for the assembled-cluster response
 	// (or, for a standby/elastic joiner, for adoption or rebalance into
 	// a running cluster).
-	reg, err := json.Marshal(registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes, Elastic: cfg.Elastic})
+	regMsg := registerMsg{DataAddr: transport.Addr(), Nodes: cfg.Nodes, Elastic: cfg.Elastic}
+	if cfg.Session != nil {
+		regMsg.Sealed = cfg.Session.sealed()
+	}
+	reg, err := json.Marshal(regMsg)
 	if err != nil {
 		return err
 	}
@@ -144,18 +155,31 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 
 	// Every process constructs the same full cluster topology locally;
-	// only the owned nodes' storage is ever touched.
-	rt, err := NewRuntime(Options{
-		BaseDir:           cfg.BaseDir,
-		Nodes:             start.TotalNodes,
-		PartitionsPerNode: start.PartitionsPerNode,
-		NodeConfig:        hyracks.NodeConfig{RAMBytes: start.RAMBytes, PageSize: start.PageSize},
-		Compress:          cfg.Compress,
-	})
-	if err != nil {
-		return err
+	// only the owned nodes' storage is ever touched. With a session the
+	// runtime and query store outlive this connection (reused on rejoin
+	// when the cluster geometry matches); without one they are built
+	// fresh and torn down on return.
+	var rt *Runtime
+	var queries *QueryStore
+	if cfg.Session != nil {
+		rt, queries, err = cfg.Session.attach(&cfg, &start)
+		if err != nil {
+			return err
+		}
+	} else {
+		rt, err = NewRuntime(Options{
+			BaseDir:           cfg.BaseDir,
+			Nodes:             start.TotalNodes,
+			PartitionsPerNode: start.PartitionsPerNode,
+			NodeConfig:        hyracks.NodeConfig{RAMBytes: start.RAMBytes, PageSize: start.PageSize},
+			Compress:          cfg.Compress,
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		queries = newQueryStore()
 	}
-	defer rt.Close()
 
 	local := make(map[hyracks.NodeID]bool, len(start.Owned))
 	for _, id := range start.Owned {
@@ -174,10 +198,16 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		exec:      hyracks.ExecOptions{Transport: transport, LocalNodes: local},
 		ctx:       ctx,
 		jobs:      make(map[string]*distJob),
-		queries:   newQueryStore(),
+		queries:   queries,
 	}
 	cfg.logf("worker: cluster up — %d nodes total, hosting %v", start.TotalNodes, start.Owned)
 	err = wire.ServeControl(ctrl, w.handle)
+	// The controller driving the open job sessions is gone (crashed, or
+	// this connection broke). Their in-flight state is dead weight — a
+	// restarted controller re-opens sessions from scratch and restores
+	// from its checkpoint store — so reclaim it now; sealed query
+	// versions live in the QueryStore and are untouched.
+	w.teardownJobs()
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
@@ -550,6 +580,31 @@ func (w *distWorker) endJob(name string, retain bool) *jobEndReply {
 	}
 	w.cfg.logf("worker: job %s closed", name)
 	return reply
+}
+
+// teardownJobs closes every still-open job session without retaining:
+// the in-process analog of process death for the sessions, used when
+// the control connection is lost so a session-reusing rejoin does not
+// leak the dead coordinator's in-flight state (or collide with the
+// job.begin a restarted coordinator sends for the same name).
+func (w *distWorker) teardownJobs() {
+	w.mu.Lock()
+	jobs := w.jobs
+	w.jobs = make(map[string]*distJob)
+	exec := w.exec
+	w.mu.Unlock()
+	for name, dj := range jobs {
+		dj.abort()
+		dj.cancel()
+		dj.rs.cleanup()
+		w.transport.PurgeJob(name)
+		for _, n := range w.rt.Cluster.Nodes() {
+			if exec.Local(n.ID) {
+				n.RemoveJobDir(dj.runDir)
+			}
+		}
+		w.cfg.logf("worker: job %s torn down (control connection lost)", name)
+	}
 }
 
 // sealJob moves the session's owned vertex indexes into a retained

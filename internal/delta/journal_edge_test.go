@@ -1,0 +1,263 @@
+package delta
+
+// Journal edge cases: the failure shapes a durable coordinator restart
+// can surface — truncated tail batches, corrupt NDJSON, an applied
+// marker that ran ahead of the journal, repeated seal markers — plus
+// the sequence-resume and concurrency contracts. Run with -race.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustAppend journals n single-mutation batches and returns the store.
+func mustAppend(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append([]Mutation{{Op: OpRemoveVertex, ID: uint64(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalReplayCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		// corrupt mangles the named batch's stored bytes.
+		corrupt func(data []byte) []byte
+		batch   uint64
+		after   uint64
+		wantErr string
+	}{
+		{
+			name: "truncatedTailRecord",
+			// A batch cut mid-line — the shape a torn write would leave
+			// if the store's put were not atomic — must fail the replay
+			// loudly, not silently drop the partial mutations.
+			corrupt: func(data []byte) []byte { return data[:len(data)-4] },
+			batch:   3, after: 0,
+			wantErr: "batch 3 corrupt",
+		},
+		{
+			name:    "corruptNDJSONLine",
+			corrupt: func(data []byte) []byte { return []byte("{\"op\":\"addVertex\",\"id\":1}\nnot json\n") },
+			batch:   2, after: 1,
+			wantErr: "batch 2 corrupt",
+		},
+		{
+			name:    "emptiedBatch",
+			corrupt: func(data []byte) []byte { return nil },
+			batch:   1, after: 0,
+			wantErr: "batch 1 corrupt",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			store := NewMapStore()
+			j, err := OpenJournal(store, "/delta/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, j, 3)
+			name := j.batchName(c.batch)
+			data, err := store.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Put(name, c.corrupt(data)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Replay(c.after); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Replay(%d) err = %v, want containing %q", c.after, err, c.wantErr)
+			}
+			// Replaying strictly past the corrupt batch never touches it.
+			if c.batch < 3 {
+				got, err := j.Replay(c.batch)
+				if err != nil {
+					t.Fatalf("Replay past corrupt batch: %v", err)
+				}
+				if len(got) != int(3-c.batch) {
+					t.Fatalf("Replay(%d) returned %d batches, want %d", c.batch, len(got), 3-c.batch)
+				}
+			}
+		})
+	}
+}
+
+// TestJournalAppliedAheadOfJournal documents the marker-ahead contract:
+// an applied marker pointing past every journaled batch (a refresh
+// committed whose journal files were lost, or a marker restored from a
+// newer state dir) means "everything here is already folded in" —
+// Replay(Applied()) is empty and does not error.
+func TestJournalAppliedAheadOfJournal(t *testing.T) {
+	store := NewMapStore()
+	j, err := OpenJournal(store, "/delta/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 3)
+	if err := j.SetApplied(10); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := j.Applied()
+	if err != nil || applied != 10 {
+		t.Fatalf("Applied() = %d, %v; want 10", applied, err)
+	}
+	batches, err := j.Replay(applied)
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", applied, err)
+	}
+	if len(batches) != 0 {
+		t.Fatalf("Replay past the marker returned %d batches, want 0", len(batches))
+	}
+	// A reopened journal resumes sequencing from the batches on disk,
+	// not the marker: the next append lands at 4 and stays invisible to
+	// Replay(10) — the marker-ahead state is one the refresh layer must
+	// never create (it seals before marking), and this pins why.
+	j2, err := OpenJournal(store, "/delta/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j2.Append([]Mutation{{Op: OpRemoveVertex, ID: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("reopened journal assigned seq %d, want 4", seq)
+	}
+}
+
+// TestJournalSetAppliedIdempotent re-records the same applied sequence
+// — the restart shape where a refresh sealed, marked, and died before
+// acknowledging, so the recovery path marks again.
+func TestJournalSetAppliedIdempotent(t *testing.T) {
+	store := NewMapStore()
+	j, err := OpenJournal(store, "/delta/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 5)
+	for i := 0; i < 2; i++ {
+		if err := j.SetApplied(5); err != nil {
+			t.Fatalf("SetApplied round %d: %v", i+1, err)
+		}
+		applied, err := j.Applied()
+		if err != nil || applied != 5 {
+			t.Fatalf("round %d: Applied() = %d, %v; want 5", i+1, applied, err)
+		}
+		batches, err := j.Replay(applied)
+		if err != nil || len(batches) != 0 {
+			t.Fatalf("round %d: Replay(%d) = %d batches, %v; want none", i+1, applied, len(batches), err)
+		}
+	}
+}
+
+func TestJournalAppliedMarkerCorrupt(t *testing.T) {
+	store := NewMapStore()
+	j, err := OpenJournal(store, "/delta/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(j.appliedName(), []byte("not-a-number")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Applied(); err == nil || !strings.Contains(err.Error(), "applied marker corrupt") {
+		t.Fatalf("Applied() err = %v, want corrupt-marker error", err)
+	}
+}
+
+// TestJournalSequenceResume reopens journals over existing stores: the
+// counter must resume past the highest batch present, including across
+// gaps (a compacted or partially-lost journal).
+func TestJournalSequenceResume(t *testing.T) {
+	cases := []struct {
+		name    string
+		seqs    []uint64
+		nextSeq uint64
+	}{
+		{"empty", nil, 1},
+		{"dense", []uint64{1, 2, 3}, 4},
+		{"gapped", []uint64{5}, 6},
+		{"outOfOrderNames", []uint64{7, 2}, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			store := NewMapStore()
+			seed, err := OpenJournal(store, "/delta/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seq := range seed.seqsToNames(c.seqs) {
+				if err := store.Put(seq, EncodeBatch([]Mutation{{Op: OpRemoveVertex, ID: 1}})); err != nil {
+					t.Fatal(err)
+				}
+			}
+			j, err := OpenJournal(store, "/delta/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := j.LastSeq() + 1; got != c.nextSeq {
+				t.Fatalf("next sequence %d, want %d", got, c.nextSeq)
+			}
+		})
+	}
+}
+
+// seqsToNames maps sequence numbers to their stored batch names.
+func (j *Journal) seqsToNames(seqs []uint64) []string {
+	out := make([]string, len(seqs))
+	for i, s := range seqs {
+		out[i] = j.batchName(s)
+	}
+	return out
+}
+
+// TestJournalConcurrentAppend hammers Append from many goroutines: every
+// batch must get a unique sequence and survive to replay. (The race
+// detector gives this test its teeth.)
+func TestJournalConcurrentAppend(t *testing.T) {
+	store := NewMapStore()
+	j, err := OpenJournal(store, "/delta/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := j.Append([]Mutation{{Op: OpRemoveVertex, ID: uint64(w*perWriter + i)}}); err != nil {
+					errs <- fmt.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	batches, err := j.Replay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != writers*perWriter {
+		t.Fatalf("replayed %d batches, want %d", len(batches), writers*perWriter)
+	}
+	seen := make(map[uint64]bool)
+	for _, b := range batches {
+		if seen[b.Seq] {
+			t.Fatalf("duplicate sequence %d", b.Seq)
+		}
+		seen[b.Seq] = true
+	}
+	if j.LastSeq() != writers*perWriter {
+		t.Fatalf("LastSeq %d, want %d", j.LastSeq(), writers*perWriter)
+	}
+}

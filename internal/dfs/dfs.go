@@ -13,6 +13,7 @@ package dfs
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -41,6 +42,7 @@ type FileSystem struct {
 	files       map[string]*fileMeta
 	nextBlock   int64
 	rr          int
+	metaPath    string // when non-empty, namespace persisted here
 }
 
 type fileMeta struct {
@@ -58,6 +60,13 @@ type blockMeta struct {
 type Options struct {
 	BlockSize   int64
 	Replication int
+	// MetaDir, when set, makes the master namespace durable: every
+	// namespace mutation (create, rename, remove, block append) is
+	// written to <MetaDir>/namespace.json via a staged write + rename,
+	// and New reloads it, re-adopting the block files already sitting
+	// in the datanode directories. Without it the namespace dies with
+	// the process (the pre-durability behavior).
+	MetaDir string
 }
 
 // New creates a file system over the given datanode directories.
@@ -79,12 +88,101 @@ func New(nodes []*Datanode, opts Options) (*FileSystem, error) {
 			return nil, err
 		}
 	}
-	return &FileSystem{
+	fs := &FileSystem{
 		nodes:       nodes,
 		blockSize:   opts.BlockSize,
 		replication: opts.Replication,
 		files:       make(map[string]*fileMeta),
-	}, nil
+	}
+	if opts.MetaDir != "" {
+		if err := os.MkdirAll(opts.MetaDir, 0o755); err != nil {
+			return nil, err
+		}
+		fs.metaPath = filepath.Join(opts.MetaDir, "namespace.json")
+		if err := fs.loadNamespace(); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// persistedNamespace is the on-disk form of the master's metadata.
+// Block contents live in the datanode directories and are immutable
+// once written, so the namespace file plus the block files reconstruct
+// the whole file system after a master restart.
+type persistedNamespace struct {
+	NextBlock int64                    `json:"nextBlock"`
+	Files     map[string]persistedFile `json:"files"`
+}
+
+type persistedFile struct {
+	Size   int64            `json:"size"`
+	Blocks []persistedBlock `json:"blocks"`
+}
+
+type persistedBlock struct {
+	ID       int64 `json:"id"`
+	Size     int64 `json:"size"`
+	Replicas []int `json:"replicas"`
+}
+
+// loadNamespace restores the namespace from metaPath, if present.
+func (fs *FileSystem) loadNamespace() error {
+	data, err := os.ReadFile(fs.metaPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var ns persistedNamespace
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("dfs: namespace corrupt: %w", err)
+	}
+	fs.nextBlock = ns.NextBlock
+	for path, pf := range ns.Files {
+		fm := &fileMeta{size: pf.Size}
+		for _, pb := range pf.Blocks {
+			b := &blockMeta{id: pb.ID, size: pb.Size}
+			for _, r := range pb.Replicas {
+				if r >= 0 && r < len(fs.nodes) {
+					b.replicas = append(b.replicas, r)
+				}
+			}
+			fm.blocks = append(fm.blocks, b)
+		}
+		fs.files[path] = fm
+	}
+	return nil
+}
+
+// persistLocked writes the namespace to metaPath (staged + renamed so a
+// crash mid-write leaves the previous snapshot intact). Callers hold
+// fs.mu for writing. No-op when the file system is not durable.
+func (fs *FileSystem) persistLocked() error {
+	if fs.metaPath == "" {
+		return nil
+	}
+	ns := persistedNamespace{NextBlock: fs.nextBlock, Files: make(map[string]persistedFile, len(fs.files))}
+	for path, fm := range fs.files {
+		pf := persistedFile{Size: fm.size, Blocks: make([]persistedBlock, 0, len(fm.blocks))}
+		for _, b := range fm.blocks {
+			pf.Blocks = append(pf.Blocks, persistedBlock{ID: b.id, Size: b.size, Replicas: b.replicas})
+		}
+		ns.Files[path] = pf
+	}
+	data, err := json.Marshal(&ns)
+	if err != nil {
+		return err
+	}
+	tmp := fs.metaPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dfs: persist namespace: %w", err)
+	}
+	if err := os.Rename(tmp, fs.metaPath); err != nil {
+		return fmt.Errorf("dfs: persist namespace: %w", err)
+	}
+	return nil
 }
 
 // SetNodeDown marks a datanode as unavailable (failure injection).
@@ -110,6 +208,9 @@ func (fs *FileSystem) Create(path string) (*Writer, error) {
 		fs.removeBlocksLocked(old)
 	}
 	fs.files[path] = &fileMeta{}
+	if err := fs.persistLocked(); err != nil {
+		return nil, err
+	}
 	return &Writer{fs: fs, path: path}, nil
 }
 
@@ -166,7 +267,7 @@ func (fs *FileSystem) Rename(oldPath, newPath string) error {
 	}
 	delete(fs.files, oldPath)
 	fs.files[newPath] = fm
-	return nil
+	return fs.persistLocked()
 }
 
 // Replication returns the effective replication factor.
@@ -186,7 +287,7 @@ func (fs *FileSystem) Remove(path string) error {
 	}
 	fs.removeBlocksLocked(fm)
 	delete(fs.files, path)
-	return nil
+	return fs.persistLocked()
 }
 
 func (fs *FileSystem) removeBlocksLocked(fm *fileMeta) {
@@ -276,7 +377,7 @@ func (w *Writer) flushBlock(n int64) error {
 	fs.rr++
 	fm.blocks = append(fm.blocks, b)
 	fm.size += b.size
-	return nil
+	return fs.persistLocked()
 }
 
 // Close flushes the final partial block.

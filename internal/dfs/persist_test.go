@@ -1,0 +1,164 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// durableNodes builds a fixed datanode layout under base so a second
+// FileSystem can be opened over the same directories, simulating a
+// master restart.
+func durableNodes(base string, n int) []*Datanode {
+	var dns []*Datanode
+	for i := 0; i < n; i++ {
+		dns = append(dns, &Datanode{
+			Name: fmt.Sprintf("dn%d", i+1),
+			Dir:  filepath.Join(base, fmt.Sprintf("dn%d", i+1)),
+		})
+	}
+	return dns
+}
+
+// TestNamespaceSurvivesRestart writes, renames, and removes files on a
+// durable file system, then reopens it from the same directories and
+// requires the namespace — contents, sizes, absences — to match.
+func TestNamespaceSurvivesRestart(t *testing.T) {
+	base := t.TempDir()
+	opts := Options{BlockSize: 1024, Replication: 2, MetaDir: filepath.Join(base, "meta")}
+
+	fs, err := New(durableNodes(base, 3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 10_000)
+	rand.New(rand.NewSource(7)).Read(big)
+	if err := fs.WriteFile("/ckpt/ss2/vertex-p0", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/ckpt/ss2/manifest.json.tmp", []byte(`{"superstep":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint commit protocol: staged write + atomic rename.
+	if err := fs.Rename("/ckpt/ss2/manifest.json.tmp", "/ckpt/ss2/manifest.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/doomed", []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the master: a fresh FileSystem over the same dirs.
+	fs2, err := New(durableNodes(base, 3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/ckpt/ss2/vertex-p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("block data did not survive restart")
+	}
+	m, err := fs2.ReadFile("/ckpt/ss2/manifest.json")
+	if err != nil || string(m) != `{"superstep":2}` {
+		t.Fatalf("manifest after restart: %q %v", m, err)
+	}
+	if fs2.Exists("/ckpt/ss2/manifest.json.tmp") {
+		t.Fatal("renamed-away staging path resurrected")
+	}
+	if fs2.Exists("/doomed") {
+		t.Fatal("removed file resurrected")
+	}
+	if list := fs2.List("/ckpt/"); len(list) != 2 {
+		t.Fatalf("List after restart = %v", list)
+	}
+
+	// The reloaded namespace keeps allocating fresh block IDs: new
+	// writes must not collide with surviving blocks.
+	if err := fs2.WriteFile("/ckpt/ss4/vertex-p0", []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.ReadFile("/ckpt/ss2/vertex-p0")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("old blocks clobbered by post-restart writes: %v", err)
+	}
+}
+
+// TestNamespacePersistEachBlock crashes "mid-file": only blocks flushed
+// before the crash are visible after reopen, and a reader never sees a
+// namespace pointing at unwritten data.
+func TestNamespacePersistEachBlock(t *testing.T) {
+	base := t.TempDir()
+	opts := Options{BlockSize: 64, Replication: 1, MetaDir: filepath.Join(base, "meta")}
+	fs, err := New(durableNodes(base, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("/partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("x"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the writer dies here. 3 full 64-byte blocks flushed.
+	fs2, err := New(durableNodes(base, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 192 || !bytes.Equal(got, bytes.Repeat([]byte("x"), 192)) {
+		t.Fatalf("partial file after crash: %d bytes", len(got))
+	}
+}
+
+// TestNamespaceCorruptionRejected: a mangled namespace file must fail
+// loudly at open, not silently start empty over live block data.
+func TestNamespaceCorruptionRejected(t *testing.T) {
+	base := t.TempDir()
+	meta := filepath.Join(base, "meta")
+	opts := Options{MetaDir: meta}
+	fs, err := New(durableNodes(base, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(meta, "namespace.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(durableNodes(base, 2), opts); err == nil || !strings.Contains(err.Error(), "namespace corrupt") {
+		t.Fatalf("corrupt namespace opened without error: %v", err)
+	}
+}
+
+// TestEphemeralUnchanged: without MetaDir no namespace file appears and
+// a reopen starts empty — the pre-durability contract.
+func TestEphemeralUnchanged(t *testing.T) {
+	base := t.TempDir()
+	fs, err := New(durableNodes(base, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := New(durableNodes(base, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.Exists("/a") {
+		t.Fatal("ephemeral namespace leaked across instances")
+	}
+}
