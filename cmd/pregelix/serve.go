@@ -46,6 +46,7 @@ func serveMain(args []string) {
 		stateDir      = fs.String("state-dir", "", "cluster mode: durable coordinator state directory (checkpoint store, sealed-version catalog, job registry, lease); a restarted controller pointed here resumes where the dead one stopped")
 		standbyCC     = fs.Bool("standby-cc", false, "cluster mode: start as a warm standby controller — wait for the coordinator lease in -state-dir to lapse, then take over")
 		leaseInterval = fs.Duration("lease-interval", 2*time.Second, "cluster mode: coordinator lease renewal interval (a standby takes over after 3 missed renewals)")
+		adaptive      = fs.Bool("adaptive", false, "cluster mode: enable the runtime-stats feedback loop — per-superstep join replanning, hot-partition splitting and straggler relief (event log under /stats)")
 	)
 	fs.Parse(args)
 
@@ -82,11 +83,15 @@ func serveMain(args []string) {
 			stateDir:      *stateDir,
 			standby:       *standbyCC,
 			leaseInterval: *leaseInterval,
+			adaptive:      *adaptive,
 		})
 		return
 	}
 	if *stateDir != "" || *standbyCC {
 		fatal(errors.New("pregelix serve: -state-dir and -standby-cc require cluster mode (-workers N)"))
+	}
+	if *adaptive {
+		fatal(errors.New("pregelix serve: -adaptive requires cluster mode (-workers N); the single-process runtime replans per superstep already"))
 	}
 
 	dir := *baseDir

@@ -38,6 +38,9 @@ type clusterOptions struct {
 	stateDir      string
 	standby       bool
 	leaseInterval time.Duration
+	// adaptive enables the coordinator's runtime-stats feedback loop
+	// (join replanning, hot-partition splitting, straggler relief).
+	adaptive bool
 }
 
 // serveCluster is the cluster-mode serving path: instead of simulating
@@ -100,6 +103,7 @@ func serveCluster(opts clusterOptions) {
 		RAMBytes:          opts.ram,
 		ReplaceWait:       opts.replaceWait,
 		StateDir:          opts.stateDir,
+		Adaptive:          core.AdaptiveOptions{Enabled: opts.adaptive},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pregelix "+format+"\n", args...)
 		},
@@ -712,6 +716,10 @@ type clusterStatsView struct {
 	// Rebalance is the coordinator's elasticity log: workers joining
 	// with partitions migrated onto them, graceful drains, refusals.
 	Rebalance []core.RebalanceEvent `json:"rebalance"`
+	// Adaptive is the runtime-stats feedback log (-adaptive only): join
+	// plan switches, hot-partition splits and straggler reliefs, in
+	// commit order.
+	Adaptive []core.AdaptiveEvent `json:"adaptive"`
 	// Network aggregates connector traffic over all finished jobs:
 	// payload frame bytes vs post-compression socket bytes.
 	Network networkView `json:"network"`
@@ -724,12 +732,16 @@ func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		Nodes:     []string{},
 		Recovery:  s.coord.RecoveryEvents(),
 		Rebalance: s.coord.RebalanceEvents(),
+		Adaptive:  s.coord.AdaptiveEvents(),
 	}
 	if out.Recovery == nil {
 		out.Recovery = []core.RecoveryEvent{}
 	}
 	if out.Rebalance == nil {
 		out.Rebalance = []core.RebalanceEvent{}
+	}
+	if out.Adaptive == nil {
+		out.Adaptive = []core.AdaptiveEvent{}
 	}
 	for _, id := range s.coord.Nodes() {
 		out.Nodes = append(out.Nodes, string(id))

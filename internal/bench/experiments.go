@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"query", "PR6: always-on query tier — hot vs cold point reads, batched top-k", RunQueryTier},
 		{"compress", "PR7: negotiated frame compression — shuffle/checkpoint/migration, off vs flate vs auto", RunCompress},
 		{"delta", "PR8: streaming ingest — delta refresh vs full recompute at 1% churn", RunDelta},
+		{"adaptive", "PR10: stats-driven hot-partition split on skewed PageRank, adaptive on vs off", RunAdaptive},
 		{"fig14a", "Fig 14(a): LOJ vs FOJ, SSSP", runFig14(SSSP)},
 		{"fig14b", "Fig 14(b): LOJ vs FOJ, PageRank", runFig14(PageRank)},
 		{"fig14c", "Fig 14(c): LOJ vs FOJ, CC", runFig14(CC)},

@@ -1,0 +1,525 @@
+package core
+
+// The adaptive runtime: a stats-driven feedback loop on the cluster
+// controller. Every committed superstep already merges per-partition
+// vertex/message counters and per-worker phase timings; the advisor
+// consumes them with three actuators:
+//
+//   - Replanning: the join/group-by plan for the next superstep is
+//     chosen from the *observed* live-vertex and message ratios, with a
+//     small plan cache keyed on a quantized stat signature. The cache
+//     pins the first decision made for a signature, so a workload
+//     hovering at a threshold cannot oscillate between plans every
+//     superstep (either plan is near-equal cost exactly there).
+//   - Hot-partition splitting: when one partition's vertex+message
+//     share exceeds a skew threshold, it is re-hashed into child
+//     partitions at the next superstep boundary (split.go) — the one
+//     skew the whole-partition rebalancer can never fix.
+//   - Straggler relief: a worker whose superstep wall time exceeds k×
+//     the phase median for j consecutive supersteps has its heaviest
+//     node migrated off through the elastic migration machinery
+//     (relieveWorker, rebalance.go). Patience, a relief cooldown, and
+//     streak resets provide the hysteresis that keeps a relieved — or
+//     merely jittery — worker from being flapped.
+//
+// Every decision is logged as an AdaptiveEvent, surfaced by the serve
+// API's /stats view.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"pregelix/internal/hyracks"
+	"pregelix/pregel"
+)
+
+// AdaptiveOptions tunes the coordinator's runtime-stats feedback loop.
+// The zero value disables it; Enabled with zeroed knobs uses defaults.
+type AdaptiveOptions struct {
+	// Enabled turns the adaptive runtime on.
+	Enabled bool
+	// LiveFraction / MsgFraction are the replanner's thresholds: the
+	// next superstep probes (left outer join) only when live/|V| and
+	// msgs/|V| are both strictly below them (defaults 0.2 each).
+	LiveFraction float64
+	MsgFraction  float64
+	// SplitFactor is the number of child partitions a hot partition is
+	// re-hashed into (default 4).
+	SplitFactor int
+	// SplitSkewFactor is the skew trigger: split the heaviest partition
+	// when its vertex+message load exceeds this multiple of the mean
+	// partition load (default 2.0).
+	SplitSkewFactor float64
+	// SplitMinLoad suppresses splits of partitions lighter than this
+	// (default 4096 vertices+messages): tiny skews are not worth the
+	// migration.
+	SplitMinLoad int64
+	// MaxSplits bounds the splits committed per job run (default 2).
+	MaxSplits int
+	// StragglerRatio (k) and StragglerPatience (j): a worker is flagged
+	// when its superstep time exceeds k× the phase median for j
+	// consecutive supersteps (defaults 2.0 and 3).
+	StragglerRatio    float64
+	StragglerPatience int
+	// ReliefCooldown is the minimum number of supersteps between two
+	// relief migrations (default 8) — the hysteresis that prevents
+	// flapping.
+	ReliefCooldown int64
+}
+
+// withDefaults fills zero knobs with the defaults above.
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	if o.LiveFraction <= 0 {
+		o.LiveFraction = 0.2
+	}
+	if o.MsgFraction <= 0 {
+		o.MsgFraction = 0.2
+	}
+	if o.SplitFactor <= 1 {
+		o.SplitFactor = 4
+	}
+	if o.SplitSkewFactor <= 0 {
+		o.SplitSkewFactor = 2.0
+	}
+	if o.SplitMinLoad <= 0 {
+		o.SplitMinLoad = 4096
+	}
+	if o.MaxSplits <= 0 {
+		o.MaxSplits = 2
+	}
+	if o.StragglerRatio <= 0 {
+		o.StragglerRatio = 2.0
+	}
+	if o.StragglerPatience <= 0 {
+		o.StragglerPatience = 3
+	}
+	if o.ReliefCooldown <= 0 {
+		o.ReliefCooldown = 8
+	}
+	return o
+}
+
+// AdaptiveEvent records one advisor decision, surfaced through the
+// serve API (/stats) so operators can see what the runtime adapted.
+type AdaptiveEvent struct {
+	Time time.Time `json:"time"`
+	// Kind is "plan-switch", "split", "split-failed" or "relief".
+	Kind string `json:"kind"`
+	// Job is the execution the decision applied to; Superstep the
+	// boundary it fired at.
+	Job       string `json:"job,omitempty"`
+	Superstep int64  `json:"superstep,omitempty"`
+	// Plan/PrevPlan describe a plan switch.
+	Plan     string `json:"plan,omitempty"`
+	PrevPlan string `json:"prevPlan,omitempty"`
+	// Partition/Children/FirstChild describe a split.
+	Partition  int `json:"partition,omitempty"`
+	Children   int `json:"children,omitempty"`
+	FirstChild int `json:"firstChild,omitempty"`
+	// Worker is the relieved straggler's control-plane address.
+	Worker   string        `json:"worker,omitempty"`
+	Duration time.Duration `json:"duration,omitempty"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// AdaptiveEvents returns the advisor's decision log (oldest first).
+func (c *Coordinator) AdaptiveEvents() []AdaptiveEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AdaptiveEvent(nil), c.adaptEvents...)
+}
+
+func (c *Coordinator) recordAdaptive(ev AdaptiveEvent) {
+	ev.Time = time.Now()
+	c.mu.Lock()
+	c.adaptEvents = append(c.adaptEvents, ev)
+	c.mu.Unlock()
+	c.cfg.logf("coordinator: adaptive %s job=%s ss=%d %s", ev.Kind, ev.Job, ev.Superstep, ev.Detail)
+}
+
+// WorkerPhase is one worker's share of a superstep's wall clock.
+type WorkerPhase struct {
+	Addr     string
+	Duration time.Duration
+}
+
+// RuntimeObservation is what the coordinator feeds the advisor after
+// every committed superstep: the merged SuperstepStat, the per-partition
+// vertex+message counters, and the per-worker phase timings.
+type RuntimeObservation struct {
+	Job      string
+	Stat     SuperstepStat
+	PartLoad map[int]int64
+	Workers  []WorkerPhase
+	// BaseParts/TotalParts/NumSplits describe the current partition
+	// table so the split planner can respect its bounds.
+	BaseParts  int
+	TotalParts int
+	NumSplits  int
+}
+
+// SplitDecision names the hot partition to re-hash and the child count.
+type SplitDecision struct {
+	Parent   int
+	Children int
+}
+
+// RuntimeAdvisor is the runtime-stats feedback loop's decision surface.
+// The coordinator feeds it the merged statistics after every superstep
+// (Observe) and consults it for the next plan (Plan), a pending
+// hot-partition split (SplitCandidate), and a pending straggler relief
+// (Straggler). Reset clears timing history after a recovery rollback,
+// whose re-executed supersteps would otherwise replay stale streaks.
+type RuntimeAdvisor interface {
+	Plan(job *pregel.Job, gs *globalState, ss int64) pregel.JoinKind
+	Observe(obs RuntimeObservation)
+	SplitCandidate() (SplitDecision, bool)
+	Straggler() (string, bool)
+	Reset()
+}
+
+// planSig is the quantized stat signature keying the plan cache: the
+// live/|V| and msgs/|V| ratios bucketed to 1/16 resolution. Supersteps
+// whose ratios fall in the same buckets reuse the cached plan verbatim.
+type planSig struct {
+	liveB, msgB int
+}
+
+func ratioBucket(x, nv int64) int {
+	if nv <= 0 {
+		return 16
+	}
+	b := int(x * 16 / nv)
+	if b > 16 {
+		b = 16
+	}
+	return b
+}
+
+// adaptiveAdvisor is the default RuntimeAdvisor implementation.
+type adaptiveAdvisor struct {
+	opts AdaptiveOptions
+
+	// Plan cache: quantized signature → decided plan, with hit/miss
+	// counters (exercised directly by tests).
+	cache  map[planSig]pregel.JoinKind
+	hits   int64
+	misses int64
+
+	// Pending decisions computed by Observe.
+	split    SplitDecision
+	hasSplit bool
+	slow     string
+
+	// Straggler bookkeeping: consecutive slow-superstep streaks per
+	// worker and the superstep of the last relief (cooldown anchor).
+	streak       map[string]int
+	lastReliefSS int64
+}
+
+// newAdaptiveAdvisor builds the advisor with defaults filled in.
+func newAdaptiveAdvisor(opts AdaptiveOptions) *adaptiveAdvisor {
+	return &adaptiveAdvisor{
+		opts:         opts.withDefaults(),
+		cache:        make(map[planSig]pregel.JoinKind),
+		streak:       make(map[string]int),
+		lastReliefSS: -1 << 30,
+	}
+}
+
+// decidePlan is the advisor's uncached cost rule: probe only when both
+// the live-vertex and the message ratios are strictly below their
+// thresholds (each probe costs several page accesses, so the touched
+// set must be a small minority of the relation to beat one scan).
+func (a *adaptiveAdvisor) decidePlan(live, msgs, nv int64) pregel.JoinKind {
+	if nv > 0 &&
+		float64(live) < a.opts.LiveFraction*float64(nv) &&
+		float64(msgs) < a.opts.MsgFraction*float64(nv) {
+		return pregel.LeftOuterJoin
+	}
+	return pregel.FullOuterJoin
+}
+
+// Plan picks the next superstep's join strategy. Hints win when
+// AutoPlan is off; superstep 1 always scans (every vertex is live); and
+// otherwise the cached decision for the quantized stat signature is
+// reused — pinning the plan for workloads hovering at a threshold.
+func (a *adaptiveAdvisor) Plan(job *pregel.Job, gs *globalState, ss int64) pregel.JoinKind {
+	if !job.AutoPlan {
+		return job.Join
+	}
+	if ss == 1 {
+		return pregel.FullOuterJoin
+	}
+	sig := planSig{ratioBucket(gs.LiveVertices, gs.NumVertices), ratioBucket(gs.Messages, gs.NumVertices)}
+	if k, ok := a.cache[sig]; ok {
+		a.hits++
+		return k
+	}
+	a.misses++
+	k := a.decidePlan(gs.LiveVertices, gs.Messages, gs.NumVertices)
+	a.cache[sig] = k
+	return k
+}
+
+// Observe folds one committed superstep's merged statistics into the
+// advisor: it recomputes the pending split candidate (heaviest
+// partition vs the skew threshold) and advances the straggler streaks.
+func (a *adaptiveAdvisor) Observe(obs RuntimeObservation) {
+	a.hasSplit = false
+	a.slow = ""
+
+	// Split planner: the heaviest partition's share against the mean.
+	if obs.NumSplits < a.opts.MaxSplits && obs.TotalParts > 1 {
+		var total int64
+		hot, hotLoad := -1, int64(-1)
+		for p := 0; p < obs.TotalParts; p++ {
+			l := obs.PartLoad[p]
+			total += l
+			if l > hotLoad {
+				hot, hotLoad = p, l
+			}
+		}
+		mean := float64(total) / float64(obs.TotalParts)
+		if hot >= 0 && hotLoad >= a.opts.SplitMinLoad &&
+			float64(hotLoad) > a.opts.SplitSkewFactor*mean {
+			a.split = SplitDecision{Parent: hot, Children: a.opts.SplitFactor}
+			a.hasSplit = true
+		}
+	}
+
+	// Straggler detector: superstep time vs the phase median, with
+	// patience (consecutive supersteps) and a relief cooldown.
+	if len(obs.Workers) >= 2 {
+		ds := make([]time.Duration, 0, len(obs.Workers))
+		for _, w := range obs.Workers {
+			ds = append(ds, w.Duration)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		median := ds[(len(ds)-1)/2]
+		seen := make(map[string]bool, len(obs.Workers))
+		worst, worstStreak := "", 0
+		for _, w := range obs.Workers {
+			seen[w.Addr] = true
+			if median > 0 && float64(w.Duration) > a.opts.StragglerRatio*float64(median) {
+				a.streak[w.Addr]++
+			} else {
+				a.streak[w.Addr] = 0
+			}
+			if s := a.streak[w.Addr]; s >= a.opts.StragglerPatience && s > worstStreak {
+				worst, worstStreak = w.Addr, s
+			}
+		}
+		for addr := range a.streak {
+			if !seen[addr] {
+				delete(a.streak, addr)
+			}
+		}
+		if worst != "" && obs.Stat.Superstep-a.lastReliefSS >= a.opts.ReliefCooldown {
+			a.slow = worst
+			a.lastReliefSS = obs.Stat.Superstep
+			a.streak[worst] = 0
+		}
+	}
+}
+
+// SplitCandidate returns the pending hot-partition split, if any.
+func (a *adaptiveAdvisor) SplitCandidate() (SplitDecision, bool) {
+	return a.split, a.hasSplit
+}
+
+// Straggler returns the pending relief target, if any.
+func (a *adaptiveAdvisor) Straggler() (string, bool) {
+	return a.slow, a.slow != ""
+}
+
+// Reset clears timing streaks and pending decisions after a recovery
+// rollback (re-executed supersteps must not replay stale history).
+func (a *adaptiveAdvisor) Reset() {
+	a.streak = make(map[string]int)
+	a.hasSplit = false
+	a.slow = ""
+}
+
+// currentSplits returns a copy of the committed split list.
+func (c *Coordinator) currentSplits() []splitRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]splitRec(nil), c.splits...)
+}
+
+// basePartsLocked is the fixed base partition count (node count ×
+// partitions per node; the node set never changes after assembly).
+func (c *Coordinator) basePartsLocked() int {
+	return len(c.nodes) * c.cfg.PartitionsPerNode
+}
+
+// splitPartition drives one hot-partition split at a superstep boundary
+// (caller holds jobMu; no phase is in flight):
+//
+//  1. the parent's owner snapshots it (partition.send);
+//  2. the coordinator re-hashes the image into per-child images plus an
+//     empty parent image (rehashPartitionImage);
+//  3. every worker adopts the grown split table and the bumped epoch
+//     (partition.split broadcast);
+//  4. the child images install on their round-robin owners
+//     (partition.recv), and last the empty image evacuates the parent;
+//  5. the coordinator commits the split (routing table, partition
+//     loads) and rebroadcasts the topology to purge parked streams.
+//
+// Until the first partition.recv lands, any failure abandons the split
+// with the cluster intact: the next superstep verb carries the old
+// split list and every worker shrinks its table back. A worker death —
+// or a failure after child images began landing — escalates to the
+// checkpoint-recovery path via the returned error. The returned bool
+// reports whether the split committed.
+func (c *Coordinator) splitPartition(ctx context.Context, sess *rebalSession, d SplitDecision) (bool, error) {
+	start := time.Now()
+	c.mu.Lock()
+	base := c.basePartsLocked()
+	cur := append([]splitRec(nil), c.splits...)
+	nodes := append([]hyracks.NodeID(nil), c.nodes...)
+	workers := append([]*ccWorker(nil), c.workers...)
+	c.mu.Unlock()
+	if len(nodes) == 0 {
+		return false, nil
+	}
+	total := totalParts(base, cur)
+	if d.Parent < 0 || d.Parent >= total || d.Children < 2 {
+		return false, nil
+	}
+	for _, s := range cur {
+		if s.Parent == d.Parent {
+			return false, nil // already split; its children carry the load now
+		}
+	}
+	rec := splitRec{Parent: d.Parent, First: total, Children: d.Children}
+	grown := append(append([]splitRec(nil), cur...), rec)
+
+	ownerOf := make(map[string]*ccWorker)
+	for _, w := range workers {
+		for _, id := range w.owned {
+			ownerOf[id] = w
+		}
+	}
+	parentOwner := ownerOf[string(nodes[d.Parent%len(nodes)])]
+	if parentOwner == nil || parentOwner.dead() {
+		return false, fmt.Errorf("core: split of partition %d: its node has no live owner", d.Parent)
+	}
+
+	abandon := func(stage string, err error) {
+		c.recordAdaptive(AdaptiveEvent{
+			Kind: "split-failed", Job: sess.name, Superstep: sess.gs.Superstep,
+			Partition: d.Parent,
+			Detail:    fmt.Sprintf("%s: %v (split abandoned; cluster unchanged)", stage, err),
+		})
+	}
+
+	// 1. Image the parent (it stays live until the evacuation below).
+	var rep partSendReply
+	if err := parentOwner.call(ctx, rpcPartSend,
+		partSendMsg{Name: sess.name, Parts: []int{d.Parent}}, &rep); err != nil {
+		if parentOwner.dead() {
+			return false, fmt.Errorf("core: split of partition %d: owner died during imaging: %w", d.Parent, err)
+		}
+		abandon("partition.send", err)
+		return false, nil
+	}
+	if len(rep.Parts) != 1 {
+		abandon("partition.send", fmt.Errorf("got %d images, want 1", len(rep.Parts)))
+		return false, nil
+	}
+
+	// 2. Re-hash into children plus the empty parent image.
+	imgs, err := rehashPartitionImage(&rep.Parts[0], rec, 0)
+	if err != nil {
+		abandon("re-hash", err)
+		return false, nil
+	}
+
+	// 3. Broadcast the grown table under the bumped epoch, so every
+	// worker's next compile agrees and no pre-split stream is claimed.
+	split := splitMsg{Name: sess.name, GS: sess.gs, Attempt: *sess.attempt + 1, Splits: grown}
+	if _, err := phaseCall[struct{}](ctx, c, sess.name, rpcPartSplit, split); err != nil {
+		if c.anyWorkerDead() {
+			return false, fmt.Errorf("core: split of partition %d: worker died adopting the split table: %w", d.Parent, err)
+		}
+		abandon("partition.split", err)
+		return false, nil
+	}
+
+	// 4. Install the children first (the parent's data stays intact on
+	// its owner until every child image has landed), then evacuate the
+	// parent with its empty image.
+	byWorker := make(map[*ccWorker][]ckptPartData)
+	var parentImg *ckptPartData
+	for i := range imgs {
+		pd := imgs[i]
+		if pd.Part == d.Parent {
+			parentImg = &imgs[i]
+			continue
+		}
+		w := ownerOf[string(nodes[pd.Part%len(nodes)])]
+		if w == nil || w.dead() {
+			return false, fmt.Errorf("core: split of partition %d: child %d's node has no live owner", d.Parent, pd.Part)
+		}
+		byWorker[w] = append(byWorker[w], pd)
+	}
+	installed := false
+	for w, parts := range byWorker {
+		msg := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs, Parts: parts, Splits: grown}
+		if err := w.call(ctx, rpcPartRecv, msg, nil); err != nil {
+			if w.dead() || installed {
+				return false, fmt.Errorf("core: split of partition %d: installing children on %s: %w",
+					d.Parent, w.ctrl.RemoteAddr(), err)
+			}
+			abandon(fmt.Sprintf("partition.recv on %s", w.ctrl.RemoteAddr()), err)
+			return false, nil
+		}
+		installed = true
+	}
+	evac := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs,
+		Parts: []ckptPartData{*parentImg}, Splits: grown}
+	if err := parentOwner.call(ctx, rpcPartRecv, evac, nil); err != nil {
+		// The parent's state is ambiguous: its data lives only in the
+		// child copies now. Never abandon here — escalate so checkpoint
+		// recovery rebuilds a consistent table.
+		return false, fmt.Errorf("core: split of partition %d: evacuating the parent: %w", d.Parent, err)
+	}
+
+	// 5. Commit: routing, per-partition loads, epoch, event log.
+	c.mu.Lock()
+	c.splits = grown
+	parentLoad := c.partLoad[d.Parent]
+	delete(c.partLoad, d.Parent)
+	for k := 0; k < rec.Children; k++ {
+		c.partLoad[rec.First+k] = parentLoad / int64(rec.Children)
+	}
+	c.mu.Unlock()
+	if err := c.broadcastTopology(ctx, sess.purgeNames()); err != nil {
+		return false, err
+	}
+	*sess.attempt++
+	c.recordAdaptive(AdaptiveEvent{
+		Kind: "split", Job: sess.name, Superstep: sess.gs.Superstep,
+		Partition: d.Parent, Children: rec.Children, FirstChild: rec.First,
+		Duration: time.Since(start),
+		Detail: fmt.Sprintf("partition %d (load %d) re-hashed into %d children at %d..%d",
+			d.Parent, parentLoad, rec.Children, rec.First, rec.First+rec.Children-1),
+	})
+	return true, nil
+}
+
+// anyWorkerDead reports whether any active worker's connection failed.
+func (c *Coordinator) anyWorkerDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.dead() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pregelix/pregel"
+)
+
+// Advisor replanning boundaries, mirroring TestChooseJoinBoundaries for
+// the adaptive path: the next superstep probes (left outer join) only
+// when live/|V| AND msgs/|V| are both strictly below their thresholds.
+func TestAdaptivePlanBoundaries(t *testing.T) {
+	const n = 1000 // LiveFraction/MsgFraction default 0.2 → threshold 200
+	cases := []struct {
+		name     string
+		autoPlan bool
+		join     pregel.JoinKind
+		ss       int64
+		messages int64
+		live     int64
+		vertices int64
+		want     pregel.JoinKind
+	}{
+		{"hint wins when AutoPlan off (LOJ)", false, pregel.LeftOuterJoin, 5, n, n, n, pregel.LeftOuterJoin},
+		{"hint wins when AutoPlan off (FOJ)", false, pregel.FullOuterJoin, 5, 1, 1, n, pregel.FullOuterJoin},
+		{"superstep 1 always scans", true, pregel.LeftOuterJoin, 1, 0, 0, n, pregel.FullOuterJoin},
+		{"both ratios below thresholds", true, pregel.FullOuterJoin, 5, 100, 100, n, pregel.LeftOuterJoin},
+		{"live ratio at threshold", true, pregel.FullOuterJoin, 5, 0, 200, n, pregel.FullOuterJoin},
+		{"live ratio above threshold", true, pregel.FullOuterJoin, 5, 0, 500, n, pregel.FullOuterJoin},
+		{"msg ratio at threshold", true, pregel.FullOuterJoin, 5, 200, 0, n, pregel.FullOuterJoin},
+		{"msg ratio above threshold", true, pregel.FullOuterJoin, 5, 500, 0, n, pregel.FullOuterJoin},
+		{"all halted", true, pregel.FullOuterJoin, 5, 0, 0, n, pregel.LeftOuterJoin},
+		{"no vertices", true, pregel.FullOuterJoin, 5, 0, 0, 0, pregel.FullOuterJoin},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			adv := newAdaptiveAdvisor(AdaptiveOptions{Enabled: true})
+			job := &pregel.Job{AutoPlan: tc.autoPlan, Join: tc.join}
+			gs := &globalState{Messages: tc.messages, LiveVertices: tc.live, NumVertices: tc.vertices}
+			if got := adv.Plan(job, gs, tc.ss); got != tc.want {
+				t.Fatalf("Plan(live=%d msgs=%d |V|=%d ss=%d) = %v, want %v",
+					tc.live, tc.messages, tc.vertices, tc.ss, got, tc.want)
+			}
+		})
+	}
+}
+
+// The plan cache is keyed on the quantized stat signature: supersteps
+// whose ratios land in the same 1/16 buckets hit the cache and reuse
+// the pinned plan verbatim — even when the raw ratio has marginally
+// crossed the threshold — while a different bucket misses and decides
+// fresh. That pinning is the oscillation damper.
+func TestAdaptivePlanCache(t *testing.T) {
+	const n = 1000
+	adv := newAdaptiveAdvisor(AdaptiveOptions{Enabled: true})
+	job := &pregel.Job{AutoPlan: true}
+
+	// live=190 < 200: probes; decision cached under bucket 190*16/1000=3.
+	if got := adv.Plan(job, &globalState{LiveVertices: 190, Messages: 10, NumVertices: n}, 5); got != pregel.LeftOuterJoin {
+		t.Fatalf("first Plan = %v, want LeftOuterJoin", got)
+	}
+	if adv.hits != 0 || adv.misses != 1 {
+		t.Fatalf("after first Plan: hits=%d misses=%d, want 0/1", adv.hits, adv.misses)
+	}
+	// live=210 > 200 would decide FullOuterJoin fresh, but it shares
+	// bucket 3 (210*16/1000=3): the cache pins the earlier probe plan.
+	if got := adv.Plan(job, &globalState{LiveVertices: 210, Messages: 10, NumVertices: n}, 6); got != pregel.LeftOuterJoin {
+		t.Fatalf("same-bucket Plan = %v, want pinned LeftOuterJoin", got)
+	}
+	if adv.hits != 1 || adv.misses != 1 {
+		t.Fatalf("after same-bucket Plan: hits=%d misses=%d, want 1/1", adv.hits, adv.misses)
+	}
+	// live=600 lands in bucket 9: a miss, decided fresh as a scan.
+	if got := adv.Plan(job, &globalState{LiveVertices: 600, Messages: 10, NumVertices: n}, 7); got != pregel.FullOuterJoin {
+		t.Fatalf("new-bucket Plan = %v, want FullOuterJoin", got)
+	}
+	if adv.hits != 1 || adv.misses != 2 {
+		t.Fatalf("after new-bucket Plan: hits=%d misses=%d, want 1/2", adv.hits, adv.misses)
+	}
+}
+
+// Split-candidate boundaries: the heaviest partition is proposed only
+// when it exceeds SplitSkewFactor× the mean partition load, carries at
+// least SplitMinLoad, and the split budget remains.
+func TestAdaptiveSplitCandidate(t *testing.T) {
+	base := AdaptiveOptions{Enabled: true, SplitSkewFactor: 2.0, SplitMinLoad: 100, SplitFactor: 4, MaxSplits: 2}
+	observe := func(adv *adaptiveAdvisor, load map[int]int64, numSplits int) (SplitDecision, bool) {
+		t.Helper()
+		adv.Observe(RuntimeObservation{
+			Stat: SuperstepStat{Superstep: 2}, PartLoad: load,
+			BaseParts: 4, TotalParts: 4, NumSplits: numSplits,
+		})
+		return adv.SplitCandidate()
+	}
+
+	// 4000 vs mean 1750: above 2×? 4000 > 3500 → split partition 2.
+	d, ok := observe(newAdaptiveAdvisor(base), map[int]int64{0: 1000, 1: 1000, 2: 4000, 3: 1000}, 0)
+	if !ok || d.Parent != 2 || d.Children != 4 {
+		t.Fatalf("skewed load: got %+v ok=%v, want parent 2, 4 children", d, ok)
+	}
+	// 3000 vs mean 1500: exactly 2× is not strictly above → no split.
+	if d, ok := observe(newAdaptiveAdvisor(base), map[int]int64{0: 1000, 1: 1000, 2: 3000, 3: 1000}, 0); ok {
+		t.Fatalf("at-threshold skew proposed a split: %+v", d)
+	}
+	// Heaviest partition below SplitMinLoad → no split.
+	if d, ok := observe(newAdaptiveAdvisor(base), map[int]int64{0: 10, 1: 10, 2: 99, 3: 10}, 0); ok {
+		t.Fatalf("tiny partition proposed a split: %+v", d)
+	}
+	// Split budget exhausted → no split.
+	if d, ok := observe(newAdaptiveAdvisor(base), map[int]int64{0: 1000, 1: 1000, 2: 9000, 3: 1000}, 2); ok {
+		t.Fatalf("over-budget split proposed: %+v", d)
+	}
+}
+
+// Straggler detection needs StragglerPatience consecutive slow
+// supersteps, and the relief cooldown keeps the detector from flapping.
+func TestAdaptiveStragglerHysteresis(t *testing.T) {
+	adv := newAdaptiveAdvisor(AdaptiveOptions{
+		Enabled: true, StragglerRatio: 2.0, StragglerPatience: 2, ReliefCooldown: 4,
+	})
+	observe := func(ss int64, slow, fast time.Duration) (string, bool) {
+		t.Helper()
+		adv.Observe(RuntimeObservation{
+			Stat: SuperstepStat{Superstep: ss},
+			Workers: []WorkerPhase{
+				{Addr: "w-slow", Duration: slow},
+				{Addr: "w-fast", Duration: fast},
+			},
+		})
+		return adv.Straggler()
+	}
+
+	// One slow superstep: patience not met.
+	if addr, ok := observe(1, 100*time.Millisecond, 10*time.Millisecond); ok {
+		t.Fatalf("flagged %q after one slow superstep", addr)
+	}
+	// Second consecutive slow superstep: flagged.
+	addr, ok := observe(2, 100*time.Millisecond, 10*time.Millisecond)
+	if !ok || addr != "w-slow" {
+		t.Fatalf("got %q ok=%v, want w-slow flagged", addr, ok)
+	}
+	// Still slow, but inside the cooldown (and the streak was reset):
+	// no flag for the next ReliefCooldown supersteps.
+	for ss := int64(3); ss < 6; ss++ {
+		if addr, ok := observe(ss, 100*time.Millisecond, 10*time.Millisecond); ok {
+			t.Fatalf("flagged %q at superstep %d inside the cooldown", addr, ss)
+		}
+	}
+	// Cooldown over and patience re-met → flagged again.
+	if addr, ok := observe(6, 100*time.Millisecond, 10*time.Millisecond); !ok || addr != "w-slow" {
+		t.Fatalf("got %q ok=%v after cooldown, want w-slow", addr, ok)
+	}
+	// A recovered worker's streak dies immediately: fast superstep then
+	// slow ones must re-earn the full patience.
+	observe(11, 10*time.Millisecond, 10*time.Millisecond)
+	if addr, ok := observe(12, 100*time.Millisecond, 10*time.Millisecond); ok {
+		t.Fatalf("flagged %q without re-earning patience", addr)
+	}
+}
+
+// Reset clears streaks and pending decisions (the recovery-rollback
+// path: re-executed supersteps must not replay pre-failure history).
+func TestAdaptiveReset(t *testing.T) {
+	adv := newAdaptiveAdvisor(AdaptiveOptions{Enabled: true, StragglerPatience: 2, SplitMinLoad: 1})
+	for ss := int64(1); ss <= 2; ss++ {
+		adv.Observe(RuntimeObservation{
+			Stat:     SuperstepStat{Superstep: ss},
+			PartLoad: map[int]int64{0: 1000, 1: 1, 2: 1, 3: 1}, TotalParts: 4, BaseParts: 4,
+			Workers: []WorkerPhase{
+				{Addr: "w-slow", Duration: time.Second},
+				{Addr: "w-fast", Duration: time.Millisecond},
+			},
+		})
+	}
+	if _, ok := adv.SplitCandidate(); !ok {
+		t.Fatal("expected a pending split before Reset")
+	}
+	adv.Reset()
+	if _, ok := adv.SplitCandidate(); ok {
+		t.Fatal("pending split survived Reset")
+	}
+	if _, ok := adv.Straggler(); ok {
+		t.Fatal("pending straggler survived Reset")
+	}
+	if len(adv.streak) != 0 {
+		t.Fatalf("streaks survived Reset: %v", adv.streak)
+	}
+}

@@ -67,6 +67,13 @@ type checkpointManifest struct {
 	Partitions int   `json:"partitions"`
 	GS         globalState
 	PartStats  []partStat `json:"partStats"`
+	// BaseParts/Splits journal the hot-partition split table committed
+	// by the superstep the checkpoint covers (split.go): recovery — and
+	// a durable coordinator's restart — must rebuild the same partition
+	// table and routing function. Zero/nil on unsplit checkpoints, where
+	// Partitions is the whole table.
+	BaseParts int        `json:"baseParts,omitempty"`
+	Splits    []splitRec `json:"splits,omitempty"`
 }
 
 type partStat struct {

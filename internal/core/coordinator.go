@@ -62,6 +62,10 @@ type CoordinatorConfig struct {
 	// redistributing them over the survivors (default 0: redistribute
 	// immediately unless a standby is already parked).
 	ReplaceWait time.Duration
+	// Adaptive configures the runtime-stats feedback loop (adaptive.go):
+	// stats-driven replanning, hot-partition splitting, and straggler
+	// relief. Disabled by default.
+	Adaptive AdaptiveOptions
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -164,9 +168,15 @@ type Coordinator struct {
 	readyErr  error
 	closed    bool
 	// partLoad holds each partition's latest vertex+message counters
-	// (merged from superstep replies); the rebalancer weighs migration
-	// picks with them.
+	// (merged from superstep replies); the rebalancer and the adaptive
+	// split planner weigh migration picks with them.
 	partLoad map[int]int64
+	// splits is the committed hot-partition split list of the running
+	// job (split.go); every superstep verb re-broadcasts it so worker
+	// tables never drift, and checkpoint manifests journal it.
+	splits []splitRec
+	// adaptEvents is the adaptive runtime's decision log (adaptive.go).
+	adaptEvents []AdaptiveEvent
 
 	ready   chan struct{}
 	stop    chan struct{}
@@ -859,6 +869,14 @@ func (c *Coordinator) broadcastTopology(ctx context.Context, purgeJobs []string)
 // returned once every call — and the cancellation wave itself — has
 // come back, so no stale abort can race a later retry of the phase.
 func phaseCall[T any](ctx context.Context, c *Coordinator, jobName, method string, params any) ([]T, error) {
+	results, _, err := phaseCallW[T](ctx, c, jobName, method, params)
+	return results, err
+}
+
+// phaseCallW is phaseCall returning the worker snapshot the replies are
+// aligned with — the straggler detector needs to attribute reply
+// timings to worker addresses.
+func phaseCallW[T any](ctx context.Context, c *Coordinator, jobName, method string, params any) ([]T, []*ccWorker, error) {
 	c.mu.Lock()
 	workers := append([]*ccWorker(nil), c.workers...)
 	c.mu.Unlock()
@@ -886,10 +904,10 @@ func phaseCall[T any](ctx context.Context, c *Coordinator, jobName, method strin
 	cancelWG.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return results, workers, err
 		}
 	}
-	return results, nil
+	return results, workers, nil
 }
 
 // cancelJob aborts a job's in-flight phase on every worker (best
@@ -987,6 +1005,21 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 	}
 	if err := c.rebalance(ctx, nil); err != nil {
 		return nil, nil, err
+	}
+
+	// A fresh run starts from the base partition table with fresh load
+	// counters; a resumed run re-adopts its splits from the manifest in
+	// restoreCluster below.
+	c.mu.Lock()
+	c.splits = nil
+	c.partLoad = make(map[int]int64)
+	c.mu.Unlock()
+
+	// The adaptive runtime's feedback loop, when enabled: replanning,
+	// hot-partition splitting, and straggler relief (adaptive.go).
+	var adv RuntimeAdvisor
+	if c.cfg.Adaptive.Enabled {
+		adv = newAdaptiveAdvisor(c.cfg.Adaptive)
 	}
 
 	start := time.Now()
@@ -1094,6 +1127,12 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 		gs = m.GS
 		gs.Halt = false
 		rollbackStats(stats, gs.Superstep)
+		if adv != nil {
+			// Pre-failure timing streaks and pending decisions are stale
+			// after the rollback (satellite of the same coin: restoreCluster
+			// also resets the per-partition load counters).
+			adv.Reset()
+		}
 		c.cfg.logf("coordinator: %s recovered — resuming from superstep %d (attempt %d)",
 			sub.Name, gs.Superstep, attempt)
 		return nil
@@ -1105,6 +1144,7 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 	// also rewinds to the last checkpoint.
 	runStart := time.Now()
 	var output []byte
+	var lastPlan string
 	for done := false; !done; {
 		if err := ctx.Err(); err != nil {
 			c.cancelJob(sub.Name)
@@ -1128,10 +1168,21 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 		atCap := sub.Job.MaxSupersteps > 0 && ss > int64(sub.Job.MaxSupersteps)
 		if !atCap && !gs.Halt {
 			join := chooseJoinFor(sub.Job, &gs, ss)
+			if adv != nil {
+				join = adv.Plan(sub.Job, &gs, ss)
+			}
 			stats.recordPlan(ss, join)
+			if adv != nil && lastPlan != "" && join.String() != lastPlan {
+				c.recordAdaptive(AdaptiveEvent{
+					Kind: "plan-switch", Job: sub.Name, Superstep: ss,
+					Plan: join.String(), PrevPlan: lastPlan,
+					Detail: fmt.Sprintf("live=%d msgs=%d |V|=%d", gs.LiveVertices, gs.Messages, gs.NumVertices),
+				})
+			}
+			lastPlan = join.String()
 			stepStart := time.Now()
-			reps, err := phaseCall[superstepReply](ctx, c, sub.Name, rpcSuperstep,
-				superstepMsg{Name: sub.Name, SS: ss, GS: gs, Join: join, Attempt: attempt})
+			reps, stepWorkers, err := phaseCallW[superstepReply](ctx, c, sub.Name, rpcSuperstep,
+				superstepMsg{Name: sub.Name, SS: ss, GS: gs, Join: join, Attempt: attempt, Splits: c.currentSplits()})
 			if err != nil {
 				if rerr := recoverOrFail(fmt.Sprintf("superstep %d", ss), err); rerr != nil {
 					return stats, nil, rerr
@@ -1203,10 +1254,69 @@ func (c *Coordinator) RunJob(ctx context.Context, sub DistSubmission) (*JobStats
 				sub.Progress(ss)
 			}
 
+			// Feed the advisor and act on its decisions at this superstep
+			// boundary (no phase in flight). A committed split forces an
+			// immediate checkpoint so the new partition table is journaled
+			// before anything can fail.
+			wantCkpt := sub.Job.CheckpointEvery > 0 && ss%int64(sub.Job.CheckpointEvery) == 0
+			if adv != nil {
+				splits := c.currentSplits()
+				c.mu.Lock()
+				loadCopy := make(map[int]int64, len(c.partLoad))
+				for p, l := range c.partLoad {
+					loadCopy[p] = l
+				}
+				base := c.basePartsLocked()
+				c.mu.Unlock()
+				phases := make([]WorkerPhase, 0, len(reps))
+				for i, rep := range reps {
+					phases = append(phases, WorkerPhase{
+						Addr:     stepWorkers[i].ctrl.RemoteAddr(),
+						Duration: time.Duration(rep.DurationNS),
+					})
+				}
+				adv.Observe(RuntimeObservation{
+					Job:        sub.Name,
+					Stat:       stats.SuperstepStats[len(stats.SuperstepStats)-1],
+					PartLoad:   loadCopy,
+					Workers:    phases,
+					BaseParts:  base,
+					TotalParts: totalParts(base, splits),
+					NumSplits:  len(splits),
+				})
+				sess := &rebalSession{name: sub.Name, begin: &begin, gs: gs, attempt: &attempt, stats: stats}
+				if d, ok := adv.SplitCandidate(); ok {
+					committed, err := c.splitPartition(ctx, sess, d)
+					if err != nil {
+						if rerr := recoverOrFail(fmt.Sprintf("split at superstep %d", ss), err); rerr != nil {
+							return stats, nil, rerr
+						}
+						continue
+					}
+					if committed && sub.Job.CheckpointEvery > 0 {
+						wantCkpt = true
+					}
+				} else if addr, ok := adv.Straggler(); ok {
+					relieved, err := c.relieveWorker(ctx, sess, addr)
+					if err != nil {
+						if rerr := recoverOrFail(fmt.Sprintf("straggler relief at superstep %d", ss), err); rerr != nil {
+							return stats, nil, rerr
+						}
+						continue
+					}
+					if relieved {
+						c.recordAdaptive(AdaptiveEvent{
+							Kind: "relief", Job: sub.Name, Superstep: ss, Worker: addr,
+							Detail: "straggler's heaviest node migrated to the least-loaded peer",
+						})
+					}
+				}
+			}
+
 			// Distributed checkpoint at the configured cadence: every
 			// worker snapshots its partitions into the controller's
 			// replicated store; the manifest commits only after all acks.
-			if sub.Job.CheckpointEvery > 0 && ss%int64(sub.Job.CheckpointEvery) == 0 {
+			if wantCkpt {
 				if err := c.checkpointCluster(ctx, sub.Name, ss, gs); err != nil {
 					if rerr := recoverOrFail(fmt.Sprintf("checkpoint at superstep %d", ss), err); rerr != nil {
 						return stats, nil, rerr
@@ -1297,7 +1407,11 @@ func (c *Coordinator) checkpointCluster(ctx context.Context, name string, ss int
 		}
 	}
 	dir := ckptPath(name, ss)
-	m := checkpointManifest{Superstep: ss, Partitions: len(byPart), GS: gs}
+	c.mu.Lock()
+	base := c.basePartsLocked()
+	splits := append([]splitRec(nil), c.splits...)
+	c.mu.Unlock()
+	m := checkpointManifest{Superstep: ss, Partitions: len(byPart), GS: gs, BaseParts: base, Splits: splits}
 	m.PartStats = make([]partStat, len(byPart))
 	for i := 0; i < len(byPart); i++ {
 		pd := byPart[i]
@@ -1393,11 +1507,20 @@ func (c *Coordinator) restoreCluster(ctx context.Context, name string, m *checkp
 			ownerOf[id] = w
 		}
 	}
+	// Adopt the manifest's journaled split table as the cluster's, and
+	// reset the per-partition load counters: pre-failure statistics
+	// describe a partition layout and message distribution that no
+	// longer exist, and feeding them to the rebalancer or the split
+	// planner would act on ghosts.
+	c.mu.Lock()
+	c.splits = append([]splitRec(nil), m.Splits...)
+	c.partLoad = make(map[int]int64)
+	c.mu.Unlock()
 	// Partition i lives on node i%N — the same deterministic round-robin
-	// placement every runState computes (assignPartitions).
+	// placement every runState computes (assignPartitions, applySplits).
 	msgs := make(map[*ccWorker]*restoreMsg, len(workers))
 	for _, w := range workers {
-		msgs[w] = &restoreMsg{Name: name, SS: m.Superstep, GS: m.GS, Attempt: attempt}
+		msgs[w] = &restoreMsg{Name: name, SS: m.Superstep, GS: m.GS, Attempt: attempt, Splits: m.Splits}
 	}
 	for i := 0; i < m.Partitions; i++ {
 		node := string(nodes[i%len(nodes)])

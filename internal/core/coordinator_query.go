@@ -26,7 +26,21 @@ import (
 type clusterResult struct {
 	version  string
 	numParts int
-	owners   map[int]*ccWorker
+	// baseParts/splits carry the sealed run's split-aware routing
+	// function (split.go); baseParts falls back to numParts when the
+	// run committed no splits.
+	baseParts int
+	splits    []splitRec
+	owners    map[int]*ccWorker
+}
+
+// routeVid routes a vid through the sealed version's routing function.
+func (res *clusterResult) routeVid(vid uint64) int {
+	base := res.baseParts
+	if base == 0 {
+		base = res.numParts
+	}
+	return routeVertex(vid, base, res.splits)
 }
 
 // qflight is one in-flight point read other callers can coalesce onto.
@@ -66,6 +80,12 @@ func (c *Coordinator) endJobSessions(ctx context.Context, name string, retain bo
 		}
 		if replies[i].NumParts > res.numParts {
 			res.numParts = replies[i].NumParts
+		}
+		if replies[i].BaseParts > 0 {
+			res.baseParts = replies[i].BaseParts
+		}
+		if len(replies[i].Splits) > len(res.splits) {
+			res.splits = replies[i].Splits
 		}
 		for _, p := range replies[i].Parts {
 			res.owners[p] = w
@@ -203,7 +223,7 @@ func (c *Coordinator) QueryVertices(ctx context.Context, version string, vids []
 func (c *Coordinator) fanPointReads(ctx context.Context, res *clusterResult, vids []uint64) (map[uint64]VertexQueryResult, error) {
 	byWorker := make(map[*ccWorker][]uint64)
 	for _, vid := range vids {
-		p := partitionOfVertex(vid, res.numParts)
+		p := res.routeVid(vid)
 		w := res.owners[p]
 		if w == nil {
 			return nil, fmt.Errorf("core: partition %d of %s has no serving worker", p, res.version)

@@ -136,6 +136,12 @@ func (c *Coordinator) adoptSealed(w *ccWorker, reports []sealedReport) {
 		if rep.NumParts > cur.numParts {
 			cur.numParts = rep.NumParts
 		}
+		if rep.BaseParts > 0 {
+			cur.baseParts = rep.BaseParts
+		}
+		if len(rep.Splits) > len(cur.splits) {
+			cur.splits = rep.Splits
+		}
 		for _, p := range rep.Parts {
 			cur.owners[p] = w
 		}

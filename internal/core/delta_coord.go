@@ -103,6 +103,12 @@ func (c *Coordinator) DeltaRefresh(ctx context.Context, sub DeltaSubmission) (*J
 	if err != nil {
 		return nil, err
 	}
+	if len(res.splits) > 0 {
+		// A split-adapted run's delta session would need the two-level
+		// split router threaded through mutation routing and the cloned
+		// partition table; until then, refresh by re-submission.
+		return nil, fmt.Errorf("core: delta refresh of %s: the sealed run committed hot-partition splits; re-submit the job instead", sub.Version)
+	}
 
 	c.mu.Lock()
 	workers := append([]*ccWorker(nil), c.workers...)

@@ -25,6 +25,9 @@ import (
 // migrated-away originals, and worker.release tells a drained worker it
 // may exit. worker.drain is the one worker→controller notification: a
 // departing worker asking to have its partitions migrated out first.
+// partition.split broadcasts a grown split table (hot-partition
+// re-hash, split.go) so every worker extends its partition table before
+// the child images arrive via partition.recv.
 //
 // The query-tier verbs serve reads from a finished job's retained
 // partition indexes: job.end with Retain seals the session's B-trees
@@ -61,6 +64,7 @@ const (
 	rpcPartSend    = "partition.send"
 	rpcPartRecv    = "partition.recv"
 	rpcPartDrop    = "partition.drop"
+	rpcPartSplit   = "partition.split"
 	rpcRelease     = "worker.release"
 	rpcQueryPoint  = "query.point"
 	rpcQueryTopK   = "query.topk"
@@ -100,6 +104,11 @@ type sealedReport struct {
 	Version  string `json:"version"`
 	NumParts int    `json:"numParts"`
 	Parts    []int  `json:"parts"`
+	// BaseParts/Splits carry the sealed run's split-aware routing
+	// function (zero/nil for unsplit runs, where NumParts is the
+	// modulus).
+	BaseParts int        `json:"baseParts,omitempty"`
+	Splits    []splitRec `json:"splits,omitempty"`
 }
 
 // startMsg completes the handshake once the expected workers have
@@ -168,6 +177,10 @@ type superstepMsg struct {
 	// compiled spec name so a retried superstep's wire streams can never
 	// collide with stragglers of the aborted attempt.
 	Attempt int64 `json:"attempt,omitempty"`
+	// Splits is the controller's authoritative hot-partition split list;
+	// workers reconcile their partition tables against it before
+	// compiling, so every spec routes vids identically (split.go).
+	Splits []splitRec `json:"splits,omitempty"`
 }
 
 // superstepReply reports one worker's share of a superstep.
@@ -188,6 +201,10 @@ type superstepReply struct {
 	NetWireBytes    int64 `json:"netWireBytes,omitempty"`
 	NetWireRawBytes int64 `json:"netWireRawBytes,omitempty"`
 	IOBytes         int64 `json:"ioBytes"`
+	// DurationNS is the worker's own superstep wall time (including any
+	// injected phase delay); the coordinator's straggler detector
+	// compares workers against the phase median.
+	DurationNS int64 `json:"durationNS,omitempty"`
 }
 
 // jobNameMsg addresses a phase at an open job session.
@@ -212,6 +229,11 @@ type jobEndReply struct {
 	Version  string `json:"version,omitempty"`
 	Parts    []int  `json:"parts,omitempty"`
 	NumParts int    `json:"numParts,omitempty"`
+	// BaseParts/Splits reproduce the run's two-level routing function
+	// when the job committed hot-partition splits; the query tier must
+	// route reads with the same split map the run ended with.
+	BaseParts int        `json:"baseParts,omitempty"`
+	Splits    []splitRec `json:"splits,omitempty"`
 }
 
 // queryPointMsg evaluates a batch of point lookups against an exact
@@ -278,6 +300,9 @@ type restoreMsg struct {
 	GS      globalState    `json:"gs"`
 	Attempt int64          `json:"attempt"`
 	Parts   []ckptPartData `json:"parts"`
+	// Splits is the manifest's committed split list; the rebuilt
+	// partition table must cover its child partitions before the reload.
+	Splits []splitRec `json:"splits,omitempty"`
 }
 
 // reconfigureMsg reassigns cluster topology after a worker failure or
@@ -323,6 +348,22 @@ type partRecvMsg struct {
 	Attempt int64          `json:"attempt"`
 	GS      globalState    `json:"gs"`
 	Parts   []ckptPartData `json:"parts"`
+	// Splits carries the current split list so a receiver (possibly a
+	// joiner that never loaded) grows its partition table to cover any
+	// child partitions among Parts before installing them.
+	Splits []splitRec `json:"splits,omitempty"`
+}
+
+// splitMsg broadcasts a hot-partition split to every worker: each
+// session reconciles its partition table with the new split list and
+// adopts the bumped rebalance epoch, so the child images that follow
+// via partition.recv land in an agreed table and no wire stream of the
+// pre-split attempt can be claimed.
+type splitMsg struct {
+	Name    string      `json:"name"`
+	GS      globalState `json:"gs"`
+	Attempt int64       `json:"attempt"`
+	Splits  []splitRec  `json:"splits"`
 }
 
 // partDropMsg reclaims partitions that migrated away: the old owner

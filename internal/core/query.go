@@ -102,7 +102,12 @@ type KHopResult struct {
 type retainedResult struct {
 	version  string // tenant-qualified execution name
 	numParts int    // the run's full partition count (routing modulus)
-	codec    *pregel.Codec
+	// baseParts/splits reproduce the sealed run's two-level routing
+	// when it committed hot-partition splits (split.go); baseParts
+	// falls back to numParts for unsplit runs.
+	baseParts int
+	splits    []splitRec
+	codec     *pregel.Codec
 	// parts holds the partitions sealed here — all of them in a
 	// single-process runtime, only the owned subset on a cluster worker.
 	parts map[int]storage.Index
@@ -188,13 +193,23 @@ func lookupVertex(idx storage.Index, codec *pregel.Codec, vid uint64) (VertexQue
 	return res, nil
 }
 
+// routeVid routes a vid through the sealed run's routing function —
+// split-aware when the run committed splits, the plain hash otherwise.
+func (r *retainedResult) routeVid(vid uint64) int {
+	base := r.baseParts
+	if base == 0 {
+		base = r.numParts
+	}
+	return routeVertex(vid, base, r.splits)
+}
+
 // point evaluates a batch of point reads against the partitions sealed
 // here. A vid routed to a partition this result does not hold is a
 // routing error (the coordinator fans batches by owner).
 func (r *retainedResult) point(vids []uint64) ([]VertexQueryResult, error) {
 	out := make([]VertexQueryResult, len(vids))
 	for i, vid := range vids {
-		p := partitionOfVertex(vid, r.numParts)
+		p := r.routeVid(vid)
 		idx := r.parts[p]
 		if idx == nil {
 			return nil, fmt.Errorf("core: partition %d of %s is not retained here", p, r.version)
@@ -397,7 +412,10 @@ func (s *QueryStore) sealedReports() []sealedReport {
 	defer s.mu.Unlock()
 	var out []sealedReport
 	for _, r := range s.m {
-		rep := sealedReport{Version: r.version, NumParts: r.numParts}
+		rep := sealedReport{
+			Version: r.version, NumParts: r.numParts,
+			BaseParts: r.baseParts, Splits: append([]splitRec(nil), r.splits...),
+		}
 		for p := range r.parts {
 			rep.Parts = append(rep.Parts, p)
 		}

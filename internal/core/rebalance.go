@@ -37,7 +37,8 @@ import (
 type RebalanceEvent struct {
 	Time time.Time `json:"time"`
 	// Kind is "scale-out", "drain", "drain-requested", "scale-refused",
-	// "scale-failed", "drain-refused" or "drain-failed".
+	// "scale-failed", "drain-refused", "drain-failed", "relief" or
+	// "relief-failed".
 	Kind string `json:"kind"`
 	// Worker is the joining or departing worker's control-plane address.
 	Worker string `json:"worker,omitempty"`
@@ -342,7 +343,7 @@ func (c *Coordinator) partsOfNodesLocked(ids []string) []int {
 	for i, id := range c.nodes {
 		idx[string(id)] = i
 	}
-	total := n * c.cfg.PartitionsPerNode
+	total := totalParts(n*c.cfg.PartitionsPerNode, c.splits)
 	var out []int
 	for _, id := range ids {
 		j, ok := idx[id]
@@ -376,7 +377,7 @@ func (c *Coordinator) nodeLoadsLocked() map[string]int64 {
 	for _, id := range c.nodes {
 		loads[string(id)] = 1
 	}
-	total := n * c.cfg.PartitionsPerNode
+	total := totalParts(n*c.cfg.PartitionsPerNode, c.splits)
 	for p := 0; p < total; p++ {
 		loads[string(c.nodes[p%n])] += c.partLoad[p]
 	}
@@ -535,7 +536,7 @@ func (c *Coordinator) scaleOut(ctx context.Context, sp *ccWorker, sess *rebalSes
 			}
 			imgs = append(imgs, rep.Parts...)
 		}
-		recv := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs, Parts: imgs}
+		recv := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs, Parts: imgs, Splits: c.currentSplits()}
 		if err := sp.call(ctx, rpcPartRecv, recv, nil); err != nil {
 			abandon("partition.recv", err)
 			return nil
@@ -657,7 +658,7 @@ func (c *Coordinator) drainWorker(ctx context.Context, d *ccWorker, sess *rebalS
 			if len(ns) == 0 {
 				continue
 			}
-			msg := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs}
+			msg := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs, Splits: c.currentSplits()}
 			parts := c.partsOfNodes(ns)
 			for _, p := range parts {
 				pd, ok := byPart[p]
@@ -719,4 +720,108 @@ func (c *Coordinator) drainWorker(ctx context.Context, d *ccWorker, sess *rebalS
 		Detail: fmt.Sprintf("released; now %d workers", c.Workers()),
 	})
 	return nil
+}
+
+// relieveWorker lightens a straggling worker at a superstep boundary:
+// its single heaviest node migrates to the least-loaded other worker
+// through the same image-migration machinery a drain uses, but the
+// worker itself stays active with the rest of its nodes. Called by the
+// adaptive runtime (adaptive.go) when a worker's superstep time keeps
+// exceeding the phase median. Returns whether the relief committed; a
+// non-nil error means a worker died mid-migration and the caller must
+// run failure recovery.
+func (c *Coordinator) relieveWorker(ctx context.Context, sess *rebalSession, addr string) (bool, error) {
+	start := time.Now()
+	c.mu.Lock()
+	var slow *ccWorker
+	var targets []*ccWorker
+	for _, w := range c.workers {
+		if w.dead() {
+			continue
+		}
+		if w.ctrl.RemoteAddr() == addr {
+			slow = w
+		} else {
+			targets = append(targets, w)
+		}
+	}
+	if slow == nil || len(slow.owned) < 2 || len(targets) == 0 {
+		c.mu.Unlock()
+		return false, nil // nothing it can shed, or nowhere to shed to
+	}
+	loads := c.nodeLoadsLocked()
+	pick := slow.owned[0]
+	for _, id := range slow.owned[1:] {
+		if loads[id] > loads[pick] {
+			pick = id
+		}
+	}
+	var tgt *ccWorker
+	var tgtLoad int64
+	for _, w := range targets {
+		var l int64
+		for _, id := range w.owned {
+			l += loads[id]
+		}
+		if tgt == nil || l < tgtLoad {
+			tgt, tgtLoad = w, l
+		}
+	}
+	parts := c.partsOfNodesLocked([]string{pick})
+	c.mu.Unlock()
+
+	abort := func(stage string, err error) {
+		c.recordRebalance(RebalanceEvent{Kind: "relief-failed", Worker: addr, Nodes: []string{pick},
+			Detail: fmt.Sprintf("%s: %v (cluster unchanged)", stage, err)})
+	}
+
+	// Migrate the node's partition images; nothing commits until they
+	// have landed on the target.
+	var rep partSendReply
+	if err := slow.call(ctx, rpcPartSend, partSendMsg{Name: sess.name, Parts: parts}, &rep); err != nil {
+		if slow.dead() {
+			return false, fmt.Errorf("core: straggler %s died during relief imaging: %w", addr, err)
+		}
+		abort("partition.send", err)
+		return false, nil
+	}
+	recv := partRecvMsg{Name: sess.name, Attempt: *sess.attempt + 1, GS: sess.gs,
+		Parts: rep.Parts, Splits: c.currentSplits()}
+	if err := tgt.call(ctx, rpcPartRecv, recv, nil); err != nil {
+		if tgt.dead() {
+			return false, fmt.Errorf("core: relief target %s died during migration: %w", tgt.ctrl.RemoteAddr(), err)
+		}
+		abort(fmt.Sprintf("partition.recv on %s", tgt.ctrl.RemoteAddr()), err)
+		return false, nil
+	}
+
+	// Commit: ownership and routing flip under the bumped epoch.
+	c.mu.Lock()
+	kept := slow.owned[:0]
+	for _, id := range slow.owned {
+		if id != pick {
+			kept = append(kept, id)
+		}
+	}
+	slow.owned = kept
+	tgt.owned = append(tgt.owned, pick)
+	c.peers[pick] = tgt.dataAddr
+	c.mu.Unlock()
+	if err := c.broadcastTopology(ctx, sess.purgeNames()); err != nil {
+		return false, err
+	}
+	*sess.attempt++
+	sess.stats.Rebalances++
+	c.shipped = make(map[string]uint64)
+	if err := slow.call(ctx, rpcPartDrop, partDropMsg{Name: sess.name, Parts: parts}, nil); err != nil {
+		// Stale copies on the straggler cost memory until job.end, not
+		// correctness (the bumped epoch keeps them out of every phase).
+		c.cfg.logf("coordinator: dropping relieved partitions on %s: %v", addr, err)
+	}
+	c.recordRebalance(RebalanceEvent{
+		Kind: "relief", Worker: addr, Nodes: []string{pick},
+		Partitions: len(rep.Parts), Job: sess.name, Duration: time.Since(start),
+		Detail: fmt.Sprintf("heaviest node moved to %s", tgt.ctrl.RemoteAddr()),
+	})
+	return true, nil
 }

@@ -159,6 +159,14 @@ type runState struct {
 	parts []*partitionState
 	gs    globalState
 
+	// baseParts is the partition count fixed at load (the base routing
+	// modulus); splits is the committed hot-partition split list, which
+	// appends child partitions past the base table (split.go). Both are
+	// dictated by the cluster controller on every superstep verb so all
+	// workers route identically.
+	baseParts int
+	splits    []splitRec
+
 	// opMem is the per-job operator-memory carve assigned by the
 	// admission scheduler (0 = each node's default budget).
 	opMem int64
@@ -632,6 +640,8 @@ func (rs *runState) initParts() {
 	for i := range rs.parts {
 		rs.parts[i] = &partitionState{idx: i, node: nodes[i]}
 	}
+	rs.baseParts = p
+	rs.splits = nil
 }
 
 // assignPartitions maps partitions round-robin over live nodes.

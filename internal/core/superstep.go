@@ -138,7 +138,7 @@ func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
 	spec.Connect(&hyracks.ConnectorDesc{
 		From: "gb-local", To: "gb-final",
 		Type:        connType,
-		Partitioner: hyracks.HashPartitioner(0),
+		Partitioner: rs.vidPartitioner(),
 		Comparator:  cmp,
 	})
 
@@ -166,7 +166,7 @@ func (rs *runState) buildSuperstepJob(ss int64) (*hyracks.JobSpec, error) {
 	spec.Connect(&hyracks.ConnectorDesc{
 		From: "compute", FromPort: portMutations, To: "resolve",
 		Type:        hyracks.MToNPartitioning,
-		Partitioner: hyracks.HashPartitioner(0),
+		Partitioner: rs.vidPartitioner(),
 	})
 
 	// Global state: two-stage aggregation; stage one (per-partition

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pregelix/internal/hyracks"
 	"pregelix/internal/storage"
@@ -49,6 +50,17 @@ type WorkerConfig struct {
 	// completes, and RunWorker returns nil once the controller releases
 	// it.
 	Drain <-chan struct{}
+	// SuperstepDelay, when non-nil, injects an artificial delay into
+	// every superstep phase, called with the worker's owned vertex and
+	// pending-message totals. The delay runs after the collective
+	// dataflow completes, so it shows up in this worker's reported phase
+	// time without stalling the cluster-wide shuffle barrier (a
+	// pre-barrier sleep would block every peer and mask the straggler).
+	// Tests use a fixed delay to exercise the coordinator's straggler
+	// detector; the adaptive bench uses a load-proportional delay to
+	// emulate per-node compute cost that a small container cannot
+	// exhibit as real parallelism.
+	SuperstepDelay func(vertices, msgs int64) time.Duration
 	// Session, when non-nil, persists the worker's runtime and sealed
 	// query versions across RunWorker calls: a rejoin loop that passes
 	// the same session keeps serving its retained results after a
@@ -252,6 +264,9 @@ type distJob struct {
 	ctx    context.Context // session context; cancelled at job.end
 	cancel context.CancelFunc
 	runDir string
+	// delay is the injected per-superstep phase delay (WorkerConfig.
+	// SuperstepDelay; nil = none).
+	delay func(vertices, msgs int64) time.Duration
 
 	// delta holds the ingest→run bookkeeping when this session is a
 	// delta refresh (nil for ordinary jobs).
@@ -441,6 +456,17 @@ func (w *distWorker) handle(method string, data json.RawMessage) (any, error) {
 		}
 		return nil, dj.partitionRecv(&msg)
 
+	case rpcPartSplit:
+		var msg splitMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return nil, err
+		}
+		dj, err := w.job(msg.Name)
+		if err != nil {
+			return nil, err
+		}
+		return nil, dj.partitionSplit(&msg)
+
 	case rpcPartDrop:
 		var msg partDropMsg
 		if err := json.Unmarshal(data, &msg); err != nil {
@@ -531,6 +557,7 @@ func (w *distWorker) beginJob(msg *jobBeginMsg) error {
 		ctx:    jctx,
 		cancel: cancel,
 		runDir: msg.RunDir,
+		delay:  w.cfg.SuperstepDelay,
 	}
 	if _, dup := w.jobs[msg.Name]; dup {
 		cancel()
@@ -559,6 +586,8 @@ func (w *distWorker) endJob(name string, retain bool) *jobEndReply {
 			retained = true
 			reply.Version = name
 			reply.NumParts = r.numParts
+			reply.BaseParts = r.baseParts
+			reply.Splits = append([]splitRec(nil), r.splits...)
 			for p := range r.parts {
 				reply.Parts = append(reply.Parts, p)
 			}
@@ -627,10 +656,12 @@ func (w *distWorker) sealJob(dj *distJob) *retainedResult {
 	}
 	rt, runDir := w.rt, dj.runDir
 	r := &retainedResult{
-		version:  rs.job.Name,
-		numParts: len(rs.parts),
-		codec:    rs.codec,
-		parts:    parts,
+		version:   rs.job.Name,
+		numParts:  len(rs.parts),
+		baseParts: rs.baseParts,
+		splits:    append([]splitRec(nil), rs.splits...),
+		codec:     rs.codec,
+		parts:     parts,
 		cleanup: func() {
 			for _, n := range rt.Cluster.Nodes() {
 				n.RemoveJobDir(runDir)
@@ -693,10 +724,13 @@ func (w *distWorker) restoreJob(dj *distJob, msg *restoreMsg) error {
 	// would otherwise leak (their senders are gone or were reset).
 	w.transport.PurgeJob(rs.job.Name)
 
-	if rs.parts == nil {
-		rs.initParts()
-	}
+	// Rebuild the partition table from scratch at the manifest's split
+	// level: a rollback may cross a split boundary in either direction
+	// (a post-split failure restoring a pre-split checkpoint shrinks the
+	// table; a restart resuming a post-split manifest grows it).
 	rs.dropPartitionState()
+	rs.initParts()
+	rs.applySplits(msg.Splits)
 
 	byPart := make(map[int]*ckptPartData, len(msg.Parts))
 	for i := range msg.Parts {
@@ -810,9 +844,14 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 		return nil, err
 	}
 	defer end()
+	start := time.Now()
 	rs := dj.rs
 	rs.gs = msg.GS
 	rs.attempt = msg.Attempt
+	// Reconcile the partition table with the controller's split list
+	// before compiling, so every worker's spec (partition count, sticky
+	// locations, vid router) agrees.
+	rs.adoptSplits(msg.Splits)
 	join := msg.Join
 	rs.joinOverride = &join
 
@@ -824,6 +863,26 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 	res, err := rs.runHyracks(ctx, spec)
 	if err != nil {
 		return nil, err
+	}
+
+	// The collective dataflow is barrier-synchronized — every worker's
+	// run returns when the cluster-wide superstep finishes, so only
+	// work outside it can differentiate a straggler. Inject the
+	// configured delay here, against this worker's pre-superstep load,
+	// where it lengthens this reply alone.
+	if dj.delay != nil {
+		var dv, dm int64
+		for _, ps := range dj.ownedParts() {
+			dv += ps.numVertices
+			dm += ps.msgs
+		}
+		if d := dj.delay(dv, dm); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
 	}
 
 	reply := &superstepReply{Parts: []partCount{}}
@@ -851,6 +910,7 @@ func (dj *distJob) superstep(msg *superstepMsg) (*superstepReply, error) {
 		reply.NetWireRawBytes += cs.WireRawBytes()
 	}
 	reply.IOBytes = rs.ioBytes.Load() - ioBefore
+	reply.DurationNS = time.Since(start).Nanoseconds()
 	return reply, nil
 }
 
@@ -918,6 +978,7 @@ func (dj *distJob) partitionRecv(msg *partRecvMsg) error {
 	if rs.parts == nil {
 		rs.initParts()
 	}
+	rs.adoptSplits(msg.Splits)
 	rs.gs = msg.GS
 	rs.attempt = msg.Attempt
 	byIdx := dj.byIdx()
@@ -939,6 +1000,28 @@ func (dj *distJob) partitionRecv(msg *partRecvMsg) error {
 			return fmt.Errorf("core: migrate %s partition %d: %w", rs.job.Name, pd.Part, err)
 		}
 	}
+	return nil
+}
+
+// partitionSplit installs a grown (or, after an abandoned split,
+// shrunk) split table on this worker's session: the partition table is
+// reconciled against the controller's list and the bumped rebalance
+// epoch adopted, before any child image arrives via partition.recv. It
+// claims the phase slot, so a split can never overlap an executing
+// superstep.
+func (dj *distJob) partitionSplit(msg *splitMsg) error {
+	_, end, err := dj.beginPhase()
+	if err != nil {
+		return err
+	}
+	defer end()
+	rs := dj.rs
+	if rs.parts == nil {
+		rs.initParts()
+	}
+	rs.adoptSplits(msg.Splits)
+	rs.gs = msg.GS
+	rs.attempt = msg.Attempt
 	return nil
 }
 

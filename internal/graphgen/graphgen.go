@@ -103,6 +103,80 @@ func Webmap(n int, avgDegree float64, seed int64) *Graph {
 	return g
 }
 
+// fnvPartition mirrors the engine's vertex partitioner (FNV-1a over the
+// big-endian vid bytes, mod the partition count) so generators can
+// place vertices into chosen partitions without importing the engine.
+func fnvPartition(vid uint64, parts int) int {
+	h := uint64(14695981039346656037)
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= uint64(byte(vid >> shift))
+		h *= 1099511628211
+	}
+	return int(h % uint64(parts))
+}
+
+// SkewedWebmap generates a Webmap-like directed graph whose vertex IDs
+// are chosen so that a hotFrac share of the vertices hashes into
+// partition hotPart of a parts-way cluster — a deterministic skew
+// fixture for the adaptive runtime's hot-partition splitting. The hot
+// vertices also occupy the low indexes the preferential-attachment
+// destination sampling favors, so the hot partition is heavy in edges
+// and messages as well as vertices. Fully deterministic given a seed.
+func SkewedWebmap(n int, avgDegree float64, seed int64, parts, hotPart int, hotFrac float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Adj: make(map[uint64][]uint64, n)}
+	if n == 0 || parts <= 0 {
+		return g
+	}
+	// Draw vertex IDs from the integers in order, classifying each by
+	// the engine's partitioner, until both pools are full.
+	nHot := int(hotFrac * float64(n))
+	var hot, cold []uint64
+	for vid := uint64(1); len(hot) < nHot || len(cold) < n-nHot; vid++ {
+		if fnvPartition(vid, parts) == hotPart {
+			if len(hot) < nHot {
+				hot = append(hot, vid)
+			}
+		} else if len(cold) < n-nHot {
+			cold = append(cold, vid)
+		}
+	}
+	// Hot vertices first: index position drives destination popularity.
+	ids := append(append(make([]uint64, 0, n), hot...), cold...)
+	zipf := rand.NewZipf(rng, 1.3, 2.0, uint64(maxInt(4*int(avgDegree), 16)))
+	degrees := make([]int, n)
+	total := 0
+	for i := range degrees {
+		degrees[i] = int(zipf.Uint64())
+		total += degrees[i]
+	}
+	want := int(avgDegree * float64(n))
+	if total > 0 && want > 0 {
+		scale := float64(want) / float64(total)
+		for i := range degrees {
+			degrees[i] = int(math.Round(float64(degrees[i]) * scale))
+		}
+	}
+	for i, id := range ids {
+		seen := map[uint64]bool{}
+		var edges []uint64
+		for d := 0; d < degrees[i]; d++ {
+			// Square a uniform sample to skew destinations toward low
+			// indexes — the hot pool.
+			u := rng.Float64()
+			dest := ids[int(u*u*float64(n))%n]
+			if dest == id || seen[dest] {
+				continue
+			}
+			seen[dest] = true
+			edges = append(edges, dest)
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+		g.Adj[id] = edges
+	}
+	return g
+}
+
 // BTC generates an undirected graph (both edge directions present) with
 // near-uniform degree and unit-ish weights, echoing the Billion Triple
 // Challenge semantic graph's flat degree profile (avg degree 8.94 at
